@@ -1,0 +1,23 @@
+//! # qcemu-baselines
+//!
+//! Re-implementations of the two simulators the paper benchmarks against in
+//! §4.5 (Figs. 4–6), built over the same state-vector memory layout as
+//! `qcemu-sim` so that performance differences isolate *algorithmic
+//! choices*, not incidental engineering:
+//!
+//! * [`qhipster`] — qHiPSTER-like: generic dense kernels for every gate,
+//!   full-state sweeps, multi-threaded; its distributed analogue is
+//!   `qcemu_cluster::CommPolicy::Generic` (exchange on every global-target
+//!   gate, diagonal or not);
+//! * [`liquid`] — LIQUi|⟩-like: boxed gate objects carrying explicit
+//!   matrices (a CNOT is a 4×4), generic gather/scatter application,
+//!   single-threaded, with an optional gate-fusion optimiser.
+//!
+//! Both are validated against `qcemu-sim` for state-level agreement; the
+//! bench harness (`qcemu-bench`) reproduces the paper's relative timings.
+
+pub mod liquid;
+pub mod qhipster;
+
+pub use liquid::{apply_object, embed, fuse, gate_to_object, GateObject, LiquidSim};
+pub use qhipster::QhipsterSim;

@@ -1,0 +1,346 @@
+//! LIQUi|⟩-like baseline simulator (paper ref. [7]).
+//!
+//! Models the architecture of a language-level simulator: every gate is a
+//! first-class *object* carrying a dense matrix over its participating
+//! qubits (controls included — a CNOT is a 4×4 matrix), applied by a
+//! generic gather/apply/scatter routine, single-threaded. An optional
+//! fusion pass mimics LIQUi|⟩'s circuit optimiser by multiplying adjacent
+//! gates into larger unitaries (up to a qubit cap) before execution.
+//!
+//! The point is architectural fidelity, not disrespect: this is what a
+//! flexible, gate-object-centric design costs relative to the paper's
+//! structure-specialised kernels (Figs. 5 and 6 show ~5–15×).
+
+use qcemu_linalg::{CMatrix, C64};
+use qcemu_sim::{Circuit, Gate, StateVector};
+
+/// The LIQUiD-like simulator.
+#[derive(Clone, Copy, Debug)]
+pub struct LiquidSim {
+    /// Fuse adjacent gates into unitaries over at most
+    /// [`LiquidSim::MAX_FUSED_QUBITS`] qubits before applying.
+    pub fusion: bool,
+}
+
+impl Default for LiquidSim {
+    fn default() -> Self {
+        LiquidSim { fusion: true }
+    }
+}
+
+/// A gate lowered to a dense matrix over an explicit qubit list.
+#[derive(Clone, Debug)]
+pub struct GateObject {
+    /// Participating qubits, LSB of the matrix index first.
+    pub qubits: Vec<usize>,
+    /// `2^k × 2^k` unitary.
+    pub matrix: CMatrix,
+}
+
+impl LiquidSim {
+    /// Fusion cap: unitaries never grow beyond this many qubits.
+    pub const MAX_FUSED_QUBITS: usize = 3;
+
+    /// Creates the simulator (with fusion enabled).
+    pub fn new() -> LiquidSim {
+        LiquidSim::default()
+    }
+
+    /// Creates the simulator without the fusion pass.
+    pub fn without_fusion() -> LiquidSim {
+        LiquidSim { fusion: false }
+    }
+
+    /// Runs a circuit.
+    pub fn run(&self, circuit: &Circuit, state: &mut StateVector) {
+        assert!(circuit.n_qubits() <= state.n_qubits());
+        let mut objects: Vec<GateObject> = circuit.gates().iter().map(gate_to_object).collect();
+        if self.fusion {
+            objects = fuse(objects, Self::MAX_FUSED_QUBITS);
+        }
+        for obj in &objects {
+            apply_object(state, obj);
+        }
+    }
+}
+
+/// Lowers a [`Gate`] to a dense matrix over its qubit list (controls become
+/// explicit identity blocks — the "every gate is a matrix" world view).
+pub fn gate_to_object(gate: &Gate) -> GateObject {
+    match gate {
+        Gate::Unary {
+            op,
+            target,
+            controls,
+        } => {
+            // Qubit order: target is bit 0, controls above it.
+            let mut qubits = vec![*target];
+            qubits.extend_from_slice(controls);
+            let k = qubits.len();
+            let dim = 1usize << k;
+            let m2 = op.matrix();
+            let cmask = if k == 1 { 0 } else { ((1usize << k) - 1) & !1 };
+            let mut m = CMatrix::identity(dim);
+            for col in 0..dim {
+                if col & cmask != cmask {
+                    continue; // identity outside the all-controls-on block
+                }
+                let b = col & 1;
+                m[(col & !1, col)] = m2[0][b];
+                m[(col | 1, col)] = m2[1][b];
+            }
+            GateObject {
+                qubits,
+                matrix: m,
+            }
+        }
+        Gate::Swap { a, b, controls } => {
+            let mut qubits = vec![*a, *b];
+            qubits.extend_from_slice(controls);
+            let k = qubits.len();
+            let dim = 1usize << k;
+            let cmask = ((1usize << k) - 1) & !0b11;
+            let mut m = CMatrix::zeros(dim, dim);
+            for col in 0..dim {
+                let row = if col & cmask == cmask {
+                    // swap bits 0 and 1
+                    let b0 = col & 1;
+                    let b1 = (col >> 1) & 1;
+                    (col & !0b11) | (b0 << 1) | b1
+                } else {
+                    col
+                };
+                m[(row, col)] = C64::ONE;
+            }
+            GateObject {
+                qubits,
+                matrix: m,
+            }
+        }
+    }
+}
+
+/// Embeds `obj` into a larger qubit list (which must contain all of the
+/// object's qubits), producing the matrix on the union space.
+pub fn embed(obj: &GateObject, union_qubits: &[usize]) -> CMatrix {
+    let ku = union_qubits.len();
+    let dim = 1usize << ku;
+    // position of each object qubit within the union list
+    let pos: Vec<usize> = obj
+        .qubits
+        .iter()
+        .map(|q| {
+            union_qubits
+                .iter()
+                .position(|u| u == q)
+                .expect("union must contain object qubits")
+        })
+        .collect();
+    let k = obj.qubits.len();
+    let mut m = CMatrix::zeros(dim, dim);
+    for col in 0..dim {
+        // Extract the object's input value from the union index.
+        let mut sub_in = 0usize;
+        for (j, &p) in pos.iter().enumerate() {
+            sub_in |= ((col >> p) & 1) << j;
+        }
+        let passthrough = {
+            let mut mask = col;
+            for &p in &pos {
+                mask &= !(1usize << p);
+            }
+            mask
+        };
+        for sub_out in 0..(1usize << k) {
+            let amp = obj.matrix[(sub_out, sub_in)];
+            if amp == C64::ZERO {
+                continue;
+            }
+            let mut row = passthrough;
+            for (j, &p) in pos.iter().enumerate() {
+                row |= ((sub_out >> j) & 1) << p;
+            }
+            m[(row, col)] = amp;
+        }
+    }
+    m
+}
+
+/// Greedy fusion: merge each gate into the previous object when the union
+/// of their qubit sets stays within `cap` qubits.
+pub fn fuse(objects: Vec<GateObject>, cap: usize) -> Vec<GateObject> {
+    let mut out: Vec<GateObject> = Vec::with_capacity(objects.len());
+    for obj in objects {
+        if let Some(prev) = out.last_mut() {
+            let mut union = prev.qubits.clone();
+            for q in &obj.qubits {
+                if !union.contains(q) {
+                    union.push(*q);
+                }
+            }
+            if union.len() <= cap {
+                let a = embed(prev, &union);
+                let b = embed(&obj, &union);
+                // Later gate multiplies from the left.
+                let fused = qcemu_linalg::gemm(&b, &a);
+                *prev = GateObject {
+                    qubits: union,
+                    matrix: fused,
+                };
+                continue;
+            }
+        }
+        out.push(obj);
+    }
+    out
+}
+
+/// Generic single-threaded gather/apply/scatter of a gate object.
+pub fn apply_object(state: &mut StateVector, obj: &GateObject) {
+    let n_qubits = state.n_qubits();
+    let k = obj.qubits.len();
+    let dim = 1usize << k;
+    assert_eq!(obj.matrix.shape(), (dim, dim));
+    let comp: Vec<usize> = (0..n_qubits).filter(|q| !obj.qubits.contains(q)).collect();
+    let amps = state.amplitudes_mut();
+    let mut gathered = vec![C64::ZERO; dim];
+    for c in 0..(1usize << comp.len()) {
+        let mut base = 0usize;
+        for (j, &q) in comp.iter().enumerate() {
+            base |= ((c >> j) & 1) << q;
+        }
+        for (v, slot) in gathered.iter_mut().enumerate() {
+            let mut idx = base;
+            for (j, &q) in obj.qubits.iter().enumerate() {
+                idx |= ((v >> j) & 1) << q;
+            }
+            *slot = amps[idx];
+        }
+        let transformed = obj.matrix.matvec(&gathered);
+        for (v, value) in transformed.iter().enumerate() {
+            let mut idx = base;
+            for (j, &q) in obj.qubits.iter().enumerate() {
+                idx |= ((v >> j) & 1) << q;
+            }
+            amps[idx] = *value;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qcemu_sim::circuits::{entangle_circuit, qft_circuit, tfim_trotter_step, TfimParams};
+    use qcemu_sim::GateOp;
+
+    fn check(circuit: &Circuit, n: usize, sim: LiquidSim) {
+        let mut reference = StateVector::basis_state(n, (1 << n) - 1);
+        reference.apply_circuit(circuit);
+        let mut baseline = StateVector::basis_state(n, (1 << n) - 1);
+        sim.run(circuit, &mut baseline);
+        assert!(
+            baseline.max_diff_up_to_phase(&reference) < 1e-9,
+            "LIQUiD-like diverges: {}",
+            baseline.max_diff_up_to_phase(&reference)
+        );
+    }
+
+    #[test]
+    fn cnot_object_is_the_textbook_matrix() {
+        let obj = gate_to_object(&Gate::cnot(5, 2));
+        // Qubit order [target=2, control=5]: matrix index bit0 = target.
+        // Control = bit 1: columns 2, 3 flip the target.
+        assert_eq!(obj.qubits, vec![2, 5]);
+        let m = &obj.matrix;
+        assert_eq!(m[(0, 0)], C64::ONE);
+        assert_eq!(m[(1, 1)], C64::ONE);
+        assert_eq!(m[(3, 2)], C64::ONE);
+        assert_eq!(m[(2, 3)], C64::ONE);
+        assert!(m.is_unitary(1e-12));
+    }
+
+    #[test]
+    fn toffoli_object_is_8x8_permutation() {
+        let obj = gate_to_object(&Gate::toffoli(1, 2, 0));
+        assert_eq!(obj.matrix.shape(), (8, 8));
+        assert!(obj.matrix.is_unitary(1e-12));
+        // Both controls on: |011⟩ ↔ |111⟩ in (t,c1,c2) bit order → indices
+        // 6 and 7 swap.
+        assert_eq!(obj.matrix[(7, 6)], C64::ONE);
+        assert_eq!(obj.matrix[(6, 7)], C64::ONE);
+        assert_eq!(obj.matrix[(0, 0)], C64::ONE);
+    }
+
+    #[test]
+    fn matches_reference_on_qft_with_and_without_fusion() {
+        for n in [2usize, 5, 8] {
+            check(&qft_circuit(n), n, LiquidSim::without_fusion());
+            check(&qft_circuit(n), n, LiquidSim::new());
+        }
+    }
+
+    #[test]
+    fn matches_reference_on_entangle() {
+        check(&entangle_circuit(8), 8, LiquidSim::new());
+        check(&entangle_circuit(8), 8, LiquidSim::without_fusion());
+    }
+
+    #[test]
+    fn matches_reference_on_tfim() {
+        check(&tfim_trotter_step(5, TfimParams::default()), 5, LiquidSim::new());
+    }
+
+    #[test]
+    fn matches_reference_on_gate_zoo() {
+        let mut c = Circuit::new(5);
+        c.h(0)
+            .y(1)
+            .rz(2, 0.4)
+            .cphase(0, 3, 0.9)
+            .toffoli(0, 1, 4)
+            .swap(1, 3);
+        c.push(Gate::controlled(GateOp::Ry(0.3), 4, 2));
+        c.push(Gate::Swap {
+            a: 0,
+            b: 2,
+            controls: vec![3],
+        });
+        check(&c, 5, LiquidSim::new());
+        check(&c, 5, LiquidSim::without_fusion());
+    }
+
+    #[test]
+    fn fusion_reduces_object_count() {
+        let objects: Vec<GateObject> = qft_circuit(6).gates().iter().map(gate_to_object).collect();
+        let before = objects.len();
+        let after = fuse(objects, LiquidSim::MAX_FUSED_QUBITS).len();
+        assert!(after < before, "fusion should merge gates: {before} → {after}");
+    }
+
+    #[test]
+    fn fused_objects_stay_unitary() {
+        let objects: Vec<GateObject> = qft_circuit(5).gates().iter().map(gate_to_object).collect();
+        for obj in fuse(objects, 3) {
+            assert!(obj.matrix.is_unitary(1e-9), "fused object lost unitarity");
+        }
+    }
+
+    #[test]
+    fn embed_into_superset_preserves_action() {
+        // Embedding CNOT(0→1) into qubits [1, 0, 2] then applying must equal
+        // direct application.
+        let obj = gate_to_object(&Gate::cnot(0, 1));
+        let union = vec![1usize, 0, 2];
+        let big = embed(&obj, &union);
+        assert!(big.is_unitary(1e-12));
+        let big_obj = GateObject {
+            qubits: union,
+            matrix: big,
+        };
+        let mut a = StateVector::uniform_superposition(3);
+        let mut b = a.clone();
+        a.apply(&Gate::cnot(0, 1));
+        apply_object(&mut b, &big_obj);
+        assert!(a.max_diff_up_to_phase(&b) < 1e-12);
+    }
+}

@@ -1,0 +1,183 @@
+//! qHiPSTER-like baseline simulator (paper ref. [21]).
+//!
+//! Algorithmically faithful to a *generic* high-performance simulator: one
+//! dense 2×2 butterfly kernel for every single-qubit gate and one
+//! predicate-checked controlled kernel for every controlled gate —
+//! no diagonal/permutation specialisation, no control-compressed index
+//! enumeration. Multi-threaded like the original (OpenMP there, rayon
+//! here). The performance gap to `qcemu-sim` isolates exactly the
+//! structure-exploiting optimisations the paper credits its simulator with
+//! (§4.5, Figs. 5 and 6).
+
+use qcemu_linalg::C64;
+use qcemu_sim::{Circuit, Gate, Mat2, StateVector};
+use rayon::prelude::*;
+
+/// State sizes below this run serially.
+const PAR_MIN: usize = 1 << 15;
+
+/// The qHiPSTER-like simulator.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct QhipsterSim;
+
+impl QhipsterSim {
+    /// Creates the simulator.
+    pub fn new() -> QhipsterSim {
+        QhipsterSim
+    }
+
+    /// Runs a circuit on a state vector.
+    pub fn run(&self, circuit: &Circuit, state: &mut StateVector) {
+        assert!(circuit.n_qubits() <= state.n_qubits());
+        for gate in circuit.gates() {
+            self.apply(gate, state);
+        }
+    }
+
+    /// Applies one gate with the generic kernels.
+    pub fn apply(&self, gate: &Gate, state: &mut StateVector) {
+        gate.validate(state.n_qubits())
+            .unwrap_or_else(|e| panic!("invalid gate: {e}"));
+        match gate {
+            Gate::Unary {
+                op,
+                target,
+                controls,
+            } => {
+                let m = op.matrix(); // dense matrix for EVERY op, diagonal or not
+                generic_pairs(state.amplitudes_mut(), *target, controls, &m);
+            }
+            Gate::Swap { a, b, controls } => {
+                // Generic simulators express SWAP through CNOTs.
+                let mk = |c: usize, t: usize| {
+                    let mut ctl = controls.clone();
+                    ctl.push(c);
+                    Gate::Unary {
+                        op: qcemu_sim::GateOp::X,
+                        target: t,
+                        controls: ctl,
+                    }
+                };
+                self.apply(&mk(*a, *b), state);
+                self.apply(&mk(*b, *a), state);
+                self.apply(&mk(*a, *b), state);
+            }
+        }
+    }
+}
+
+/// Pointer wrapper for provably disjoint parallel writes (same argument as
+/// in `qcemu_sim::kernels`: the pair enumeration is injective).
+#[derive(Copy, Clone)]
+struct StatePtr(*mut C64);
+// SAFETY: used only by `generic_pairs`, whose index pairs are disjoint.
+unsafe impl Send for StatePtr {}
+unsafe impl Sync for StatePtr {}
+
+/// Enumerates **every** amplitude pair of the target qubit (no control
+/// compression) and applies the dense butterfly where the control predicate
+/// holds — the generic simulator's access pattern: the whole state vector
+/// is read for every gate.
+fn generic_pairs(state: &mut [C64], target: usize, controls: &[usize], m: &Mat2) {
+    let n = state.len();
+    let half = n / 2;
+    let tbit = 1usize << target;
+    let cmask = controls.iter().fold(0usize, |acc, &c| acc | (1usize << c));
+    let low_mask = tbit - 1;
+    let m = *m;
+
+    let body = move |k: usize, a: &mut C64, b: &mut C64, i0: usize| {
+        let _ = k;
+        if i0 & cmask == cmask {
+            let x = *a;
+            let y = *b;
+            *a = m[0][0] * x + m[0][1] * y;
+            *b = m[1][0] * x + m[1][1] * y;
+        }
+    };
+
+    if n >= PAR_MIN && rayon::current_num_threads() > 1 {
+        let ptr = StatePtr(state.as_mut_ptr());
+        (0..half).into_par_iter().for_each(|k| {
+            let p = &ptr;
+            let i0 = ((k & !low_mask) << 1) | (k & low_mask);
+            // SAFETY: k ↦ i0 is injective with target bit clear; pairs are
+            // disjoint (see `qcemu_sim::kernels`).
+            unsafe {
+                body(k, &mut *p.0.add(i0), &mut *p.0.add(i0 | tbit), i0);
+            }
+        });
+    } else {
+        for k in 0..half {
+            let i0 = ((k & !low_mask) << 1) | (k & low_mask);
+            let (lo, hi) = state.split_at_mut(i0 | tbit);
+            body(k, &mut lo[i0], &mut hi[0], i0);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qcemu_sim::circuits::{entangle_circuit, qft_circuit, tfim_trotter_step, TfimParams};
+    use qcemu_sim::GateOp;
+
+    fn check_against_reference(circuit: &Circuit, n: usize) {
+        let mut reference = StateVector::basis_state(n, 1 % (1 << n));
+        reference.apply_circuit(circuit);
+        let mut baseline = StateVector::basis_state(n, 1 % (1 << n));
+        QhipsterSim::new().run(circuit, &mut baseline);
+        assert!(
+            baseline.max_diff_up_to_phase(&reference) < 1e-10,
+            "qHiPSTER-like diverges from reference: {}",
+            baseline.max_diff_up_to_phase(&reference)
+        );
+    }
+
+    #[test]
+    fn matches_reference_on_qft() {
+        for n in [2usize, 5, 8] {
+            check_against_reference(&qft_circuit(n), n);
+        }
+    }
+
+    #[test]
+    fn matches_reference_on_entangle() {
+        check_against_reference(&entangle_circuit(9), 9);
+    }
+
+    #[test]
+    fn matches_reference_on_tfim() {
+        check_against_reference(&tfim_trotter_step(6, TfimParams::default()), 6);
+    }
+
+    #[test]
+    fn matches_reference_on_mixed_gate_zoo() {
+        let mut c = Circuit::new(6);
+        c.h(0)
+            .x(1)
+            .y(2)
+            .z(3)
+            .rz(4, 0.37)
+            .rx(5, -0.9)
+            .cnot(0, 5)
+            .cphase(1, 4, 1.234)
+            .toffoli(0, 1, 2)
+            .swap(2, 5)
+            .push(Gate::controlled(GateOp::H, 3, 0));
+        check_against_reference(&c, 6);
+    }
+
+    #[test]
+    fn parallel_path_matches_reference() {
+        // 16 qubits exceeds PAR_MIN → rayon branch runs.
+        check_against_reference(&qft_circuit(16), 16);
+    }
+
+    #[test]
+    fn norm_preserved() {
+        let mut sv = StateVector::uniform_superposition(10);
+        QhipsterSim::new().run(&qft_circuit(10), &mut sv);
+        assert!((sv.norm() - 1.0).abs() < 1e-10);
+    }
+}

@@ -1,0 +1,102 @@
+//! Criterion micro-benchmarks of the structure-specialised kernels —
+//! the quantitative backing for the paper's §2/§4.5 claim that exploiting
+//! gate structure beats generic sparse-matrix application.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qcemu_baselines::{LiquidSim, QhipsterSim};
+use qcemu_fft::qft_convention;
+use qcemu_linalg::{gemm, random_matrix, strassen_with_cutoff};
+use qcemu_sim::circuits::qft::qft_circuit;
+use qcemu_sim::{Gate, StateVector};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Single-gate kernels on a 2^20 state: the controlled phase (quarter
+/// touch) must be far cheaper than the Hadamard (full butterfly sweep).
+fn bench_gate_kernels(c: &mut Criterion) {
+    let n = 20usize;
+    let mut group = c.benchmark_group("kernels_2^20");
+    group.sample_size(20);
+    for (name, gate) in [
+        ("h_general", Gate::h(10)),
+        ("x_permutation", Gate::x(10)),
+        ("rz_diagonal", Gate::rz(10, 0.3)),
+        ("phase_half_touch", Gate::phase(10, 0.3)),
+        ("cphase_quarter_touch", Gate::cphase(3, 10, 0.3)),
+        ("cnot", Gate::cnot(3, 10)),
+        ("toffoli", Gate::toffoli(3, 7, 10)),
+    ] {
+        group.bench_function(name, |b| {
+            let mut sv = StateVector::uniform_superposition(n);
+            b.iter(|| {
+                sv.apply(&gate);
+                std::hint::black_box(sv.amplitudes()[1]);
+            });
+        });
+    }
+    group.finish();
+}
+
+/// Emulated QFT (FFT) vs simulated QFT circuit vs baselines at 2^18.
+fn bench_qft_paths(c: &mut Criterion) {
+    let n = 18usize;
+    let circuit = qft_circuit(n);
+    let mut group = c.benchmark_group("qft_2^18");
+    group.sample_size(10);
+
+    group.bench_function("emulated_fft", |b| {
+        let base = StateVector::uniform_superposition(n);
+        b.iter(|| {
+            let mut amps = base.amplitudes().to_vec();
+            qft_convention(&mut amps);
+            std::hint::black_box(amps[0]);
+        });
+    });
+    group.bench_function("simulated_ours", |b| {
+        b.iter(|| {
+            let mut sv = StateVector::uniform_superposition(n);
+            sv.apply_circuit(&circuit);
+            std::hint::black_box(sv.amplitudes()[0]);
+        });
+    });
+    group.bench_function("simulated_qhipster_like", |b| {
+        let sim = QhipsterSim::new();
+        b.iter(|| {
+            let mut sv = StateVector::uniform_superposition(n);
+            sim.run(&circuit, &mut sv);
+            std::hint::black_box(sv.amplitudes()[0]);
+        });
+    });
+    group.bench_function("simulated_liquid_like_n14", |b| {
+        // LIQUiD-like is slow; use a smaller instance to keep the bench fast.
+        let small = qft_circuit(14);
+        let sim = LiquidSim::new();
+        b.iter(|| {
+            let mut sv = StateVector::uniform_superposition(14);
+            sim.run(&small, &mut sv);
+            std::hint::black_box(sv.amplitudes()[0]);
+        });
+    });
+    group.finish();
+}
+
+/// GEMM vs Strassen at the sizes the Table 2 squaring path uses.
+fn bench_matmul(c: &mut Criterion) {
+    let mut group = c.benchmark_group("matmul");
+    group.sample_size(10);
+    let mut rng = StdRng::seed_from_u64(5);
+    for dim in [128usize, 256, 512] {
+        let a = random_matrix(dim, dim, &mut rng);
+        let b = random_matrix(dim, dim, &mut rng);
+        group.bench_with_input(BenchmarkId::new("gemm", dim), &dim, |bch, _| {
+            bch.iter(|| std::hint::black_box(gemm(&a, &b)));
+        });
+        group.bench_with_input(BenchmarkId::new("strassen_c128", dim), &dim, |bch, _| {
+            bch.iter(|| std::hint::black_box(strassen_with_cutoff(&a, &b, 128)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_gate_kernels, bench_qft_paths, bench_matmul);
+criterion_main!(benches);

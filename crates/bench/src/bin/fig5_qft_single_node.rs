@@ -1,0 +1,76 @@
+//! **Figure 5**: single-node QFT — our simulator vs qHiPSTER-like vs
+//! LIQUiD-like, n = 18..22 qubits.
+//!
+//! Usage: `cargo run -p qcemu-bench --release --bin fig5_qft_single_node
+//!         [-- --min-n 18 --max-n 21 --skip-liquid]`
+//!
+//! Paper reference: our simulator ≈ 1.2–2× faster than qHiPSTER and
+//! ≈ 10–14× faster than LIQUi|⟩ on this range.
+
+use qcemu_baselines::{LiquidSim, QhipsterSim};
+use qcemu_bench::{fmt_secs, header, time_median, Args};
+use qcemu_sim::circuits::qft::qft_circuit;
+use qcemu_sim::StateVector;
+
+fn main() {
+    let args = Args::parse();
+    let min_n: usize = args.get("min-n").unwrap_or(18);
+    let max_n: usize = args.get("max-n").unwrap_or(21);
+    let skip_liquid = args.has("skip-liquid");
+
+    header(
+        "Figure 5 — single-node QFT: ours vs qHiPSTER-like vs LIQUiD-like",
+        "same state-vector layout; only the kernel/architecture strategy differs",
+    );
+    println!(
+        "{:>3} {:>12} {:>12} {:>12} {:>12} {:>12}",
+        "n", "ours", "qHiPSTER", "LIQUiD", "vs qHiP", "vs LIQUiD"
+    );
+
+    for n in min_n..=max_n {
+        let circuit = qft_circuit(n);
+        let reps = if n <= 19 { 3 } else { 1 };
+
+        let t_ours = time_median(reps, || {
+            let mut sv = StateVector::uniform_superposition(n);
+            sv.apply_circuit(&circuit);
+            std::hint::black_box(sv.amplitudes()[0]);
+        });
+
+        let qhip = QhipsterSim::new();
+        let t_qhip = time_median(reps, || {
+            let mut sv = StateVector::uniform_superposition(n);
+            qhip.run(&circuit, &mut sv);
+            std::hint::black_box(sv.amplitudes()[0]);
+        });
+
+        let t_liq = if skip_liquid {
+            None
+        } else {
+            let liq = LiquidSim::new();
+            Some(time_median(1, || {
+                let mut sv = StateVector::uniform_superposition(n);
+                liq.run(&circuit, &mut sv);
+                std::hint::black_box(sv.amplitudes()[0]);
+            }))
+        };
+
+        println!(
+            "{:>3} {:>12} {:>12} {:>12} {:>11.2}x {:>11}",
+            n,
+            fmt_secs(t_ours),
+            fmt_secs(t_qhip),
+            t_liq.map(fmt_secs).unwrap_or_else(|| "-".into()),
+            t_qhip / t_ours,
+            t_liq
+                .map(|t| format!("{:.2}x", t / t_ours))
+                .unwrap_or_else(|| "-".into()),
+        );
+    }
+    println!();
+    println!("note: 'ours' exploits gate structure (controlled phases touch 1/4 of the");
+    println!("      state, controls compress the index space); qHiPSTER-like runs a");
+    println!("      dense 2x2 kernel over every pair; LIQUiD-like applies boxed gate");
+    println!("      matrices single-threaded with fusion. Paper Fig. 5: ~1.2-2x and");
+    println!("      ~10-14x respectively.");
+}

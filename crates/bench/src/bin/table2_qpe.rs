@@ -1,0 +1,145 @@
+//! **Table 2**: QPE on the time evolution of a 1-D transverse-field Ising
+//! model — timings of every primitive step plus the crossover precisions at
+//! which emulation beats simulation.
+//!
+//! Columns mirror the paper:
+//! `T_applyU` (one gate-level application of U), `T_build` (dense U
+//! construction), `T_gemm` (one U·U, the `zgemm` row), `T_eig` (one
+//! eigendecomposition, the `zgeev` row), and the crossover bits for
+//! repeated squaring and eigendecomposition.
+//!
+//! Rows up to `--max-n-measured` (default 10; eigendecomposition capped
+//! separately at `--max-n-eig`, default 9) are measured on this host; rows
+//! beyond are extrapolated from the measured throughput constants, flagged
+//! with `*`.
+//!
+//! Usage: `cargo run -p qcemu-bench --release --bin table2_qpe
+//!         [-- --min-n 8 --max-n 14 --max-n-measured 10 --max-n-eig 9]`
+
+use qcemu_bench::{fmt_secs, header, reps_for_budget, time_median, time_once, Args};
+use qcemu_core::QpeTimings;
+use qcemu_linalg::{eig, gemm, random_state};
+use qcemu_sim::circuits::{tfim_gate_count, tfim_trotter_step, TfimParams};
+use qcemu_sim::{circuit_to_dense, StateVector};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let args = Args::parse();
+    let min_n: usize = args.get("min-n").unwrap_or(8);
+    let max_n: usize = args.get("max-n").unwrap_or(14);
+    let max_n_measured: usize = args.get("max-n-measured").unwrap_or(10);
+    let max_n_eig: usize = args.get("max-n-eig").unwrap_or(9);
+
+    header(
+        "Table 2 — QPE on the 1-D transverse-field Ising model",
+        "U = one Trotter step, G = 4n-3 gates; crossovers per paper section 3.3",
+    );
+    println!(
+        "{:>4} {:>4} {:>12} {:>12} {:>12} {:>12} {:>8} {:>8}",
+        "n", "G", "T_applyU", "T_build", "T_gemm", "T_eig", "x(RS)", "x(eig)"
+    );
+
+    // Throughput constants accumulated from measured rows for extrapolation.
+    let mut gate_rate = f64::NAN; // amplitudes*gates per second
+    let mut build_rate = f64::NAN; // entries*gates per second
+    let mut gemm_flops = f64::NAN;
+    let mut eig_flops = f64::NAN;
+
+    for n in min_n..=max_n {
+        let g = tfim_gate_count(n);
+        let dim_f = (2f64).powi(n as i32);
+        let measured = n <= max_n_measured;
+
+        let (t_apply, t_build, t_gemm, t_eig, star) = if measured {
+            let circuit = tfim_trotter_step(n, TfimParams::default());
+            let mut rng = StdRng::seed_from_u64(2016);
+            let input = random_state(1 << n, &mut rng);
+
+            // T_applyU.
+            let (est, _) = time_once(|| {
+                let mut sv = StateVector::from_amplitudes(input.clone());
+                sv.apply_circuit(&circuit);
+                std::hint::black_box(sv.amplitudes()[0]);
+            });
+            let reps = reps_for_budget(est, 0.5, 50);
+            let t_apply = time_median(reps, || {
+                let mut sv = StateVector::from_amplitudes(input.clone());
+                sv.apply_circuit(&circuit);
+                std::hint::black_box(sv.amplitudes()[0]);
+            });
+
+            // T_build (dense U).
+            let (t_build, u) = time_once(|| circuit_to_dense(&circuit));
+
+            // T_gemm.
+            let (t_gemm, _) = time_once(|| std::hint::black_box(gemm(&u, &u)));
+
+            // T_eig (optional).
+            let t_eig = if n <= max_n_eig {
+                let (t, e) = time_once(|| eig(&u));
+                e.expect("eigensolver must converge on a unitary");
+                Some(t)
+            } else {
+                None
+            };
+
+            gate_rate = g as f64 * dim_f / t_apply;
+            build_rate = g as f64 * dim_f * dim_f / t_build;
+            gemm_flops = 8.0 * dim_f.powi(3) / t_gemm;
+            if let Some(te) = t_eig {
+                eig_flops = 200.0 * dim_f.powi(3) / te;
+            }
+
+            let t_eig_value = t_eig.unwrap_or(200.0 * dim_f.powi(3) / eig_flops);
+            let star = if t_eig.is_some() { " " } else { "e" };
+            (t_apply, t_build, t_gemm, t_eig_value, star)
+        } else {
+            // Extrapolate from the last measured constants.
+            let t_apply = g as f64 * dim_f / gate_rate;
+            let t_build = g as f64 * dim_f * dim_f / build_rate;
+            let t_gemm = 8.0 * dim_f.powi(3) / gemm_flops;
+            let t_eig = 200.0 * dim_f.powi(3) / eig_flops;
+            (t_apply, t_build, t_gemm, t_eig, "*")
+        };
+
+        let timings = QpeTimings {
+            n,
+            g,
+            t_apply_u: t_apply,
+            t_build_dense: t_build,
+            t_gemm,
+            t_eig,
+        };
+        let x_rs = timings
+            .crossover_repeated_squaring()
+            .map(|b| b.to_string())
+            .unwrap_or_else(|| ">64".into());
+        let x_eig = timings
+            .crossover_eigendecomposition()
+            .map(|b| b.to_string())
+            .unwrap_or_else(|| ">64".into());
+
+        println!(
+            "{:>3}{} {:>4} {:>12} {:>12} {:>12} {:>12} {:>8} {:>8}",
+            n,
+            star,
+            g,
+            fmt_secs(t_apply),
+            fmt_secs(t_build),
+            fmt_secs(t_gemm),
+            fmt_secs(t_eig),
+            x_rs,
+            x_eig
+        );
+    }
+
+    println!();
+    println!("paper Table 2 (Xeon E5 + MKL)      crossover x(RS): 6 9 12 15 18 21 24");
+    println!("for n = 8..14                       crossover x(eig): 10 12 14 15 18 19 21");
+    println!();
+    println!("legend: '*' = extrapolated from measured throughputs; 'e' = T_eig");
+    println!("        extrapolated (eigensolver capped at --max-n-eig). Crossovers");
+    println!("        computed as: smallest b with T_build + b*T_gemm < (2^b-1)*T_applyU");
+    println!("        (repeated squaring) or T_build + T_eig < (2^b-1)*T_applyU (eigen).");
+}

@@ -1,0 +1,449 @@
+//! Distributed state vectors: 2ⁿ amplitudes sliced over P ranks.
+//!
+//! Rank `r` owns the amplitudes whose top `log₂P` index bits equal `r`
+//! (the standard qHiPSTER/our-simulator decomposition): qubits below
+//! `n_local` are *local*, the top ones are *global*.
+//!
+//! Gate application rules (paper §4.5):
+//! * local target → node-local kernel, no communication;
+//! * global target, **diagonal** gate → multiply own slice by the right
+//!   diagonal entry — **no communication** (this is "our simulator takes
+//!   advantage of the structure of gate matrices, allowing e.g. to reduce
+//!   the communication for diagonal gates such as the conditional phase
+//!   shift");
+//! * global target, general gate → pairwise slice exchange + butterfly;
+//! * global controls cost nothing: ranks whose bit is 0 skip outright.
+//!
+//! The [`CommPolicy`] knob switches between that specialised behaviour and
+//! a *generic* one (exchange + dense 2×2 for every global-target gate,
+//! dense kernels locally) which models qHiPSTER for Fig. 4.
+
+use crate::comm::Comm;
+use qcemu_linalg::C64;
+use qcemu_sim::kernels;
+use qcemu_sim::{Circuit, Gate, GateOp, GateStructure, StateVector};
+
+/// Gate-application strategy for the distributed simulator.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CommPolicy {
+    /// Structure-specialised ("our simulator"): diagonal gates never
+    /// communicate; kernels exploit structure locally.
+    Specialized,
+    /// Generic ("qHiPSTER-like"): every global-target gate exchanges the
+    /// full slice; local gates use the dense 2×2 kernel.
+    Generic,
+}
+
+/// One rank's shard of a distributed 2ⁿ-amplitude state.
+pub struct DistributedState {
+    n_qubits: usize,
+    n_local: usize,
+    rank: usize,
+    p: usize,
+    local: Vec<C64>,
+    exchanges: u64,
+}
+
+impl DistributedState {
+    /// `|0…0⟩` distributed over `comm.size()` ranks.
+    pub fn zero_state(n_qubits: usize, comm: &Comm) -> DistributedState {
+        let p = comm.size();
+        assert!(p.is_power_of_two());
+        let log_p = p.trailing_zeros() as usize;
+        assert!(n_qubits >= log_p, "need at least log2(P) qubits");
+        let n_local = n_qubits - log_p;
+        let mut local = vec![C64::ZERO; 1usize << n_local];
+        if comm.rank() == 0 {
+            local[0] = C64::ONE;
+        }
+        DistributedState {
+            n_qubits,
+            n_local,
+            rank: comm.rank(),
+            p,
+            local,
+            exchanges: 0,
+        }
+    }
+
+    /// Distributes an existing full state (every rank takes its slice).
+    pub fn from_full(full: &StateVector, comm: &Comm) -> DistributedState {
+        let p = comm.size();
+        let log_p = p.trailing_zeros() as usize;
+        let n_qubits = full.n_qubits();
+        assert!(n_qubits >= log_p);
+        let n_local = n_qubits - log_p;
+        let chunk = 1usize << n_local;
+        let start = comm.rank() * chunk;
+        DistributedState {
+            n_qubits,
+            n_local,
+            rank: comm.rank(),
+            p,
+            local: full.amplitudes()[start..start + chunk].to_vec(),
+            exchanges: 0,
+        }
+    }
+
+    /// Total qubits.
+    pub fn n_qubits(&self) -> usize {
+        self.n_qubits
+    }
+
+    /// Local (intra-rank) qubits.
+    pub fn n_local_qubits(&self) -> usize {
+        self.n_local
+    }
+
+    /// This rank's amplitude slice.
+    pub fn local(&self) -> &[C64] {
+        &self.local
+    }
+
+    /// Mutable access to the local slice (used by the distributed FFT).
+    pub fn local_mut(&mut self) -> &mut Vec<C64> {
+        &mut self.local
+    }
+
+    /// Number of pairwise slice exchanges performed so far — the
+    /// communication count the Fig. 4 comparison is about.
+    pub fn exchange_count(&self) -> u64 {
+        self.exchanges
+    }
+
+    /// `true` if qubit `q` is stored within each rank.
+    pub fn is_local(&self, q: usize) -> bool {
+        q < self.n_local
+    }
+
+    fn global_bit(&self, q: usize) -> usize {
+        (self.rank >> (q - self.n_local)) & 1
+    }
+
+    /// Applies one gate under the given policy.
+    pub fn apply_gate(&mut self, gate: &Gate, comm: &mut Comm, policy: CommPolicy) {
+        match gate {
+            Gate::Unary {
+                op,
+                target,
+                controls,
+            } => self.apply_unary(op, *target, controls, comm, policy),
+            Gate::Swap { a, b, controls } => {
+                // Decompose (possibly controlled) SWAP into three CNOTs if
+                // any participant is global; otherwise run the local kernel.
+                let all_local = self.is_local(*a)
+                    && self.is_local(*b)
+                    && controls.iter().all(|&c| self.is_local(c));
+                if all_local {
+                    kernels::apply_swap(&mut self.local, *a, *b, controls);
+                } else {
+                    let mut cnot = |c: usize, t: usize| {
+                        let mut ctl = controls.clone();
+                        ctl.push(c);
+                        self.apply_unary(&GateOp::X, t, &ctl, comm, policy);
+                    };
+                    cnot(*a, *b);
+                    cnot(*b, *a);
+                    cnot(*a, *b);
+                }
+            }
+        }
+    }
+
+    fn apply_unary(
+        &mut self,
+        op: &GateOp,
+        target: usize,
+        controls: &[usize],
+        comm: &mut Comm,
+        policy: CommPolicy,
+    ) {
+        let (local_controls, global_controls): (Vec<usize>, Vec<usize>) =
+            controls.iter().partition(|&&c| self.is_local(c));
+
+        // Global controls: if any is 0 on this rank, the gate is an
+        // identity here — and on the partner rank too (partner differs only
+        // in the target bit), so nobody communicates.
+        if global_controls.iter().any(|&c| self.global_bit(c) == 0) {
+            return;
+        }
+
+        if self.is_local(target) {
+            match policy {
+                CommPolicy::Specialized => {
+                    let g = Gate::Unary {
+                        op: op.clone(),
+                        target,
+                        controls: local_controls,
+                    };
+                    kernels::apply_gate_slice(&mut self.local, &g);
+                }
+                CommPolicy::Generic => {
+                    // Dense 2×2 kernel regardless of structure.
+                    kernels::apply_general(&mut self.local, target, &local_controls, &op.matrix());
+                }
+            }
+            return;
+        }
+
+        // Global target.
+        let my_bit = self.global_bit(target);
+        let partner = self.rank ^ (1usize << (target - self.n_local));
+
+        if policy == CommPolicy::Specialized {
+            match op.structure() {
+                GateStructure::Diagonal(d0, d1) => {
+                    // No communication: scale own slice by the right entry.
+                    let d = if my_bit == 0 { d0 } else { d1 };
+                    if d != C64::ONE {
+                        scale_selected(&mut self.local, &local_controls, d);
+                    }
+                    return;
+                }
+                GateStructure::PermutationX if local_controls.is_empty() => {
+                    // Pure slice swap with the partner.
+                    let mine = std::mem::take(&mut self.local);
+                    self.local = comm.exchange(partner, mine);
+                    self.exchanges += 1;
+                    return;
+                }
+                _ => {}
+            }
+        }
+
+        // General path: full slice exchange + butterfly.
+        let remote = comm.exchange(partner, self.local.clone());
+        self.exchanges += 1;
+        let m = op.matrix();
+        // new(me) = m[my_bit][0]·amp(bit=0) + m[my_bit][1]·amp(bit=1)
+        let (c_own, c_other) = if my_bit == 0 {
+            (m[0][0], m[0][1])
+        } else {
+            (m[1][1], m[1][0])
+        };
+        if local_controls.is_empty() {
+            for (mine, theirs) in self.local.iter_mut().zip(remote.iter()) {
+                *mine = c_own * *mine + c_other * *theirs;
+            }
+        } else {
+            let cmask = local_controls
+                .iter()
+                .fold(0usize, |acc, &c| acc | (1usize << c));
+            for (j, (mine, theirs)) in self.local.iter_mut().zip(remote.iter()).enumerate() {
+                if j & cmask == cmask {
+                    *mine = c_own * *mine + c_other * *theirs;
+                }
+            }
+        }
+    }
+
+    /// Applies a whole circuit.
+    pub fn apply_circuit(&mut self, circuit: &Circuit, comm: &mut Comm, policy: CommPolicy) {
+        assert!(circuit.n_qubits() <= self.n_qubits);
+        for g in circuit.gates() {
+            self.apply_gate(g, comm, policy);
+        }
+    }
+
+    /// Gathers the full state on rank 0 (others return `None`).
+    pub fn gather(&self, comm: &mut Comm) -> Option<StateVector> {
+        if self.p == 1 {
+            return Some(StateVector::from_amplitudes(self.local.clone()));
+        }
+        if self.rank == 0 {
+            let mut full = vec![C64::ZERO; 1usize << self.n_qubits];
+            full[..self.local.len()].copy_from_slice(&self.local);
+            for r in 1..self.p {
+                let slice = comm.recv(r);
+                let start = r << self.n_local;
+                full[start..start + slice.len()].copy_from_slice(&slice);
+            }
+            Some(StateVector::from_amplitudes(full))
+        } else {
+            comm.send(0, self.local.clone());
+            None
+        }
+    }
+
+    /// Local contribution to `‖ψ‖²` (sum over all ranks gives 1).
+    pub fn local_norm_sqr(&self) -> f64 {
+        self.local.iter().map(|z| z.norm_sqr()).sum()
+    }
+}
+
+/// Multiplies entries whose local control bits are all 1 by `d`.
+fn scale_selected(local: &mut [C64], local_controls: &[usize], d: C64) {
+    if local_controls.is_empty() {
+        for z in local.iter_mut() {
+            *z *= d;
+        }
+    } else {
+        let cmask = local_controls
+            .iter()
+            .fold(0usize, |acc, &c| acc | (1usize << c));
+        for (j, z) in local.iter_mut().enumerate() {
+            if j & cmask == cmask {
+                *z *= d;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::comm::run;
+    use crate::model::MachineModel;
+    use qcemu_linalg::random_state;
+    use qcemu_sim::circuits::{entangle_circuit, qft_circuit, tfim_trotter_step, TfimParams};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Runs `circuit` on `p` ranks under `policy` and checks the gathered
+    /// state equals single-process simulation.
+    fn check_distributed(circuit: &Circuit, n_qubits: usize, p: usize, policy: CommPolicy) {
+        let mut rng = StdRng::seed_from_u64(7 + n_qubits as u64 + p as u64);
+        let input = StateVector::from_amplitudes(random_state(1 << n_qubits, &mut rng));
+        let mut expect = input.clone();
+        expect.apply_circuit(circuit);
+
+        let input_ref = &input;
+        let results = run(p, MachineModel::stampede(), move |comm| {
+            let mut ds = DistributedState::from_full(input_ref, comm);
+            ds.apply_circuit(circuit, comm, policy);
+            ds.gather(comm)
+        });
+        let gathered = results[0].0.as_ref().expect("rank 0 gathers");
+        assert!(
+            gathered.max_diff_up_to_phase(&expect) < 1e-10,
+            "distributed ≠ serial (n={n_qubits}, p={p}, {policy:?}): {}",
+            gathered.max_diff_up_to_phase(&expect)
+        );
+    }
+
+    #[test]
+    fn zero_state_distribution() {
+        let results = run(4, MachineModel::stampede(), |comm| {
+            let ds = DistributedState::zero_state(6, comm);
+            (ds.n_local_qubits(), ds.local_norm_sqr())
+        });
+        for (rank, ((n_local, norm), _)) in results.iter().enumerate() {
+            assert_eq!(*n_local, 4);
+            let expect = if rank == 0 { 1.0 } else { 0.0 };
+            assert_eq!(*norm, expect);
+        }
+    }
+
+    #[test]
+    fn qft_distributed_matches_serial_all_policies() {
+        let circuit = qft_circuit(8);
+        for p in [1usize, 2, 4, 8] {
+            check_distributed(&circuit, 8, p, CommPolicy::Specialized);
+            check_distributed(&circuit, 8, p, CommPolicy::Generic);
+        }
+    }
+
+    #[test]
+    fn entangle_distributed_matches_serial() {
+        let circuit = entangle_circuit(7);
+        for p in [2usize, 4] {
+            check_distributed(&circuit, 7, p, CommPolicy::Specialized);
+            check_distributed(&circuit, 7, p, CommPolicy::Generic);
+        }
+    }
+
+    #[test]
+    fn tfim_distributed_matches_serial() {
+        let circuit = tfim_trotter_step(6, TfimParams::default());
+        check_distributed(&circuit, 6, 4, CommPolicy::Specialized);
+        check_distributed(&circuit, 6, 4, CommPolicy::Generic);
+    }
+
+    #[test]
+    fn global_swap_gate_works() {
+        let mut c = Circuit::new(6);
+        c.h(0).swap(0, 5).cnot(5, 2);
+        check_distributed(&c, 6, 4, CommPolicy::Specialized);
+    }
+
+    #[test]
+    fn diagonal_gates_need_no_communication_under_specialized_policy() {
+        // A circuit of only diagonal gates on *global* qubits.
+        let mut c = Circuit::new(6);
+        c.rz(4, 0.3).cphase(4, 5, 0.7).z(5).phase(4, 0.2).cphase(0, 5, 0.9);
+        let c = &c;
+        let results = run(4, MachineModel::stampede(), move |comm| {
+            let mut ds = DistributedState::zero_state(6, comm);
+            // Put some weight everywhere first, locally (H on local qubits
+            // needs no comm either).
+            for q in 0..4 {
+                ds.apply_gate(&Gate::h(q), comm, CommPolicy::Specialized);
+            }
+            ds.apply_circuit(c, comm, CommPolicy::Specialized);
+            (ds.exchange_count(), comm.bytes_sent())
+        });
+        for (rank, ((exchanges, bytes), _)) in results.iter().enumerate() {
+            assert_eq!(*exchanges, 0, "rank {rank} exchanged");
+            assert_eq!(*bytes, 0, "rank {rank} sent bytes");
+        }
+        // …and the same circuit under the generic policy must communicate.
+        let results = run(4, MachineModel::stampede(), move |comm| {
+            let mut ds = DistributedState::zero_state(6, comm);
+            ds.apply_circuit(c, comm, CommPolicy::Generic);
+            ds.exchange_count()
+        });
+        for (exchanges, _) in &results {
+            assert!(*exchanges > 0, "generic policy must exchange for global diagonals");
+        }
+    }
+
+    #[test]
+    fn global_controls_cost_nothing() {
+        // CNOT controlled by a global qubit that is |0⟩: no work, no comm.
+        let results = run(2, MachineModel::stampede(), |comm| {
+            let mut ds = DistributedState::zero_state(5, comm);
+            ds.apply_gate(&Gate::cnot(4, 0), comm, CommPolicy::Specialized);
+            (ds.exchange_count(), ds.gather(comm))
+        });
+        assert_eq!(results[0].0 .0, 0);
+        let sv = results[0].0 .1.as_ref().unwrap();
+        assert_eq!(sv.probability(0), 1.0, "state unchanged");
+    }
+
+    #[test]
+    fn exchange_counts_differ_between_policies_on_qft() {
+        // Fig. 4's mechanism: the QFT is mostly controlled phases, so on
+        // global qubits the specialised simulator exchanges only for H (and
+        // the final swaps), the generic one for everything.
+        let n = 8;
+        let circuit = qft_circuit(n);
+        let circuit = &circuit;
+        let count = |policy: CommPolicy| {
+            let results = run(4, MachineModel::stampede(), move |comm| {
+                let mut ds = DistributedState::zero_state(n, comm);
+                ds.apply_circuit(circuit, comm, policy);
+                ds.exchange_count()
+            });
+            results.iter().map(|r| r.0).max().unwrap()
+        };
+        let spec = count(CommPolicy::Specialized);
+        let gen = count(CommPolicy::Generic);
+        assert!(
+            spec < gen,
+            "specialised exchanges ({spec}) must be fewer than generic ({gen})"
+        );
+    }
+
+    #[test]
+    fn from_full_and_gather_roundtrip() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let input = StateVector::from_amplitudes(random_state(64, &mut rng));
+        let input_ref = &input;
+        let results = run(8, MachineModel::stampede(), move |comm| {
+            let ds = DistributedState::from_full(input_ref, comm);
+            ds.gather(comm)
+        });
+        let sv = results[0].0.as_ref().unwrap();
+        assert!(sv.max_diff_up_to_phase(&input) < 1e-15);
+    }
+}

@@ -1,0 +1,160 @@
+//! Executed-mode weak-scaling drivers for the Fig. 3 / Fig. 4 benchmarks.
+//!
+//! Each driver runs the real distributed computation on the virtual
+//! cluster (threads as ranks) and reports wall-clock time together with
+//! the simulated-interconnect communication time, so the bench harness can
+//! print both an executed series (reduced scale) and a modelled series
+//! (paper scale, via [`crate::model::MachineModel`]).
+
+use crate::comm::{run, Comm};
+use crate::dist_fft::distributed_fft;
+use crate::dist_state::{CommPolicy, DistributedState};
+use crate::model::MachineModel;
+use qcemu_fft::{Direction, Normalization};
+use qcemu_linalg::C64;
+use qcemu_sim::circuits::qft::qft_circuit;
+use std::time::Instant;
+
+/// Result of one executed distributed run.
+#[derive(Clone, Copy, Debug)]
+pub struct DistRunReport {
+    /// Total qubits.
+    pub n_qubits: usize,
+    /// Rank count.
+    pub p: usize,
+    /// Maximum per-rank wall time, seconds (includes thread-contention
+    /// noise — ranks share this machine's cores).
+    pub max_wall_s: f64,
+    /// Maximum per-rank simulated communication time, seconds.
+    pub max_sim_comm_s: f64,
+    /// Total bytes sent across all ranks.
+    pub total_bytes: u64,
+    /// Maximum per-rank pairwise exchange count (0 for FFT runs, which use
+    /// all-to-alls instead).
+    pub max_exchanges: u64,
+}
+
+fn collect<T>(n_qubits: usize, p: usize, results: Vec<((f64, u64), T)>) -> DistRunReport
+where
+    T: Into<RankStatsLike>,
+{
+    let mut report = DistRunReport {
+        n_qubits,
+        p,
+        max_wall_s: 0.0,
+        max_sim_comm_s: 0.0,
+        total_bytes: 0,
+        max_exchanges: 0,
+    };
+    for ((wall, exchanges), stats) in results {
+        let stats: RankStatsLike = stats.into();
+        report.max_wall_s = report.max_wall_s.max(wall);
+        report.max_sim_comm_s = report.max_sim_comm_s.max(stats.sim_comm_time);
+        report.total_bytes += stats.bytes_sent;
+        report.max_exchanges = report.max_exchanges.max(exchanges);
+    }
+    report
+}
+
+struct RankStatsLike {
+    sim_comm_time: f64,
+    bytes_sent: u64,
+}
+
+impl From<crate::comm::RankStats> for RankStatsLike {
+    fn from(s: crate::comm::RankStats) -> Self {
+        RankStatsLike {
+            sim_comm_time: s.sim_comm_time,
+            bytes_sent: s.bytes_sent,
+        }
+    }
+}
+
+/// Gate-level QFT simulation of `n_local + log₂(p)` qubits on `p` ranks.
+pub fn run_qft_simulation(
+    n_local: usize,
+    p: usize,
+    policy: CommPolicy,
+    machine: MachineModel,
+) -> DistRunReport {
+    let n_qubits = n_local + p.trailing_zeros() as usize;
+    let circuit = qft_circuit(n_qubits);
+    let circuit = &circuit;
+    let results = run(p, machine, move |comm: &mut Comm| {
+        let mut ds = DistributedState::zero_state(n_qubits, comm);
+        comm.barrier();
+        let t0 = Instant::now();
+        ds.apply_circuit(circuit, comm, policy);
+        let wall = t0.elapsed().as_secs_f64();
+        (wall, ds.exchange_count())
+    });
+    collect(n_qubits, p, results)
+}
+
+/// Emulated QFT — distributed FFT — of `n_local + log₂(p)` qubits.
+pub fn run_qft_emulation(n_local: usize, p: usize, machine: MachineModel) -> DistRunReport {
+    let n_qubits = n_local + p.trailing_zeros() as usize;
+    let results = run(p, machine, move |comm: &mut Comm| {
+        let mut local = vec![C64::ZERO; 1usize << n_local];
+        if comm.rank() == 0 {
+            local[0] = C64::ONE;
+        }
+        comm.barrier();
+        let t0 = Instant::now();
+        distributed_fft(
+            &mut local,
+            n_qubits,
+            Direction::Inverse,
+            Normalization::Sqrt,
+            comm,
+        );
+        let wall = t0.elapsed().as_secs_f64();
+        (wall, 0u64)
+    });
+    collect(n_qubits, p, results)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn qft_simulation_driver_reports() {
+        let r = run_qft_simulation(6, 4, CommPolicy::Specialized, MachineModel::stampede());
+        assert_eq!(r.n_qubits, 8);
+        assert_eq!(r.p, 4);
+        assert!(r.max_wall_s > 0.0);
+        assert!(r.total_bytes > 0, "global H gates must communicate");
+    }
+
+    #[test]
+    fn generic_policy_sends_more_bytes() {
+        let spec = run_qft_simulation(6, 4, CommPolicy::Specialized, MachineModel::stampede());
+        let gen = run_qft_simulation(6, 4, CommPolicy::Generic, MachineModel::stampede());
+        assert!(
+            gen.total_bytes > spec.total_bytes,
+            "generic {} vs specialised {}",
+            gen.total_bytes,
+            spec.total_bytes
+        );
+        assert!(gen.max_exchanges > spec.max_exchanges);
+        assert!(gen.max_sim_comm_s > spec.max_sim_comm_s);
+    }
+
+    #[test]
+    fn emulation_driver_runs() {
+        let r = run_qft_emulation(6, 4, MachineModel::stampede());
+        assert_eq!(r.n_qubits, 8);
+        assert!(r.max_wall_s > 0.0);
+        assert!(r.total_bytes > 0, "three all-to-alls");
+        assert_eq!(r.max_exchanges, 0);
+    }
+
+    #[test]
+    fn single_rank_runs_have_no_comm() {
+        let sim = run_qft_simulation(8, 1, CommPolicy::Specialized, MachineModel::stampede());
+        assert_eq!(sim.total_bytes, 0);
+        let emu = run_qft_emulation(8, 1, MachineModel::stampede());
+        assert_eq!(emu.total_bytes, 0);
+    }
+}

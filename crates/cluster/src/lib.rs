@@ -1,0 +1,32 @@
+//! # qcemu-cluster
+//!
+//! The distributed substrate standing in for Stampede + MPI in *High
+//! Performance Emulation of Quantum Circuits* (SC 2016):
+//!
+//! * [`comm`] — a virtual cluster: rank threads, point-to-point messages,
+//!   all-to-all and barrier, with an α–β simulated clock so every executed
+//!   run also reports the time its traffic would cost on a modelled
+//!   interconnect;
+//! * [`dist_state`] — state vectors sliced over ranks by the top qubits,
+//!   with the paper's communication-avoidance for diagonal gates
+//!   ([`dist_state::CommPolicy::Specialized`]) and a qHiPSTER-like generic
+//!   mode for the Fig. 4 comparison;
+//! * [`dist_fft`] — the distributed four-step FFT with exactly three
+//!   all-to-all transposes (Eq. 5's communication term);
+//! * [`model`] — Eq. (5) and Eq. (6) implemented verbatim over a
+//!   [`model::MachineModel`] (Stampede preset + local calibration), used to
+//!   produce the paper-scale 28–36-qubit series that exceed this machine's
+//!   memory;
+//! * [`drivers`] — executed-mode weak-scaling drivers for Figs. 3 and 4.
+
+pub mod comm;
+pub mod dist_fft;
+pub mod dist_state;
+pub mod drivers;
+pub mod model;
+
+pub use comm::{run, Comm, RankStats};
+pub use dist_fft::{distributed_fft, distributed_transpose, FFT_ALL_TO_ALL_PHASES};
+pub use dist_state::{CommPolicy, DistributedState};
+pub use drivers::{run_qft_emulation, run_qft_simulation, DistRunReport};
+pub use model::{MachineModel, BYTES_PER_AMP};

@@ -1,0 +1,259 @@
+//! Analytic performance models — paper Eq. (5) and Eq. (6) verbatim.
+//!
+//! The paper's distributed claims are grounded in two cost models:
+//!
+//! * **Eq. (5)**, distributed 1-D FFT:
+//!   `T_FFT(n) = 5·N·n / (Eff_FFT · FLOPS_peak) + 3·16·N / B_net`
+//!   (three all-to-all transposition steps);
+//! * **Eq. (6)**, gate-level QFT simulation:
+//!   `T_QFT(n) = 4·N·n² / B_mem + log₂(P)·16·N / B_net`
+//!   (controlled phase shifts touch a quarter of the state vector,
+//!   read+write, 16 bytes per entry ⇒ `4·N·n²` bytes of traffic; only the
+//!   Hadamards on the top `log₂ P` qubits communicate).
+//!
+//! [`MachineModel`] evaluates both for any machine; [`MachineModel::stampede`]
+//! reproduces the paper's TACC Stampede constants, and
+//! [`MachineModel::calibrate_local`] measures this host so executed runs and
+//! modelled runs can be compared on the same plot.
+
+/// Bytes per complex-double amplitude.
+pub const BYTES_PER_AMP: f64 = 16.0;
+
+/// Hardware constants of one node plus the interconnect.
+#[derive(Clone, Copy, Debug)]
+pub struct MachineModel {
+    /// Peak double-precision FLOPS of one node.
+    pub flops_peak_per_node: f64,
+    /// FFT efficiency: achieved/peak, "typically 10%–20%" (paper §3.2).
+    pub fft_efficiency: f64,
+    /// Memory bandwidth of one node, bytes/s.
+    pub mem_bw_per_node: f64,
+    /// Network injection bandwidth of one node, bytes/s.
+    pub net_bw_per_node: f64,
+    /// Per-message latency, seconds (sub-dominant in the paper's model;
+    /// kept for the executed-mode clock).
+    pub latency: f64,
+}
+
+impl MachineModel {
+    /// The paper's Stampede node: 2× Xeon E5-2680 (2.7 GHz, 8 cores, AVX →
+    /// 345.6 GF/node peak), ~20 GF achieved FFT (§4.3), 40 GB/s memory
+    /// bandwidth (§4.3), FDR InfiniBand 56 Gb/s = 7 GB/s injection.
+    pub fn stampede() -> MachineModel {
+        let flops_peak = 2.0 * 8.0 * 2.7e9 * 8.0; // sockets × cores × Hz × flops/cycle
+        MachineModel {
+            flops_peak_per_node: flops_peak,
+            // Calibrated so achieved FFT = 20 GF as reported in §4.3.
+            fft_efficiency: 20.0e9 / flops_peak,
+            mem_bw_per_node: 40.0e9,
+            net_bw_per_node: 7.0e9,
+            latency: 1.0e-6,
+        }
+    }
+
+    /// Achieved FFT FLOPS of one node.
+    pub fn fft_flops_achieved(&self) -> f64 {
+        self.fft_efficiency * self.flops_peak_per_node
+    }
+
+    /// **Eq. (5)**: time of a distributed FFT over `N = 2^n` amplitudes on
+    /// `p` nodes. For `p = 1` the three all-to-alls vanish.
+    pub fn t_fft(&self, n: u32, p: usize) -> f64 {
+        let big_n = (2f64).powi(n as i32);
+        let compute = 5.0 * big_n * n as f64 / (self.fft_flops_achieved() * p as f64);
+        let comm = if p > 1 {
+            3.0 * BYTES_PER_AMP * big_n / (self.net_bw_per_node * p as f64)
+        } else {
+            0.0
+        };
+        compute + comm
+    }
+
+    /// **Eq. (6)**: time of a gate-level QFT simulation over `N = 2^n`
+    /// amplitudes on `p` nodes.
+    pub fn t_qft(&self, n: u32, p: usize) -> f64 {
+        let big_n = (2f64).powi(n as i32);
+        let compute = 4.0 * big_n * (n as f64) * (n as f64) / (self.mem_bw_per_node * p as f64);
+        let comm = if p > 1 {
+            (p as f64).log2() * BYTES_PER_AMP * big_n / (self.net_bw_per_node * p as f64)
+        } else {
+            0.0
+        };
+        compute + comm
+    }
+
+    /// Modelled emulation speedup `T_QFT / T_FFT` (paper §4.3 discusses its
+    /// single-node value `n·FLOPS_achieved/B_mem` and the dip at small `p`).
+    pub fn qft_speedup(&self, n: u32, p: usize) -> f64 {
+        self.t_qft(n, p) / self.t_fft(n, p)
+    }
+
+    /// The paper's closed-form single-node speedup estimate
+    /// `n·FLOPS_achieved/B_mem` (§4.3: `28·20/40 = 14`).
+    pub fn single_node_speedup_estimate(&self, n: u32) -> f64 {
+        n as f64 * self.fft_flops_achieved() / self.mem_bw_per_node
+    }
+
+    /// Time for one generic (non-diagonal) gate on `N = 2^n` amplitudes:
+    /// full read+write sweep of the state at memory bandwidth.
+    pub fn t_general_gate(&self, n: u32, p: usize) -> f64 {
+        let big_n = (2f64).powi(n as i32);
+        2.0 * BYTES_PER_AMP * big_n / (self.mem_bw_per_node * p as f64)
+    }
+
+    /// Time for one pairwise exchange of the whole distributed state
+    /// (a Hadamard on a "global" qubit): every node sends its slice.
+    pub fn t_exchange(&self, n: u32, p: usize) -> f64 {
+        let big_n = (2f64).powi(n as i32);
+        BYTES_PER_AMP * big_n / (self.net_bw_per_node * p as f64)
+    }
+
+    /// Builds a model from quick measurements on the current host:
+    /// memory bandwidth from a copy sweep and FFT flops from a timed
+    /// transform. Network bandwidth cannot be measured on one box, so it is
+    /// set to `mem_bw / 4` (a typical cluster ratio) — executed-mode runs
+    /// use the same number for their simulated clock, keeping comparisons
+    /// internally consistent.
+    pub fn calibrate_local() -> MachineModel {
+        use qcemu_linalg::C64;
+        use std::time::Instant;
+
+        // Memory bandwidth: repeated scaled copy over a buffer far larger
+        // than cache.
+        let len = 1usize << 22; // 64 MiB of C64
+        let src = vec![C64::new(1.0, -1.0); len];
+        let mut dst = vec![C64::ZERO; len];
+        let reps = 4;
+        let t0 = Instant::now();
+        for r in 0..reps {
+            let s = 1.0 + r as f64 * 1e-9;
+            for (d, x) in dst.iter_mut().zip(src.iter()) {
+                *d = x.scale(s);
+            }
+        }
+        let dt = t0.elapsed().as_secs_f64();
+        let bytes = (reps * len) as f64 * 2.0 * BYTES_PER_AMP; // read + write
+        let mem_bw = bytes / dt;
+        std::hint::black_box(&dst);
+
+        // FFT achieved flops: one warm transform of 2^20.
+        let n = 20u32;
+        let size = 1usize << n;
+        let plan = qcemu_fft::FftPlan::new(size);
+        let mut data = vec![C64::new(1.0, 0.5); size];
+        qcemu_fft::fft_inplace(
+            &plan,
+            &mut data,
+            qcemu_fft::Direction::Forward,
+            qcemu_fft::Normalization::None,
+        );
+        let t0 = Instant::now();
+        let reps = 4;
+        for _ in 0..reps {
+            qcemu_fft::fft_inplace(
+                &plan,
+                &mut data,
+                qcemu_fft::Direction::Forward,
+                qcemu_fft::Normalization::None,
+            );
+        }
+        let dt = t0.elapsed().as_secs_f64() / reps as f64;
+        let fft_flops = 5.0 * size as f64 * n as f64 / dt;
+        std::hint::black_box(&data);
+
+        // Treat FFT-achieved as eff × peak with the paper's "typical" 15%.
+        let eff = 0.15;
+        MachineModel {
+            flops_peak_per_node: fft_flops / eff,
+            fft_efficiency: eff,
+            mem_bw_per_node: mem_bw,
+            net_bw_per_node: mem_bw / 4.0,
+            latency: 5.0e-6,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stampede_constants_match_paper() {
+        let m = MachineModel::stampede();
+        // §4.3: ~20 GF achieved FFT, 40 GB/s memory bandwidth.
+        assert!((m.fft_flops_achieved() - 20.0e9).abs() < 1e6);
+        assert_eq!(m.mem_bw_per_node, 40.0e9);
+    }
+
+    #[test]
+    fn paper_single_node_speedup_is_14x_at_28_qubits() {
+        // §4.3: "the expected speedup is 28·20/40 = 14".
+        let m = MachineModel::stampede();
+        let s = m.single_node_speedup_estimate(28);
+        assert!((s - 14.0).abs() < 0.1, "estimate {s}");
+        // The full model (no comm at p = 1) agrees to ~15%: the ratio of
+        // Eq. 6 to Eq. 5 at p = 1 is n·(FFT flops)·(4/5)/B_mem… check it is
+        // in the right ballpark.
+        let full = m.qft_speedup(28, 1);
+        assert!(full > 10.0 && full < 25.0, "model speedup {full}");
+    }
+
+    #[test]
+    fn speedup_dips_at_small_p_then_recovers() {
+        // §4.3: "for 2 and 4 nodes, we expect FFT to communicate more than
+        // QFT, resulting in some degradation in speedup".
+        let m = MachineModel::stampede();
+        let s1 = m.qft_speedup(28, 1);
+        let s2 = m.qft_speedup(29, 2); // weak scaling: problem grows with p
+        let s256 = m.qft_speedup(36, 256);
+        assert!(s2 < s1, "2-node speedup {s2} should dip below 1-node {s1}");
+        assert!(
+            s256 > s2,
+            "large-P speedup {s256} should recover above the 2-node dip {s2}"
+        );
+    }
+
+    #[test]
+    fn comm_ratio_is_log2p_over_3() {
+        // §4.3: "the ratio of communication times between QFT and FFT is
+        // log2(P)/3".
+        let m = MachineModel::stampede();
+        for p in [2usize, 4, 8, 64] {
+            let n = 30u32;
+            let big_n = (2f64).powi(n as i32);
+            let qft_comm = (p as f64).log2() * BYTES_PER_AMP * big_n / (m.net_bw_per_node * p as f64);
+            let fft_comm = 3.0 * BYTES_PER_AMP * big_n / (m.net_bw_per_node * p as f64);
+            assert!((qft_comm / fft_comm - (p as f64).log2() / 3.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn weak_scaling_times_grow_with_communication() {
+        // Under weak scaling (N/P fixed) Eq. 5/6 predict growing times.
+        let m = MachineModel::stampede();
+        let t28 = m.t_fft(28, 1);
+        let t32 = m.t_fft(32, 16);
+        assert!(t32 > t28, "weak-scaling FFT time should degrade: {t28} vs {t32}");
+        let q28 = m.t_qft(28, 1);
+        let q36 = m.t_qft(36, 256);
+        assert!(q36 > q28);
+    }
+
+    #[test]
+    fn speedup_range_matches_paper_claims() {
+        // Paper §4.3: "a substantial 6−15× speedup due to emulation" over
+        // the 28–36 qubit weak-scaling sweep.
+        let m = MachineModel::stampede();
+        for (n, p) in [(28u32, 1usize), (30, 4), (32, 16), (34, 64), (36, 256)] {
+            let s = m.qft_speedup(n, p);
+            assert!(s > 4.0 && s < 25.0, "n={n}, p={p}: speedup {s} out of range");
+        }
+    }
+
+    #[test]
+    fn gate_and_exchange_times_positive_and_scale() {
+        let m = MachineModel::stampede();
+        assert!(m.t_general_gate(30, 1) > m.t_general_gate(30, 2));
+        assert!(m.t_exchange(30, 2) > 0.0);
+    }
+}

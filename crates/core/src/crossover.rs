@@ -1,0 +1,214 @@
+//! Crossover analysis for QPE strategies (paper §3.3 + Table 2).
+//!
+//! "Which of these approaches is more efficient depends on the required
+//! precision and the size of the matrix." Given measured (or modelled)
+//! timings of the four primitive steps —
+//!
+//! * `t_apply_u` — one gate-level application of `U` to the state,
+//! * `t_build_dense` — constructing dense `U` (O(G·2²ⁿ)),
+//! * `t_gemm` — one dense `U·U` multiplication (the `zgemm` of Table 2),
+//! * `t_eig` — one full eigendecomposition (the `zgeev` of Table 2),
+//!
+//! the advisor computes, per precision `b`,
+//!
+//! * simulation cost `T_sim(b) = (2^b − 1)·t_apply_u` (Eq. 7: `U` is applied
+//!   `2^b − 1` times in total across the controlled powers),
+//! * repeated-squaring cost `T_rs(b) = t_build + b·t_gemm`,
+//! * eigendecomposition cost `T_eig = t_build + t_eig`,
+//!
+//! and reports the smallest `b` at which each emulation path beats
+//! simulation — the lower panel of Table 2.
+
+use crate::qpe::QpeStrategy;
+
+/// Measured or modelled timings of the QPE primitives, in seconds.
+#[derive(Clone, Copy, Debug)]
+pub struct QpeTimings {
+    /// Number of qubits `U` acts on.
+    pub n: usize,
+    /// Gate count `G` of the circuit implementing `U`.
+    pub g: usize,
+    /// One gate-level application of `U` (`G` sparse gate kernels).
+    pub t_apply_u: f64,
+    /// Dense construction of `U`.
+    pub t_build_dense: f64,
+    /// One `2^n × 2^n` complex GEMM.
+    pub t_gemm: f64,
+    /// One `2^n × 2^n` eigendecomposition.
+    pub t_eig: f64,
+}
+
+impl QpeTimings {
+    /// Simulation cost of a `b`-bit QPE.
+    pub fn t_sim(&self, b: u32) -> f64 {
+        ((2f64).powi(b as i32) - 1.0) * self.t_apply_u
+    }
+
+    /// Repeated-squaring emulation cost of a `b`-bit QPE.
+    pub fn t_repeated_squaring(&self, b: u32) -> f64 {
+        self.t_build_dense + b as f64 * self.t_gemm
+    }
+
+    /// Eigendecomposition emulation cost (independent of `b`).
+    pub fn t_eigendecomposition(&self) -> f64 {
+        self.t_build_dense + self.t_eig
+    }
+
+    /// Smallest `b` (≤ 64) at which repeated squaring beats simulation,
+    /// or `None` if it never does.
+    pub fn crossover_repeated_squaring(&self) -> Option<u32> {
+        (1..=64).find(|&b| self.t_repeated_squaring(b) < self.t_sim(b))
+    }
+
+    /// Smallest `b` (≤ 64) at which eigendecomposition beats simulation.
+    pub fn crossover_eigendecomposition(&self) -> Option<u32> {
+        (1..=64).find(|&b| self.t_eigendecomposition() < self.t_sim(b))
+    }
+
+    /// Cheapest strategy at precision `b`.
+    pub fn best_strategy(&self, b: u32) -> QpeStrategy {
+        let sim = self.t_sim(b);
+        let rs = self.t_repeated_squaring(b);
+        let eig = self.t_eigendecomposition();
+        if sim <= rs && sim <= eig {
+            QpeStrategy::GateLevel
+        } else if rs <= eig {
+            QpeStrategy::RepeatedSquaring
+        } else {
+            QpeStrategy::Eigendecomposition
+        }
+    }
+}
+
+/// Analytic timing model (used where measurement is impractical, e.g. the
+/// paper-scale rows of Table 2): costs are taken proportional to operation
+/// counts with per-primitive throughput constants (ops/second).
+#[derive(Clone, Copy, Debug)]
+pub struct QpeCostModel {
+    /// Sustained rate for sparse gate application, amplitudes/s.
+    pub gate_rate: f64,
+    /// Sustained rate for dense construction, matrix entries/s.
+    pub build_rate: f64,
+    /// Sustained complex flops for GEMM.
+    pub gemm_flops: f64,
+    /// Sustained complex flops for the eigensolver (with its ~25·n³ flop
+    /// count for Hessenberg + QR + vectors).
+    pub eig_flops: f64,
+}
+
+impl QpeCostModel {
+    /// Predicts primitive timings for an `n`-qubit, `G`-gate operator.
+    pub fn predict(&self, n: usize, g: usize) -> QpeTimings {
+        let dim = (2f64).powi(n as i32);
+        QpeTimings {
+            n,
+            g,
+            t_apply_u: g as f64 * dim / self.gate_rate,
+            t_build_dense: g as f64 * dim * dim / self.build_rate,
+            t_gemm: 8.0 * dim * dim * dim / self.gemm_flops,
+            t_eig: 25.0 * 8.0 * dim * dim * dim / self.eig_flops,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A synthetic machine with paper-like ratios.
+    fn model() -> QpeCostModel {
+        QpeCostModel {
+            gate_rate: 1e9,
+            build_rate: 1e9,
+            gemm_flops: 2e10,
+            eig_flops: 4e9,
+        }
+    }
+
+    #[test]
+    fn costs_are_monotone_in_b() {
+        let t = model().predict(10, 37);
+        assert!(t.t_sim(10) < t.t_sim(11));
+        assert!(t.t_repeated_squaring(10) < t.t_repeated_squaring(11));
+        // Eigendecomposition is flat in b.
+        assert_eq!(t.t_eigendecomposition(), t.t_eigendecomposition());
+    }
+
+    #[test]
+    fn crossover_grows_with_n() {
+        // Paper Table 2: repeated-squaring crossover rises 6 → 24 bits as
+        // n goes 8 → 14 (roughly ~2n + const in their data).
+        let m = model();
+        let mut prev = 0;
+        for n in 8..=14 {
+            let g = 4 * n - 3;
+            let t = m.predict(n, g);
+            let x = t.crossover_repeated_squaring().expect("must cross");
+            assert!(x > prev, "crossover must increase: n={n}, x={x}, prev={prev}");
+            prev = x;
+        }
+    }
+
+    #[test]
+    fn crossover_scales_like_2n_asymptotically() {
+        // §3.3: "There is an advantage in the asymptotic scaling […] if
+        // b ≥ 2n". With constants equal, crossover/n → 2.
+        let m = QpeCostModel {
+            gate_rate: 1e9,
+            build_rate: 1e9,
+            gemm_flops: 8e9, // t_gemm = dim³/1e9 exactly
+            eig_flops: 8e9,
+        };
+        let t = m.predict(16, 61);
+        let x = t.crossover_repeated_squaring().unwrap();
+        let ratio = x as f64 / 16.0;
+        assert!(
+            (1.7..=2.4).contains(&ratio),
+            "crossover/n = {ratio}, expected ≈ 2"
+        );
+    }
+
+    #[test]
+    fn best_strategy_switches_with_precision() {
+        let t = model().predict(10, 37);
+        // Tiny precision: simulating a handful of U applications is cheapest.
+        assert_eq!(t.best_strategy(1), QpeStrategy::GateLevel);
+        // Past the crossover, an emulation path wins.
+        let x = t.crossover_repeated_squaring().unwrap();
+        assert_ne!(t.best_strategy(x + 4), QpeStrategy::GateLevel);
+        // At high precision, eigendecomposition (flat in b) wins once
+        // b·t_gemm exceeds t_eig — use a model with a fast eigensolver.
+        let fast_eig = QpeCostModel {
+            eig_flops: 2e10,
+            ..model()
+        };
+        let t2 = fast_eig.predict(10, 37);
+        assert_eq!(t2.best_strategy(60), QpeStrategy::Eigendecomposition);
+    }
+
+    #[test]
+    fn eigendecomposition_crossover_behaviour() {
+        let t = model().predict(9, 33);
+        let x = t.crossover_eigendecomposition().expect("must cross");
+        // One step before the crossover simulation must still win.
+        assert!(t.t_sim(x - 1) <= t.t_eigendecomposition());
+        assert!(t.t_sim(x) > t.t_eigendecomposition());
+    }
+
+    #[test]
+    fn measured_style_timings_roundtrip() {
+        // Direct construction (as the bench harness does from real clocks).
+        let t = QpeTimings {
+            n: 8,
+            g: 29,
+            t_apply_u: 1.44e-4,
+            t_build_dense: 7.6e-4,
+            t_gemm: 8.39e-4,
+            t_eig: 9.6e-2,
+        };
+        // Paper Table 2 row n=8: crossover (repeated squaring) = 6,
+        // eigendecomposition = 10. Our formulas on their numbers:
+        assert_eq!(t.crossover_repeated_squaring(), Some(6));
+        assert_eq!(t.crossover_eigendecomposition(), Some(10));
+    }
+}

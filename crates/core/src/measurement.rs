@@ -1,0 +1,125 @@
+//! Measurement emulation (paper §3.4).
+//!
+//! "While a quantum computer will often have to repeat an algorithm many
+//! times to get a (statistical) measurement with high enough accuracy, the
+//! classical emulation of such repeatedly executed measurements can easily
+//! be done in one step." This module packages that shortcut: exact
+//! expectation values and register distributions in one pass, alongside
+//! the shot-sampling estimator a hardware run would use — the speedup is
+//! simply the shot count.
+
+use qcemu_sim::{measure, StateVector};
+use rand::Rng;
+
+/// Side-by-side result of the exact (emulated) and sampled (simulated
+/// hardware) estimate of one observable.
+#[derive(Clone, Copy, Debug)]
+pub struct ExpectationComparison {
+    /// Exact value from the amplitudes (one pass).
+    pub exact: f64,
+    /// Shot-based estimate.
+    pub sampled: f64,
+    /// Number of shots used for the estimate.
+    pub shots: usize,
+    /// Absolute error of the sampled estimate.
+    pub error: f64,
+}
+
+/// Computes `⟨Z_q⟩` exactly and by sampling, for benchmark/report purposes.
+pub fn compare_expectation_z(
+    state: &StateVector,
+    qubit: usize,
+    shots: usize,
+    rng: &mut impl Rng,
+) -> ExpectationComparison {
+    let exact = measure::expectation_z(state, qubit);
+    let sampled = measure::expectation_z_sampled(state, qubit, shots, rng);
+    ExpectationComparison {
+        exact,
+        sampled,
+        shots,
+        error: (exact - sampled).abs(),
+    }
+}
+
+/// Exact probability distribution over a register — what the emulator
+/// returns "for free" while hardware would sample it shot by shot.
+pub fn exact_register_distribution(state: &StateVector, bits: &[usize]) -> Vec<f64> {
+    state.register_distribution(bits)
+}
+
+/// Empirical distribution over a register from `shots` samples.
+pub fn sampled_register_distribution(
+    state: &StateVector,
+    bits: &[usize],
+    shots: usize,
+    rng: &mut impl Rng,
+) -> Vec<f64> {
+    let mut hist = vec![0usize; 1usize << bits.len()];
+    for s in measure::sample_shots(state, shots, rng) {
+        hist[StateVector::register_value(s, bits)] += 1;
+    }
+    hist.into_iter().map(|c| c as f64 / shots as f64).collect()
+}
+
+/// Total variation distance between two distributions (test metric for
+/// sampling convergence).
+pub fn total_variation(p: &[f64], q: &[f64]) -> f64 {
+    assert_eq!(p.len(), q.len());
+    0.5 * p
+        .iter()
+        .zip(q.iter())
+        .map(|(a, b)| (a - b).abs())
+        .sum::<f64>()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qcemu_sim::{Circuit, Gate};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn exact_matches_sampled_within_statistical_error() {
+        let mut sv = StateVector::zero_state(4);
+        sv.apply(&Gate::ry(2, 0.8));
+        let mut rng = StdRng::seed_from_u64(200);
+        let cmp = compare_expectation_z(&sv, 2, 50_000, &mut rng);
+        // σ ≈ 1/√shots ≈ 0.0045; allow 5σ.
+        assert!(cmp.error < 0.025, "error {} too large", cmp.error);
+        assert_eq!(cmp.shots, 50_000);
+    }
+
+    #[test]
+    fn sampled_distribution_converges_to_exact() {
+        let mut sv = StateVector::zero_state(3);
+        let mut c = Circuit::new(3);
+        c.h(0).cnot(0, 1).ry(2, 1.2);
+        sv.apply_circuit(&c);
+        let bits = [0usize, 1, 2];
+        let exact = exact_register_distribution(&sv, &bits);
+        let mut rng = StdRng::seed_from_u64(201);
+        let sampled = sampled_register_distribution(&sv, &bits, 40_000, &mut rng);
+        let tv = total_variation(&exact, &sampled);
+        assert!(tv < 0.02, "total variation {tv}");
+    }
+
+    #[test]
+    fn exact_distribution_is_free_of_sampling_noise() {
+        // Two calls must agree bit-for-bit (no RNG involved).
+        let mut sv = StateVector::uniform_superposition(5);
+        sv.apply(&Gate::cphase(0, 4, 0.3));
+        let a = exact_register_distribution(&sv, &[0, 4]);
+        let b = exact_register_distribution(&sv, &[0, 4]);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn total_variation_properties() {
+        let p = [0.5, 0.5];
+        let q = [1.0, 0.0];
+        assert!((total_variation(&p, &q) - 0.5).abs() < 1e-15);
+        assert_eq!(total_variation(&p, &p), 0.0);
+    }
+}

@@ -1,0 +1,488 @@
+//! Quantum phase estimation: gate-level reference and the two emulation
+//! shortcuts of paper §3.3 (repeated squaring and eigendecomposition).
+//!
+//! All three strategies produce the *same* final state (up to floating
+//! point), which the integration tests verify:
+//!
+//! * **Gate level** — H on the `b` phase qubits, then `2^j` repetitions of
+//!   controlled-U for phase qubit `j` (paper Eq. 7), then an inverse QFT on
+//!   the phase register. Cost O(G·2^{n+b}).
+//! * **Repeated squaring** — build dense `U` once (O(G·2^{2n})), square it
+//!   `b−1` times (`zgemm`-style GEMMs), apply each `U^{2^j}` as one
+//!   controlled dense operator. Cost O(2^{3n}·b) for the squarings.
+//! * **Eigendecomposition** — `zgeev`-style Schur decomposition of `U`;
+//!   the post-QPE state is then written down analytically from the
+//!   eigenphases via the QPE kernel
+//!   `A_x(φ) = 2^{-b} Σ_y e^{2πi y(φ − x/2^b)}`.
+
+use crate::error::EmuError;
+use crate::program::QpeOp;
+use qcemu_linalg::{eig, powers_of_two, CMatrix, C64, MulAlgorithm};
+use qcemu_sim::circuits::qft::inverse_qft_circuit;
+use qcemu_sim::{apply_dense_to_register, circuit_to_dense, Circuit, Gate, StateVector};
+
+/// Which QPE execution strategy to use.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum QpeStrategy {
+    /// Full gate-level simulation (the baseline the paper compares
+    /// against).
+    GateLevel,
+    /// Dense-U + repeated squaring emulation.
+    RepeatedSquaring,
+    /// Dense-U + eigendecomposition emulation.
+    Eigendecomposition,
+}
+
+/// Applies a QPE op to `state` with the chosen strategy. The phase register
+/// must be |0⟩ (validated); the target register may hold any state,
+/// entangled with bystander qubits or not.
+pub fn apply_qpe(
+    state: &mut StateVector,
+    op: &QpeOp,
+    target_bits: &[usize],
+    phase_bits: &[usize],
+    strategy: QpeStrategy,
+) -> Result<(), EmuError> {
+    verify_phase_register_zero(state, phase_bits)?;
+    match strategy {
+        QpeStrategy::GateLevel => apply_gate_level(state, op, target_bits, phase_bits),
+        QpeStrategy::RepeatedSquaring => {
+            apply_repeated_squaring(state, op, target_bits, phase_bits)
+        }
+        QpeStrategy::Eigendecomposition => apply_eigen(state, op, target_bits, phase_bits),
+    }
+}
+
+fn verify_phase_register_zero(state: &StateVector, phase_bits: &[usize]) -> Result<(), EmuError> {
+    const TOL: f64 = 1e-12;
+    let pmask: usize = phase_bits.iter().fold(0, |m, &q| m | (1usize << q));
+    for (i, amp) in state.amplitudes().iter().enumerate() {
+        if amp.norm_sqr() > TOL && i & pmask != 0 {
+            return Err(EmuError::TargetNotZero {
+                op: "qpe".into(),
+                register: "phase".into(),
+            });
+        }
+    }
+    Ok(())
+}
+
+/// Gate-level QPE (paper's simulation baseline).
+fn apply_gate_level(
+    state: &mut StateVector,
+    op: &QpeOp,
+    target_bits: &[usize],
+    phase_bits: &[usize],
+) -> Result<(), EmuError> {
+    let b = phase_bits.len();
+    // Remap the unitary onto the target register's physical qubits.
+    let remapped = op
+        .unitary
+        .remap_qubits(state.n_qubits(), |q| target_bits[q]);
+
+    for &p in phase_bits {
+        state.apply(&Gate::h(p));
+    }
+    // Controlled-U^{2^j}: 2^j sequential controlled applications.
+    for (j, &p) in phase_bits.iter().enumerate() {
+        let controlled = remapped.controlled_by(p);
+        let reps = 1usize << j;
+        for _ in 0..reps {
+            state.apply_circuit(&controlled);
+        }
+    }
+    apply_inverse_qft_on(state, phase_bits);
+    let _ = b;
+    Ok(())
+}
+
+/// Inverse QFT on an arbitrary qubit subset, by remapping the circuit.
+fn apply_inverse_qft_on(state: &mut StateVector, bits: &[usize]) {
+    let iqft = inverse_qft_circuit(bits.len()).remap_qubits(state.n_qubits(), |q| bits[q]);
+    state.apply_circuit(&iqft);
+}
+
+/// Builds the dense matrix of the QPE unitary (over the target register's
+/// *relative* qubits).
+pub fn dense_unitary(op: &QpeOp, target_len: usize) -> Result<CMatrix, EmuError> {
+    // Extend the circuit to the full register width (it may address fewer
+    // qubits than the register has).
+    let mut c = Circuit::new(target_len);
+    c.extend(&op.unitary);
+    let u = circuit_to_dense(&c);
+    if !u.is_unitary(1e-8) {
+        return Err(EmuError::BadUnitary {
+            reason: "dense operator failed the unitarity check".into(),
+        });
+    }
+    Ok(u)
+}
+
+/// Repeated-squaring emulation.
+fn apply_repeated_squaring(
+    state: &mut StateVector,
+    op: &QpeOp,
+    target_bits: &[usize],
+    phase_bits: &[usize],
+) -> Result<(), EmuError> {
+    let b = phase_bits.len();
+    let u = dense_unitary(op, target_bits.len())?;
+    let powers = powers_of_two(&u, b, MulAlgorithm::Gemm);
+
+    for &p in phase_bits {
+        state.apply(&Gate::h(p));
+    }
+    let n = state.n_qubits();
+    for (j, &p) in phase_bits.iter().enumerate() {
+        apply_dense_to_register(state.amplitudes_mut(), n, target_bits, &powers[j], &[p]);
+    }
+    // Inverse QFT via the FFT shortcut (we are emulating, after all).
+    qcemu_fft::inverse_qft_subspace(state.amplitudes_mut(), n, phase_bits);
+    Ok(())
+}
+
+/// The QPE amplitude kernel `A_x(φ) = 2^{-b} Σ_{y<2^b} e^{2πi y (φ − x/2^b)}`.
+///
+/// `φ` is the eigenphase as a fraction of a turn (`λ = e^{2πiφ}`).
+pub fn qpe_kernel(phi: f64, x: usize, b: usize) -> C64 {
+    let m = 1usize << b;
+    let delta = phi - x as f64 / m as f64;
+    // Geometric sum; near-resonant branch to avoid 0/0.
+    let step = std::f64::consts::TAU * delta;
+    let denom = C64::ONE - C64::cis(step);
+    if denom.abs() < 1e-12 {
+        // δ is (numerically) an integer: all terms are 1 (e^{2πi y k} = 1).
+        return C64::from_real(1.0);
+    }
+    let numer = C64::ONE - C64::cis(step * m as f64);
+    (numer / denom).scale(1.0 / m as f64)
+}
+
+/// Eigendecomposition emulation: write the exact post-QPE state from the
+/// eigenphases. For each coset `r` of the bystander qubits:
+/// `ψ_out[r] = Σ_k ⟨u_k|ψ_r⟩ · |u_k⟩ ⊗ Σ_x A_x(φ_k)|x⟩`.
+fn apply_eigen(
+    state: &mut StateVector,
+    op: &QpeOp,
+    target_bits: &[usize],
+    phase_bits: &[usize],
+) -> Result<(), EmuError> {
+    let m_bits = target_bits.len();
+    let b = phase_bits.len();
+    let dim = 1usize << m_bits;
+    let pdim = 1usize << b;
+
+    let u = dense_unitary(op, m_bits)?;
+    let decomposition = eig(&u).map_err(|e| EmuError::Eigensolver(e.to_string()))?;
+    let v = decomposition
+        .vectors
+        .ok_or_else(|| EmuError::Eigensolver("no eigenvectors".into()))?;
+    let phis: Vec<f64> = decomposition
+        .values
+        .iter()
+        .map(|l| {
+            let mut phi = l.arg() / std::f64::consts::TAU;
+            if phi < 0.0 {
+                phi += 1.0;
+            }
+            phi
+        })
+        .collect();
+
+    // Caution: for non-normal U the eigenvector matrix is not unitary; U is
+    // unitary here (checked in dense_unitary), so V is (numerically).
+    let v_dag = v.adjoint();
+
+    // Kernel matrix A[x][k] (pdim × dim).
+    let mut kernel = CMatrix::zeros(pdim, dim);
+    for x in 0..pdim {
+        for (k, &phi) in phis.iter().enumerate() {
+            kernel[(x, k)] = qpe_kernel(phi, x, b);
+        }
+    }
+
+    let n = state.n_qubits();
+    let other: Vec<usize> = (0..n)
+        .filter(|q| !target_bits.contains(q) && !phase_bits.contains(q))
+        .collect();
+    let scatter = |v: usize, bits: &[usize]| -> usize {
+        let mut x = 0usize;
+        for (j, &bq) in bits.iter().enumerate() {
+            x |= ((v >> j) & 1) << bq;
+        }
+        x
+    };
+
+    let amps_in = std::mem::take(state.amplitudes_mut());
+    let mut amps_out = vec![C64::ZERO; amps_in.len()];
+
+    for c in 0..(1usize << other.len()) {
+        let base = scatter(c, &other);
+        // Gather ψ_r over the target register (phase register is |0⟩).
+        let mut psi = vec![C64::ZERO; dim];
+        let mut weight = 0.0;
+        for (t, slot) in psi.iter_mut().enumerate() {
+            *slot = amps_in[base | scatter(t, target_bits)];
+            weight += slot.norm_sqr();
+        }
+        if weight < 1e-300 {
+            continue;
+        }
+        // d = V† ψ — eigenbasis coefficients.
+        let d = v_dag.matvec(&psi);
+        // W[t][k] = V[t][k]·d[k]; out[t][x] = Σ_k W[t][k]·kernel[x][k].
+        for t in 0..dim {
+            for x in 0..pdim {
+                let mut acc = C64::ZERO;
+                for (k, dk) in d.iter().enumerate() {
+                    acc += v[(t, k)] * *dk * kernel[(x, k)];
+                }
+                if acc != C64::ZERO {
+                    amps_out[base | scatter(t, target_bits) | scatter(x, phase_bits)] = acc;
+                }
+            }
+        }
+    }
+    *state.amplitudes_mut() = amps_out;
+    Ok(())
+}
+
+/// Exact outcome distribution of a `b`-bit QPE on input `ψ` (over the
+/// target register only): `P(x) = Σ_k |⟨u_k|ψ⟩|²·|A_x(φ_k)|²` — the §3.4
+/// "no sampling needed" shortcut composed with §3.3.
+pub fn qpe_outcome_distribution(
+    unitary: &Circuit,
+    input: &[C64],
+    b: usize,
+) -> Result<Vec<f64>, EmuError> {
+    let m_bits = unitary.n_qubits().max(1);
+    let dim = 1usize << m_bits;
+    if input.len() != dim {
+        return Err(EmuError::DimensionMismatch {
+            expected: m_bits,
+            got: input.len().trailing_zeros() as usize,
+        });
+    }
+    let op = QpeOp {
+        unitary: unitary.clone(),
+        target: crate::program::RegisterId(0),
+        phase: crate::program::RegisterId(1),
+    };
+    let u = dense_unitary(&op, m_bits)?;
+    let decomposition = eig(&u).map_err(|e| EmuError::Eigensolver(e.to_string()))?;
+    let v = decomposition.vectors.unwrap();
+    let d = v.adjoint().matvec(input);
+    let pdim = 1usize << b;
+    let mut dist = vec![0.0f64; pdim];
+    for (k, lambda) in decomposition.values.iter().enumerate() {
+        let wk = d[k].norm_sqr();
+        if wk < 1e-300 {
+            continue;
+        }
+        let mut phi = lambda.arg() / std::f64::consts::TAU;
+        if phi < 0.0 {
+            phi += 1.0;
+        }
+        for (x, slot) in dist.iter_mut().enumerate() {
+            *slot += wk * qpe_kernel(phi, x, b).norm_sqr();
+        }
+    }
+    Ok(dist)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::RegisterId;
+    use qcemu_sim::circuits::{tfim_trotter_step, TfimParams};
+
+    fn phase_gate_circuit(theta: f64) -> Circuit {
+        let mut c = Circuit::new(1);
+        c.phase(0, theta);
+        c
+    }
+
+    fn make_op(unitary: Circuit) -> QpeOp {
+        QpeOp {
+            unitary,
+            target: RegisterId(0),
+            phase: RegisterId(1),
+        }
+    }
+
+    #[test]
+    fn kernel_is_exact_for_representable_phases() {
+        let b = 4;
+        // φ = 5/16 is exactly representable: A_x = δ_{x,5}.
+        for x in 0..16usize {
+            let a = qpe_kernel(5.0 / 16.0, x, b);
+            if x == 5 {
+                assert!((a.abs() - 1.0).abs() < 1e-10, "A_5 = {a:?}");
+            } else {
+                assert!(a.abs() < 1e-10, "A_{x} = {a:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn kernel_distribution_sums_to_one() {
+        let b = 5;
+        for &phi in &[0.1234f64, 0.77, 0.5, 0.03125] {
+            let total: f64 = (0..32).map(|x| qpe_kernel(phi, x, b).norm_sqr()).sum();
+            assert!((total - 1.0).abs() < 1e-10, "φ = {phi}: total {total}");
+        }
+    }
+
+    #[test]
+    fn all_three_strategies_agree_on_eigenstate_input() {
+        // Phase gate: |1⟩ has eigenphase θ. Target = qubit 0 (|1⟩),
+        // phase register = 3 qubits.
+        let theta = 2.0 * std::f64::consts::PI * (3.0 / 8.0); // exactly representable
+        let op = make_op(phase_gate_circuit(theta));
+        let target_bits = [0usize];
+        let phase_bits = [1usize, 2, 3];
+
+        let mut results = Vec::new();
+        for strategy in [
+            QpeStrategy::GateLevel,
+            QpeStrategy::RepeatedSquaring,
+            QpeStrategy::Eigendecomposition,
+        ] {
+            let mut sv = StateVector::basis_state(4, 0b0001); // target |1⟩
+            apply_qpe(&mut sv, &op, &target_bits, &phase_bits, strategy).unwrap();
+            results.push(sv);
+        }
+        // Exact phase ⇒ the phase register reads 3 with certainty.
+        for (i, sv) in results.iter().enumerate() {
+            let dist = sv.register_distribution(&phase_bits);
+            assert!(
+                (dist[3] - 1.0).abs() < 1e-8,
+                "strategy {i}: dist {dist:?}"
+            );
+        }
+        // And the full states agree.
+        assert!(results[0].max_diff_up_to_phase(&results[1]) < 1e-8);
+        assert!(results[0].max_diff_up_to_phase(&results[2]) < 1e-7);
+    }
+
+    #[test]
+    fn strategies_agree_on_superposed_eigenstates() {
+        // H|0⟩ input on a phase gate: mixture of φ = 0 and φ = θ/2π.
+        let theta = 2.0 * std::f64::consts::PI * 0.3; // NOT representable in 3 bits
+        let op = make_op(phase_gate_circuit(theta));
+        let target_bits = [0usize];
+        let phase_bits = [1usize, 2, 3];
+
+        let mut states = Vec::new();
+        for strategy in [
+            QpeStrategy::GateLevel,
+            QpeStrategy::RepeatedSquaring,
+            QpeStrategy::Eigendecomposition,
+        ] {
+            let mut sv = StateVector::zero_state(4);
+            sv.apply(&Gate::h(0));
+            apply_qpe(&mut sv, &op, &target_bits, &phase_bits, strategy).unwrap();
+            states.push(sv);
+        }
+        assert!(
+            states[0].max_diff_up_to_phase(&states[1]) < 1e-8,
+            "gate vs squaring: {}",
+            states[0].max_diff_up_to_phase(&states[1])
+        );
+        assert!(
+            states[0].max_diff_up_to_phase(&states[2]) < 1e-7,
+            "gate vs eigen: {}",
+            states[0].max_diff_up_to_phase(&states[2])
+        );
+    }
+
+    #[test]
+    fn strategies_agree_on_tfim_operator() {
+        // The Table 2 workload at toy size: 2-site TFIM step, 3-bit phase.
+        let u = tfim_trotter_step(2, TfimParams::default());
+        let op = QpeOp {
+            unitary: u,
+            target: RegisterId(0),
+            phase: RegisterId(1),
+        };
+        let target_bits = [0usize, 1];
+        let phase_bits = [2usize, 3, 4];
+
+        let mut states = Vec::new();
+        for strategy in [
+            QpeStrategy::GateLevel,
+            QpeStrategy::RepeatedSquaring,
+            QpeStrategy::Eigendecomposition,
+        ] {
+            let mut sv = StateVector::zero_state(5);
+            sv.apply(&Gate::h(0));
+            sv.apply(&Gate::cnot(0, 1));
+            apply_qpe(&mut sv, &op, &target_bits, &phase_bits, strategy).unwrap();
+            states.push(sv);
+        }
+        assert!(states[0].max_diff_up_to_phase(&states[1]) < 1e-7);
+        assert!(states[0].max_diff_up_to_phase(&states[2]) < 1e-6);
+    }
+
+    #[test]
+    fn distribution_matches_full_emulation() {
+        let theta = 2.0 * std::f64::consts::PI * 0.23;
+        let circuit = phase_gate_circuit(theta);
+        let b = 4;
+        // Input |1⟩ on the target qubit.
+        let input = [C64::ZERO, C64::ONE];
+        let dist = qpe_outcome_distribution(&circuit, &input, b).unwrap();
+        assert_eq!(dist.len(), 16);
+        assert!((dist.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+
+        // Compare against the state produced by gate-level QPE.
+        let op = make_op(circuit);
+        let mut sv = StateVector::basis_state(5, 1);
+        apply_qpe(&mut sv, &op, &[0], &[1, 2, 3, 4], QpeStrategy::GateLevel).unwrap();
+        let ref_dist = sv.register_distribution(&[1, 2, 3, 4]);
+        for x in 0..16 {
+            assert!(
+                (dist[x] - ref_dist[x]).abs() < 1e-8,
+                "x = {x}: {} vs {}",
+                dist[x],
+                ref_dist[x]
+            );
+        }
+        // The mode is the best 4-bit approximation of 0.23: round(0.23·16) = 4.
+        let mode = dist
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap()
+            .0;
+        assert_eq!(mode, 4);
+    }
+
+    #[test]
+    fn phase_register_must_be_zero() {
+        let op = make_op(phase_gate_circuit(0.3));
+        let mut sv = StateVector::basis_state(3, 0b010); // phase bit set
+        let err = apply_qpe(&mut sv, &op, &[0], &[1, 2], QpeStrategy::GateLevel).unwrap_err();
+        assert!(matches!(err, EmuError::TargetNotZero { .. }));
+    }
+
+    #[test]
+    fn bystander_qubits_survive_qpe() {
+        // A bystander qubit in superposition must be untouched and stay
+        // unentangled when the target is an eigenstate.
+        let theta = 2.0 * std::f64::consts::PI * (1.0 / 4.0);
+        let op = make_op(phase_gate_circuit(theta));
+        for strategy in [QpeStrategy::RepeatedSquaring, QpeStrategy::Eigendecomposition] {
+            let mut sv = StateVector::zero_state(4); // q0 target, q1 phase(2)… q3 bystander
+            sv.apply(&Gate::x(0));
+            sv.apply(&Gate::h(3));
+            apply_qpe(&mut sv, &op, &[0], &[1, 2], strategy).unwrap();
+            // φ = 1/4 → 2-bit estimate = 1 exactly.
+            let dist = sv.register_distribution(&[1, 2]);
+            assert!((dist[1] - 1.0).abs() < 1e-8, "{strategy:?}: {dist:?}");
+            let bystander = sv.register_distribution(&[3]);
+            assert!((bystander[0] - 0.5).abs() < 1e-8, "{strategy:?}");
+            assert!((bystander[1] - 0.5).abs() < 1e-8, "{strategy:?}");
+        }
+    }
+}

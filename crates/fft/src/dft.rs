@@ -1,0 +1,70 @@
+//! Reference O(N²) discrete Fourier transform used to validate the FFTs.
+
+use crate::plan::{Direction, Normalization};
+use qcemu_linalg::C64;
+
+/// Direct evaluation of `X_k = scale · Σ_j x_j e^{∓2πi jk/N}`.
+pub fn dft_reference(input: &[C64], dir: Direction, norm: Normalization) -> Vec<C64> {
+    let n = input.len();
+    let sign = match dir {
+        Direction::Forward => -1.0,
+        Direction::Inverse => 1.0,
+    };
+    let scale = norm.factor(n);
+    let base = sign * std::f64::consts::TAU / n as f64;
+    let mut out = Vec::with_capacity(n);
+    for k in 0..n {
+        let mut acc = C64::ZERO;
+        for (j, x) in input.iter().enumerate() {
+            // Reduce j*k mod n before the trig call to keep the angle small.
+            let idx = (j * k) % n;
+            acc += *x * C64::cis(base * idx as f64);
+        }
+        out.push(acc.scale(scale));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qcemu_linalg::{c64, max_abs_diff};
+
+    #[test]
+    fn dft_of_impulse_is_flat() {
+        let mut x = vec![C64::ZERO; 4];
+        x[0] = C64::ONE;
+        let y = dft_reference(&x, Direction::Forward, Normalization::None);
+        for z in y {
+            assert!(z.approx_eq(C64::ONE, 1e-12));
+        }
+    }
+
+    #[test]
+    fn dft_size_two_hand_check() {
+        let x = vec![c64(1.0, 0.0), c64(2.0, 0.0)];
+        let y = dft_reference(&x, Direction::Forward, Normalization::None);
+        assert!(y[0].approx_eq(c64(3.0, 0.0), 1e-12));
+        assert!(y[1].approx_eq(c64(-1.0, 0.0), 1e-12));
+    }
+
+    #[test]
+    fn forward_then_inverse_identity() {
+        let x = vec![c64(1.0, 2.0), c64(-0.5, 0.25), c64(0.0, -1.0), c64(3.0, 0.0)];
+        let y = dft_reference(&x, Direction::Forward, Normalization::None);
+        let z = dft_reference(&y, Direction::Inverse, Normalization::Full);
+        assert!(max_abs_diff(&x, &z) < 1e-12);
+    }
+
+    #[test]
+    fn works_on_non_power_of_two() {
+        // The reference DFT supports any length (unlike the radix-2 FFT),
+        // which is handy for spot checks.
+        let x = vec![C64::ONE; 6];
+        let y = dft_reference(&x, Direction::Forward, Normalization::None);
+        assert!(y[0].approx_eq(c64(6.0, 0.0), 1e-12));
+        for z in &y[1..] {
+            assert!(z.abs() < 1e-12);
+        }
+    }
+}

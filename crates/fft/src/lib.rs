@@ -1,0 +1,32 @@
+//! # qcemu-fft
+//!
+//! From-scratch FFT library backing the QFT emulation shortcut of *High
+//! Performance Emulation of Quantum Circuits* (SC 2016, §3.2): instead of
+//! simulating the O(n²)-gate QFT circuit on a 2ⁿ state vector, the emulator
+//! runs a classical FFT directly on the amplitudes.
+//!
+//! * [`radix2`] — in-place iterative Cooley–Tukey with precomputed plans and
+//!   rayon-parallel passes (the node-local FFT of the paper);
+//! * [`fourstep`] — Bailey's four-step decomposition whose three transposes
+//!   are the three all-to-alls of the paper's distributed-FFT cost model
+//!   (Eq. 5); `qcemu-cluster` re-uses its exact step structure;
+//! * [`subspace`] — batched FFT over an arbitrary qubit subset of a larger
+//!   state (QFT on one register of a many-register program);
+//! * [`dft`] — O(N²) reference transform for validation.
+//!
+//! Sign/normalisation conventions: the paper's QFT (Eq. 4) is
+//! `Direction::Inverse` + `Normalization::Sqrt`; helpers
+//! [`qft_convention`]/[`inverse_qft_convention`] encode that so call sites
+//! cannot get it wrong.
+
+pub mod dft;
+pub mod fourstep;
+pub mod plan;
+pub mod radix2;
+pub mod subspace;
+
+pub use dft::dft_reference;
+pub use fourstep::{fft_four_step, square_split, transpose};
+pub use plan::{Direction, FftPlan, Normalization};
+pub use radix2::{fft, fft_inplace, inverse_qft_convention, qft_convention};
+pub use subspace::{fft_subspace, gather_bits, inverse_qft_subspace, qft_subspace, scatter_bits};

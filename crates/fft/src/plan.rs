@@ -1,0 +1,183 @@
+//! FFT plans: precomputed twiddle factors and bit-reversal tables.
+//!
+//! A [`FftPlan`] plays the role FFTW/MKL plans play in the paper: all
+//! trigonometry is hoisted out of the transform so the butterfly loops touch
+//! only memory and multiplies. Plans are cheap to build (O(N)) and reusable.
+
+use qcemu_linalg::C64;
+
+/// Transform direction. `Forward` uses the engineering sign convention
+/// `e^{-2πi jk/N}`; `Inverse` uses `e^{+2πi jk/N}`.
+///
+/// Note the **quantum Fourier transform** of the paper (Eq. 4) has a `+`
+/// sign and 1/√N normalisation, i.e. it is `Inverse` + [`Normalization::Sqrt`]
+/// in this crate's vocabulary. [`crate::qft_convention`] packages that.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Direction {
+    /// Negative exponent, `Σ x_j e^{-2πi jk/N}`.
+    Forward,
+    /// Positive exponent, `Σ x_j e^{+2πi jk/N}`.
+    Inverse,
+}
+
+impl Direction {
+    /// The opposite direction.
+    pub fn flip(self) -> Direction {
+        match self {
+            Direction::Forward => Direction::Inverse,
+            Direction::Inverse => Direction::Forward,
+        }
+    }
+}
+
+/// Output scaling applied after the butterflies.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Normalization {
+    /// No scaling (classical FFT convention for `Forward`).
+    None,
+    /// Multiply by `1/√N` — makes the transform unitary; this is the QFT
+    /// normalisation of paper Eq. 4.
+    Sqrt,
+    /// Multiply by `1/N` (classical convention for `Inverse`).
+    Full,
+}
+
+impl Normalization {
+    /// The scale factor for a transform of size `n`.
+    pub fn factor(self, n: usize) -> f64 {
+        match self {
+            Normalization::None => 1.0,
+            Normalization::Sqrt => 1.0 / (n as f64).sqrt(),
+            Normalization::Full => 1.0 / n as f64,
+        }
+    }
+}
+
+/// Precomputed tables for a size-`2^log2n` transform.
+pub struct FftPlan {
+    n: usize,
+    log2n: u32,
+    /// `twiddles[k] = e^{-2πi k / N}` for `k < N/2` (forward sign; the
+    /// inverse transform conjugates on the fly).
+    twiddles: Vec<C64>,
+    /// Bit-reversal permutation of `0..N`.
+    bitrev: Vec<u32>,
+}
+
+impl FftPlan {
+    /// Builds a plan for size `n`, which must be a power of two (and
+    /// ≤ 2³² entries so the bit-reversal table can use `u32`).
+    pub fn new(n: usize) -> FftPlan {
+        assert!(n.is_power_of_two(), "FFT size must be a power of two, got {n}");
+        assert!(n <= (1usize << 32), "FFT size too large for u32 bitrev table");
+        let log2n = n.trailing_zeros();
+        let half = (n / 2).max(1);
+        let mut twiddles = Vec::with_capacity(half);
+        let step = -std::f64::consts::TAU / n as f64;
+        for k in 0..half {
+            twiddles.push(C64::cis(step * k as f64));
+        }
+        let mut bitrev = vec![0u32; n];
+        for (i, slot) in bitrev.iter_mut().enumerate() {
+            *slot = reverse_bits(i as u32, log2n);
+        }
+        FftPlan {
+            n,
+            log2n,
+            twiddles,
+            bitrev,
+        }
+    }
+
+    /// Transform size.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// `true` for the degenerate size-1 plan.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.n <= 1
+    }
+
+    /// log₂ of the transform size.
+    #[inline]
+    pub fn log2_len(&self) -> u32 {
+        self.log2n
+    }
+
+    /// Twiddle `e^{-2πi k/N}` (forward sign).
+    #[inline(always)]
+    pub(crate) fn twiddle(&self, k: usize) -> C64 {
+        self.twiddles[k]
+    }
+
+    /// The bit-reversal table.
+    #[inline(always)]
+    pub(crate) fn bitrev(&self) -> &[u32] {
+        &self.bitrev
+    }
+}
+
+/// Reverses the lowest `bits` bits of `x`.
+#[inline]
+pub fn reverse_bits(x: u32, bits: u32) -> u32 {
+    if bits == 0 {
+        return 0;
+    }
+    x.reverse_bits() >> (32 - bits)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reverse_bits_basics() {
+        assert_eq!(reverse_bits(0b001, 3), 0b100);
+        assert_eq!(reverse_bits(0b110, 3), 0b011);
+        assert_eq!(reverse_bits(0, 0), 0);
+        assert_eq!(reverse_bits(1, 1), 1);
+        assert_eq!(reverse_bits(0b1011, 4), 0b1101);
+    }
+
+    #[test]
+    fn bitrev_is_an_involution() {
+        let plan = FftPlan::new(64);
+        for i in 0..64u32 {
+            let r = plan.bitrev()[i as usize];
+            assert_eq!(plan.bitrev()[r as usize], i);
+        }
+    }
+
+    #[test]
+    fn twiddles_are_unit_roots() {
+        let plan = FftPlan::new(16);
+        for k in 0..8 {
+            let t = plan.twiddle(k);
+            assert!((t.abs() - 1.0).abs() < 1e-14);
+            let expect = C64::cis(-std::f64::consts::TAU * k as f64 / 16.0);
+            assert!(t.approx_eq(expect, 1e-14));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn rejects_non_power_of_two() {
+        let _ = FftPlan::new(12);
+    }
+
+    #[test]
+    fn normalization_factors() {
+        assert_eq!(Normalization::None.factor(256), 1.0);
+        assert!((Normalization::Sqrt.factor(256) - 1.0 / 16.0).abs() < 1e-15);
+        assert!((Normalization::Full.factor(256) - 1.0 / 256.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn direction_flip() {
+        assert_eq!(Direction::Forward.flip(), Direction::Inverse);
+        assert_eq!(Direction::Inverse.flip(), Direction::Forward);
+    }
+}

@@ -1,0 +1,222 @@
+//! Blocked, parallel complex matrix–matrix multiplication.
+//!
+//! This is the stand-in for the paper's MKL `zgemm` calls (§3.3, Table 2):
+//! the repeated-squaring path of QPE emulation spends essentially all of its
+//! time here. The implementation is a cache-blocked `i-k-j` kernel with the
+//! row-panel loop parallelised by rayon; it is not MKL, but it has the right
+//! O(n³) constant behaviour so the paper's crossover analysis carries over.
+
+use crate::complex::C64;
+use crate::matrix::CMatrix;
+use rayon::prelude::*;
+
+/// Below this dimension the serial kernel runs without spawning tasks.
+const PAR_THRESHOLD: usize = 64;
+/// Cache block for the reduction dimension (k). 16 bytes/entry × 256 ≈ 4 KiB
+/// per row panel, comfortably inside L1 together with the C row.
+const KC: usize = 256;
+/// Cache block for output columns (j).
+const NC: usize = 512;
+
+/// `C = A · B` with dimension checks. Allocates the output.
+pub fn gemm(a: &CMatrix, b: &CMatrix) -> CMatrix {
+    let mut c = CMatrix::zeros(a.nrows(), b.ncols());
+    gemm_into(a, b, &mut c);
+    c
+}
+
+/// `C = A · B` into a pre-allocated output (overwrites `c`).
+///
+/// Panics if shapes are inconsistent.
+pub fn gemm_into(a: &CMatrix, b: &CMatrix, c: &mut CMatrix) {
+    let (m, ka) = a.shape();
+    let (kb, n) = b.shape();
+    assert_eq!(ka, kb, "gemm: inner dimensions differ ({ka} vs {kb})");
+    assert_eq!(
+        c.shape(),
+        (m, n),
+        "gemm: output shape {:?} does not match ({m}, {n})",
+        c.shape()
+    );
+    for z in c.as_mut_slice().iter_mut() {
+        *z = C64::ZERO;
+    }
+    if m == 0 || n == 0 || ka == 0 {
+        return;
+    }
+
+    let k = ka;
+    let a_data = a.as_slice();
+    let b_data = b.as_slice();
+
+    if m < PAR_THRESHOLD && n < PAR_THRESHOLD {
+        serial_block(a_data, b_data, c.as_mut_slice(), 0, m, k, n);
+        return;
+    }
+
+    // Parallelise over disjoint row panels of C. Each rayon task owns a
+    // contiguous `rows × n` slab of the output, so no synchronisation is
+    // needed inside the kernel.
+    let nthreads = rayon::current_num_threads().max(1);
+    let rows_per_panel = m.div_ceil(4 * nthreads).max(8);
+    c.as_mut_slice()
+        .par_chunks_mut(rows_per_panel * n)
+        .enumerate()
+        .for_each(|(panel, c_panel)| {
+            let i0 = panel * rows_per_panel;
+            let rows = c_panel.len() / n;
+            serial_block(a_data, b_data, c_panel, i0, rows, k, n);
+        });
+}
+
+/// Computes `rows` rows of C starting at global row `i0`.
+/// `c_panel` is the row-major slab for exactly those rows.
+fn serial_block(a: &[C64], b: &[C64], c_panel: &mut [C64], i0: usize, rows: usize, k: usize, n: usize) {
+    // i-k-j order: the inner j loop streams one row of B and one row of C,
+    // both contiguous in memory; A is read once per (i, k).
+    for kk in (0..k).step_by(KC) {
+        let kmax = (kk + KC).min(k);
+        for jj in (0..n).step_by(NC) {
+            let jmax = (jj + NC).min(n);
+            for i in 0..rows {
+                let a_row = &a[(i0 + i) * k..(i0 + i) * k + k];
+                let c_row = &mut c_panel[i * n + jj..i * n + jmax];
+                for kidx in kk..kmax {
+                    let aik = a_row[kidx];
+                    if aik == C64::ZERO {
+                        continue;
+                    }
+                    let b_row = &b[kidx * n + jj..kidx * n + jmax];
+                    // Manually split into re/im streams so LLVM can vectorise.
+                    for (cv, bv) in c_row.iter_mut().zip(b_row.iter()) {
+                        *cv = aik.mul_add(*bv, *cv);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Reference O(n³) triple loop used by tests to validate the blocked kernel.
+pub fn gemm_naive(a: &CMatrix, b: &CMatrix) -> CMatrix {
+    let (m, ka) = a.shape();
+    let (kb, n) = b.shape();
+    assert_eq!(ka, kb, "gemm_naive: inner dimensions differ");
+    let mut c = CMatrix::zeros(m, n);
+    for i in 0..m {
+        for j in 0..n {
+            let mut acc = C64::ZERO;
+            for kk in 0..ka {
+                acc = a[(i, kk)].mul_add(b[(kk, j)], acc);
+            }
+            c[(i, j)] = acc;
+        }
+    }
+    c
+}
+
+/// Floating point operation count of one `n×n` complex GEMM
+/// (8 real flops per complex multiply-add).
+pub fn gemm_flops(n: usize) -> f64 {
+    8.0 * (n as f64).powi(3)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::complex::c64;
+    use crate::random::random_matrix;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn identity_is_neutral() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let a = random_matrix(17, 17, &mut rng);
+        let i = CMatrix::identity(17);
+        let left = gemm(&i, &a);
+        let right = gemm(&a, &i);
+        assert!(left.max_abs_diff(&a) < 1e-12);
+        assert!(right.max_abs_diff(&a) < 1e-12);
+    }
+
+    #[test]
+    fn matches_naive_on_random_square() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for n in [1, 2, 3, 5, 16, 33, 64, 100] {
+            let a = random_matrix(n, n, &mut rng);
+            let b = random_matrix(n, n, &mut rng);
+            let fast = gemm(&a, &b);
+            let slow = gemm_naive(&a, &b);
+            assert!(
+                fast.max_abs_diff(&slow) < 1e-9 * n as f64,
+                "mismatch at n = {n}"
+            );
+        }
+    }
+
+    #[test]
+    fn matches_naive_on_rectangular() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for (m, k, n) in [(3, 7, 2), (70, 5, 130), (1, 64, 1), (65, 65, 1)] {
+            let a = random_matrix(m, k, &mut rng);
+            let b = random_matrix(k, n, &mut rng);
+            let fast = gemm(&a, &b);
+            let slow = gemm_naive(&a, &b);
+            assert!(
+                fast.max_abs_diff(&slow) < 1e-9 * k as f64,
+                "mismatch at ({m},{k},{n})"
+            );
+        }
+    }
+
+    #[test]
+    fn associativity_on_random_triples() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let a = random_matrix(20, 30, &mut rng);
+        let b = random_matrix(30, 10, &mut rng);
+        let c = random_matrix(10, 25, &mut rng);
+        let ab_c = gemm(&gemm(&a, &b), &c);
+        let a_bc = gemm(&a, &gemm(&b, &c));
+        assert!(ab_c.max_abs_diff(&a_bc) < 1e-8);
+    }
+
+    #[test]
+    fn complex_entries_multiply_correctly() {
+        // [i 0; 0 i] * [i 0; 0 i] = -I
+        let im = CMatrix::from_diagonal(&[C64::I, C64::I]);
+        let sq = gemm(&im, &im);
+        assert!(sq.max_abs_diff(&CMatrix::identity(2).scale(c64(-1.0, 0.0))) < 1e-15);
+    }
+
+    #[test]
+    fn zero_dimension_is_ok() {
+        let a = CMatrix::zeros(0, 5);
+        let b = CMatrix::zeros(5, 3);
+        let c = gemm(&a, &b);
+        assert_eq!(c.shape(), (0, 3));
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dimensions differ")]
+    fn dimension_mismatch_panics() {
+        let a = CMatrix::zeros(2, 3);
+        let b = CMatrix::zeros(4, 2);
+        let _ = gemm(&a, &b);
+    }
+
+    #[test]
+    fn gemm_into_reuses_buffer() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let a = random_matrix(12, 12, &mut rng);
+        let b = random_matrix(12, 12, &mut rng);
+        let mut c = random_matrix(12, 12, &mut rng); // garbage, must be overwritten
+        gemm_into(&a, &b, &mut c);
+        assert!(c.max_abs_diff(&gemm_naive(&a, &b)) < 1e-10);
+    }
+
+    #[test]
+    fn flops_model() {
+        assert_eq!(gemm_flops(2) as u64, 64);
+    }
+}

@@ -1,0 +1,215 @@
+//! Householder reduction to upper Hessenberg form.
+//!
+//! First stage of the `zgeev` replacement (paper §3.3, ref. [17]): a general
+//! complex matrix `A` is reduced to `H = Q† A Q` with `H` upper Hessenberg
+//! (zero below the first subdiagonal) by a sequence of Householder
+//! reflectors. The shifted-QR iteration in [`crate::eig`] then works on `H`.
+
+use crate::complex::C64;
+use crate::matrix::CMatrix;
+
+/// Result of a Hessenberg reduction: `a = q · h · q†`.
+pub struct Hessenberg {
+    /// The upper Hessenberg factor.
+    pub h: CMatrix,
+    /// The accumulated unitary similarity transform (columns are the
+    /// orthonormal basis in which `A` is Hessenberg).
+    pub q: CMatrix,
+}
+
+/// Reduces a square complex matrix to upper Hessenberg form, accumulating
+/// the unitary `Q` such that `A = Q H Q†`.
+pub fn hessenberg(a: &CMatrix) -> Hessenberg {
+    assert!(a.is_square(), "hessenberg: matrix must be square");
+    let n = a.nrows();
+    let mut h = a.clone();
+    let mut q = CMatrix::identity(n);
+    if n < 3 {
+        return Hessenberg { h, q };
+    }
+
+    // Reusable reflector storage to avoid per-step allocation.
+    let mut v = vec![C64::ZERO; n];
+
+    for k in 0..n - 2 {
+        // Householder vector for column k, rows k+1..n.
+        let len = n - (k + 1);
+        let mut norm_sq = 0.0;
+        for i in 0..len {
+            norm_sq += h[(k + 1 + i, k)].norm_sqr();
+        }
+        let norm = norm_sq.sqrt();
+        if norm <= f64::EPSILON * h.frobenius_norm().max(1.0) {
+            continue; // column already (numerically) in Hessenberg form
+        }
+        let x0 = h[(k + 1, k)];
+        // alpha = -e^{i·arg(x0)} ‖x‖ ; choosing the sign away from x0 avoids
+        // cancellation in v = x − α e₁.
+        let phase = if x0.abs() == 0.0 { C64::ONE } else { x0.scale(1.0 / x0.abs()) };
+        let alpha = -phase.scale(norm);
+
+        for i in 0..len {
+            v[i] = h[(k + 1 + i, k)];
+        }
+        v[0] -= alpha;
+        let vnorm_sq: f64 = v[..len].iter().map(|z| z.norm_sqr()).sum();
+        if vnorm_sq <= f64::EPSILON {
+            continue;
+        }
+        let beta = 2.0 / vnorm_sq;
+
+        // Left update H ← (I − β v v†) H on columns k..n. Columns before k
+        // are already zero in rows k+1.. by construction.
+        for j in k..n {
+            let mut s = C64::ZERO;
+            for i in 0..len {
+                s += v[i].conj() * h[(k + 1 + i, j)];
+            }
+            let s = s.scale(beta);
+            for i in 0..len {
+                let upd = s * v[i];
+                h[(k + 1 + i, j)] -= upd;
+            }
+        }
+
+        // Right update H ← H (I − β v v†) on all rows.
+        for r in 0..n {
+            let mut s = C64::ZERO;
+            for i in 0..len {
+                s += h[(r, k + 1 + i)] * v[i];
+            }
+            let s = s.scale(beta);
+            for i in 0..len {
+                let upd = s * v[i].conj();
+                h[(r, k + 1 + i)] -= upd;
+            }
+        }
+
+        // Accumulate Q ← Q (I − β v v†).
+        for r in 0..n {
+            let mut s = C64::ZERO;
+            for i in 0..len {
+                s += q[(r, k + 1 + i)] * v[i];
+            }
+            let s = s.scale(beta);
+            for i in 0..len {
+                let upd = s * v[i].conj();
+                q[(r, k + 1 + i)] -= upd;
+            }
+        }
+
+        // Clean the column explicitly: the reflector maps it to (α, 0, …, 0).
+        h[(k + 1, k)] = alpha;
+        for i in 1..len {
+            h[(k + 1 + i, k)] = C64::ZERO;
+        }
+    }
+
+    Hessenberg { h, q }
+}
+
+/// Checks that `m` is (numerically) upper Hessenberg within `tol`.
+pub fn is_upper_hessenberg(m: &CMatrix, tol: f64) -> bool {
+    let n = m.nrows();
+    for r in 0..n {
+        for c in 0..n {
+            if r > c + 1 && m[(r, c)].abs() > tol {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gemm::gemm;
+    use crate::random::{random_matrix, random_unitary};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn reconstruct(hes: &Hessenberg) -> CMatrix {
+        // A ?= Q H Q†
+        gemm(&gemm(&hes.q, &hes.h), &hes.q.adjoint())
+    }
+
+    #[test]
+    fn small_matrices_pass_through() {
+        let mut rng = StdRng::seed_from_u64(20);
+        for n in [1, 2] {
+            let a = random_matrix(n, n, &mut rng);
+            let hes = hessenberg(&a);
+            assert!(hes.h.max_abs_diff(&a) < 1e-14);
+            assert!(hes.q.max_abs_diff(&CMatrix::identity(n)) < 1e-14);
+        }
+    }
+
+    #[test]
+    fn produces_hessenberg_form_and_reconstructs() {
+        let mut rng = StdRng::seed_from_u64(21);
+        for n in [3, 4, 8, 20, 40] {
+            let a = random_matrix(n, n, &mut rng);
+            let hes = hessenberg(&a);
+            assert!(
+                is_upper_hessenberg(&hes.h, 1e-10 * a.frobenius_norm()),
+                "not Hessenberg at n = {n}"
+            );
+            assert!(hes.q.is_unitary(1e-10), "Q not unitary at n = {n}");
+            let rec = reconstruct(&hes);
+            assert!(
+                rec.max_abs_diff(&a) < 1e-9 * n as f64,
+                "reconstruction failed at n = {n}: {}",
+                rec.max_abs_diff(&a)
+            );
+        }
+    }
+
+    #[test]
+    fn unitary_input_stays_unitary() {
+        let mut rng = StdRng::seed_from_u64(22);
+        let u = random_unitary(16, &mut rng);
+        let hes = hessenberg(&u);
+        assert!(hes.h.is_unitary(1e-9), "Hessenberg form of unitary is unitary");
+    }
+
+    #[test]
+    fn already_hessenberg_is_stable() {
+        let mut rng = StdRng::seed_from_u64(23);
+        let a = random_matrix(10, 10, &mut rng);
+        let hes1 = hessenberg(&a);
+        let hes2 = hessenberg(&hes1.h);
+        assert!(is_upper_hessenberg(&hes2.h, 1e-9));
+        assert!(reconstruct(&hes2).max_abs_diff(&hes1.h) < 1e-9);
+    }
+
+    #[test]
+    fn hermitian_input_becomes_tridiagonal() {
+        let mut rng = StdRng::seed_from_u64(24);
+        let g = random_matrix(12, 12, &mut rng);
+        let herm = {
+            let adj = g.adjoint();
+            (&g + &adj).scale(crate::complex::c64(0.5, 0.0))
+        };
+        let hes = hessenberg(&herm);
+        // Hermitian similarity of Hermitian stays Hermitian; Hessenberg +
+        // Hermitian = tridiagonal.
+        for r in 0..12 {
+            for c in 0..12 {
+                if (r as i64 - c as i64).abs() > 1 {
+                    assert!(
+                        hes.h[(r, c)].abs() < 1e-9,
+                        "entry ({r},{c}) = {:?} not zero",
+                        hes.h[(r, c)]
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "must be square")]
+    fn rejects_rectangular() {
+        let _ = hessenberg(&CMatrix::zeros(3, 4));
+    }
+}

@@ -1,0 +1,533 @@
+//! Dense, row-major complex matrices.
+//!
+//! `CMatrix` is the workhorse behind the paper's quantum-phase-estimation
+//! emulation (§3.3): the dense representation of the unitary `U`, its powers
+//! computed by repeated squaring, and the input to the eigensolver.
+
+use crate::complex::{c64, C64};
+use std::fmt;
+use std::ops::{Add, Index, IndexMut, Mul, Sub};
+
+/// A dense complex matrix stored row-major in a single contiguous buffer.
+#[derive(Clone, PartialEq)]
+pub struct CMatrix {
+    nrows: usize,
+    ncols: usize,
+    data: Vec<C64>,
+}
+
+impl CMatrix {
+    /// Creates an `nrows × ncols` matrix of zeros.
+    pub fn zeros(nrows: usize, ncols: usize) -> Self {
+        CMatrix {
+            nrows,
+            ncols,
+            data: vec![C64::ZERO; nrows * ncols],
+        }
+    }
+
+    /// Creates the `n × n` identity matrix.
+    pub fn identity(n: usize) -> Self {
+        let mut m = CMatrix::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = C64::ONE;
+        }
+        m
+    }
+
+    /// Builds a matrix by evaluating `f(row, col)` for every entry.
+    pub fn from_fn(nrows: usize, ncols: usize, mut f: impl FnMut(usize, usize) -> C64) -> Self {
+        let mut data = Vec::with_capacity(nrows * ncols);
+        for r in 0..nrows {
+            for c in 0..ncols {
+                data.push(f(r, c));
+            }
+        }
+        CMatrix { nrows, ncols, data }
+    }
+
+    /// Wraps an existing row-major buffer. Panics if the length does not
+    /// match `nrows * ncols`.
+    pub fn from_vec(nrows: usize, ncols: usize, data: Vec<C64>) -> Self {
+        assert_eq!(
+            data.len(),
+            nrows * ncols,
+            "buffer length {} does not match {}x{}",
+            data.len(),
+            nrows,
+            ncols
+        );
+        CMatrix { nrows, ncols, data }
+    }
+
+    /// Builds a matrix from rows of real numbers (test convenience).
+    pub fn from_real_rows(rows: &[&[f64]]) -> Self {
+        let nrows = rows.len();
+        let ncols = if nrows == 0 { 0 } else { rows[0].len() };
+        CMatrix::from_fn(nrows, ncols, |r, c| c64(rows[r][c], 0.0))
+    }
+
+    /// Creates a diagonal matrix from the given diagonal entries.
+    pub fn from_diagonal(diag: &[C64]) -> Self {
+        let n = diag.len();
+        let mut m = CMatrix::zeros(n, n);
+        for (i, &d) in diag.iter().enumerate() {
+            m[(i, i)] = d;
+        }
+        m
+    }
+
+    /// Number of rows.
+    #[inline(always)]
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    /// Number of columns.
+    #[inline(always)]
+    pub fn ncols(&self) -> usize {
+        self.ncols
+    }
+
+    /// `true` when the matrix is square.
+    #[inline]
+    pub fn is_square(&self) -> bool {
+        self.nrows == self.ncols
+    }
+
+    /// Raw row-major data.
+    #[inline(always)]
+    pub fn as_slice(&self) -> &[C64] {
+        &self.data
+    }
+
+    /// Mutable raw row-major data.
+    #[inline(always)]
+    pub fn as_mut_slice(&mut self) -> &mut [C64] {
+        &mut self.data
+    }
+
+    /// Consumes the matrix, returning its backing buffer.
+    pub fn into_vec(self) -> Vec<C64> {
+        self.data
+    }
+
+    /// A single row as a slice.
+    #[inline(always)]
+    pub fn row(&self, r: usize) -> &[C64] {
+        &self.data[r * self.ncols..(r + 1) * self.ncols]
+    }
+
+    /// A single row as a mutable slice.
+    #[inline(always)]
+    pub fn row_mut(&mut self, r: usize) -> &mut [C64] {
+        &mut self.data[r * self.ncols..(r + 1) * self.ncols]
+    }
+
+    /// Copies column `c` into a vector.
+    pub fn col(&self, c: usize) -> Vec<C64> {
+        (0..self.nrows).map(|r| self[(r, c)]).collect()
+    }
+
+    /// The main diagonal.
+    pub fn diagonal(&self) -> Vec<C64> {
+        let n = self.nrows.min(self.ncols);
+        (0..n).map(|i| self[(i, i)]).collect()
+    }
+
+    /// Transpose (no conjugation).
+    pub fn transpose(&self) -> CMatrix {
+        let mut out = CMatrix::zeros(self.ncols, self.nrows);
+        // Blocked transpose for cache friendliness on the large matrices the
+        // QPE path produces (dim 2^n).
+        const B: usize = 32;
+        for rb in (0..self.nrows).step_by(B) {
+            for cb in (0..self.ncols).step_by(B) {
+                for r in rb..(rb + B).min(self.nrows) {
+                    for c in cb..(cb + B).min(self.ncols) {
+                        out[(c, r)] = self[(r, c)];
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Conjugate transpose (Hermitian adjoint) `A†`.
+    pub fn adjoint(&self) -> CMatrix {
+        let mut out = self.transpose();
+        for z in out.data.iter_mut() {
+            *z = z.conj();
+        }
+        out
+    }
+
+    /// Entry-wise complex conjugate.
+    pub fn conj(&self) -> CMatrix {
+        let mut out = self.clone();
+        for z in out.data.iter_mut() {
+            *z = z.conj();
+        }
+        out
+    }
+
+    /// Multiplies every entry by a scalar.
+    pub fn scale(&self, s: C64) -> CMatrix {
+        let mut out = self.clone();
+        for z in out.data.iter_mut() {
+            *z *= s;
+        }
+        out
+    }
+
+    /// Matrix-vector product `A x`.
+    pub fn matvec(&self, x: &[C64]) -> Vec<C64> {
+        assert_eq!(x.len(), self.ncols, "matvec dimension mismatch");
+        let mut y = vec![C64::ZERO; self.nrows];
+        for (r, yr) in y.iter_mut().enumerate() {
+            let row = self.row(r);
+            let mut acc = C64::ZERO;
+            for (a, b) in row.iter().zip(x.iter()) {
+                acc = a.mul_add(*b, acc);
+            }
+            *yr = acc;
+        }
+        y
+    }
+
+    /// Frobenius norm `‖A‖_F`.
+    pub fn frobenius_norm(&self) -> f64 {
+        self.data.iter().map(|z| z.norm_sqr()).sum::<f64>().sqrt()
+    }
+
+    /// Largest entry modulus, `max_{ij} |a_ij|`.
+    pub fn max_abs(&self) -> f64 {
+        self.data.iter().map(|z| z.abs()).fold(0.0, f64::max)
+    }
+
+    /// `‖A - B‖_F`, panicking on dimension mismatch.
+    pub fn frobenius_distance(&self, other: &CMatrix) -> f64 {
+        assert_eq!(self.shape(), other.shape(), "shape mismatch");
+        self.data
+            .iter()
+            .zip(other.data.iter())
+            .map(|(a, b)| (*a - *b).norm_sqr())
+            .sum::<f64>()
+            .sqrt()
+    }
+
+    /// `(nrows, ncols)`.
+    #[inline]
+    pub fn shape(&self) -> (usize, usize) {
+        (self.nrows, self.ncols)
+    }
+
+    /// Checks `U† U ≈ I` within `tol` (max-abs of the residual).
+    pub fn is_unitary(&self, tol: f64) -> bool {
+        if !self.is_square() {
+            return false;
+        }
+        let prod = self.adjoint().mul_naive_or_fast(self);
+        let n = self.nrows;
+        let mut max_res: f64 = 0.0;
+        for r in 0..n {
+            for c in 0..n {
+                let expect = if r == c { C64::ONE } else { C64::ZERO };
+                max_res = max_res.max((prod[(r, c)] - expect).abs());
+            }
+        }
+        max_res <= tol
+    }
+
+    /// Kronecker product `self ⊗ other` — how 2×2 gate matrices become
+    /// 2ⁿ×2ⁿ operators (paper §2, Eq. 3).
+    pub fn kron(&self, other: &CMatrix) -> CMatrix {
+        let (m, n) = self.shape();
+        let (p, q) = other.shape();
+        let mut out = CMatrix::zeros(m * p, n * q);
+        for r1 in 0..m {
+            for c1 in 0..n {
+                let a = self[(r1, c1)];
+                if a == C64::ZERO {
+                    continue;
+                }
+                for r2 in 0..p {
+                    for c2 in 0..q {
+                        out[(r1 * p + r2, c1 * q + c2)] = a * other[(r2, c2)];
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Sum of diagonal entries.
+    pub fn trace(&self) -> C64 {
+        assert!(self.is_square(), "trace of non-square matrix");
+        (0..self.nrows).map(|i| self[(i, i)]).sum()
+    }
+
+    /// Dispatches to the blocked parallel GEMM (used internally by helpers
+    /// that need a product without caring about the algorithm).
+    pub(crate) fn mul_naive_or_fast(&self, other: &CMatrix) -> CMatrix {
+        crate::gemm::gemm(self, other)
+    }
+
+    /// Swap two rows in place.
+    pub fn swap_rows(&mut self, a: usize, b: usize) {
+        if a == b {
+            return;
+        }
+        let ncols = self.ncols;
+        let (lo, hi) = if a < b { (a, b) } else { (b, a) };
+        let (first, second) = self.data.split_at_mut(hi * ncols);
+        first[lo * ncols..(lo + 1) * ncols].swap_with_slice(&mut second[..ncols]);
+    }
+
+    /// Extracts the `rows × cols` sub-matrix starting at `(r0, c0)`.
+    pub fn submatrix(&self, r0: usize, c0: usize, rows: usize, cols: usize) -> CMatrix {
+        assert!(r0 + rows <= self.nrows && c0 + cols <= self.ncols);
+        CMatrix::from_fn(rows, cols, |r, c| self[(r0 + r, c0 + c)])
+    }
+
+    /// Writes `block` into this matrix with its top-left corner at `(r0, c0)`.
+    pub fn set_submatrix(&mut self, r0: usize, c0: usize, block: &CMatrix) {
+        assert!(r0 + block.nrows <= self.nrows && c0 + block.ncols <= self.ncols);
+        for r in 0..block.nrows {
+            let src = block.row(r);
+            let dst = &mut self.row_mut(r0 + r)[c0..c0 + block.ncols];
+            dst.copy_from_slice(src);
+        }
+    }
+
+    /// Maximum absolute difference to another matrix.
+    pub fn max_abs_diff(&self, other: &CMatrix) -> f64 {
+        assert_eq!(self.shape(), other.shape());
+        self.data
+            .iter()
+            .zip(other.data.iter())
+            .map(|(a, b)| (*a - *b).abs())
+            .fold(0.0, f64::max)
+    }
+}
+
+impl Index<(usize, usize)> for CMatrix {
+    type Output = C64;
+    #[inline(always)]
+    fn index(&self, (r, c): (usize, usize)) -> &C64 {
+        debug_assert!(r < self.nrows && c < self.ncols);
+        &self.data[r * self.ncols + c]
+    }
+}
+
+impl IndexMut<(usize, usize)> for CMatrix {
+    #[inline(always)]
+    fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut C64 {
+        debug_assert!(r < self.nrows && c < self.ncols);
+        &mut self.data[r * self.ncols + c]
+    }
+}
+
+impl Add for &CMatrix {
+    type Output = CMatrix;
+    fn add(self, rhs: &CMatrix) -> CMatrix {
+        assert_eq!(self.shape(), rhs.shape(), "add: shape mismatch");
+        let data = self
+            .data
+            .iter()
+            .zip(rhs.data.iter())
+            .map(|(a, b)| *a + *b)
+            .collect();
+        CMatrix {
+            nrows: self.nrows,
+            ncols: self.ncols,
+            data,
+        }
+    }
+}
+
+impl Sub for &CMatrix {
+    type Output = CMatrix;
+    fn sub(self, rhs: &CMatrix) -> CMatrix {
+        assert_eq!(self.shape(), rhs.shape(), "sub: shape mismatch");
+        let data = self
+            .data
+            .iter()
+            .zip(rhs.data.iter())
+            .map(|(a, b)| *a - *b)
+            .collect();
+        CMatrix {
+            nrows: self.nrows,
+            ncols: self.ncols,
+            data,
+        }
+    }
+}
+
+impl Mul for &CMatrix {
+    type Output = CMatrix;
+    fn mul(self, rhs: &CMatrix) -> CMatrix {
+        crate::gemm::gemm(self, rhs)
+    }
+}
+
+impl fmt::Debug for CMatrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "CMatrix {}x{} [", self.nrows, self.ncols)?;
+        let show_r = self.nrows.min(8);
+        let show_c = self.ncols.min(8);
+        for r in 0..show_r {
+            write!(f, "  ")?;
+            for c in 0..show_c {
+                write!(f, "{:?} ", self[(r, c)])?;
+            }
+            if self.ncols > show_c {
+                write!(f, "…")?;
+            }
+            writeln!(f)?;
+        }
+        if self.nrows > show_r {
+            writeln!(f, "  …")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_identity_and_indexing() {
+        let z = CMatrix::zeros(3, 4);
+        assert_eq!(z.shape(), (3, 4));
+        assert!(z.as_slice().iter().all(|&v| v == C64::ZERO));
+        let i = CMatrix::identity(3);
+        assert_eq!(i[(0, 0)], C64::ONE);
+        assert_eq!(i[(0, 1)], C64::ZERO);
+        assert_eq!(i.trace(), c64(3.0, 0.0));
+    }
+
+    #[test]
+    fn from_fn_row_major_order() {
+        let m = CMatrix::from_fn(2, 3, |r, c| c64((r * 3 + c) as f64, 0.0));
+        assert_eq!(m.as_slice()[4], c64(4.0, 0.0));
+        assert_eq!(m[(1, 1)], c64(4.0, 0.0));
+        assert_eq!(m.row(1), &[c64(3.0, 0.0), c64(4.0, 0.0), c64(5.0, 0.0)]);
+        assert_eq!(m.col(2), vec![c64(2.0, 0.0), c64(5.0, 0.0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "buffer length")]
+    fn from_vec_checks_length() {
+        let _ = CMatrix::from_vec(2, 2, vec![C64::ZERO; 3]);
+    }
+
+    #[test]
+    fn transpose_and_adjoint() {
+        let m = CMatrix::from_fn(2, 3, |r, c| c64(r as f64, c as f64));
+        let t = m.transpose();
+        assert_eq!(t.shape(), (3, 2));
+        assert_eq!(t[(2, 1)], m[(1, 2)]);
+        let a = m.adjoint();
+        assert_eq!(a[(2, 1)], m[(1, 2)].conj());
+    }
+
+    #[test]
+    fn transpose_blocked_matches_entrywise_for_odd_sizes() {
+        let m = CMatrix::from_fn(37, 53, |r, c| c64(r as f64 * 0.1, c as f64 * -0.2));
+        let t = m.transpose();
+        for r in 0..37 {
+            for c in 0..53 {
+                assert_eq!(t[(c, r)], m[(r, c)]);
+            }
+        }
+    }
+
+    #[test]
+    fn matvec_identity_and_general() {
+        let i = CMatrix::identity(4);
+        let x: Vec<C64> = (0..4).map(|k| c64(k as f64, -(k as f64))).collect();
+        assert_eq!(i.matvec(&x), x);
+
+        let m = CMatrix::from_real_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let y = m.matvec(&[c64(1.0, 0.0), c64(1.0, 0.0)]);
+        assert_eq!(y, vec![c64(3.0, 0.0), c64(7.0, 0.0)]);
+    }
+
+    #[test]
+    fn kron_of_pauli_x_with_identity_matches_paper_eq3() {
+        // Paper Eq. (3): X ⊗ I₂ for a NOT on (their) qubit 0 of two.
+        let x = CMatrix::from_real_rows(&[&[0.0, 1.0], &[1.0, 0.0]]);
+        let i2 = CMatrix::identity(2);
+        let k = x.kron(&i2);
+        let expect = CMatrix::from_real_rows(&[
+            &[0.0, 0.0, 1.0, 0.0],
+            &[0.0, 0.0, 0.0, 1.0],
+            &[1.0, 0.0, 0.0, 0.0],
+            &[0.0, 1.0, 0.0, 0.0],
+        ]);
+        assert_eq!(k, expect);
+    }
+
+    #[test]
+    fn frobenius_norm_and_distance() {
+        let m = CMatrix::from_real_rows(&[&[3.0, 0.0], &[0.0, 4.0]]);
+        assert!((m.frobenius_norm() - 5.0).abs() < 1e-12);
+        let z = CMatrix::zeros(2, 2);
+        assert!((m.frobenius_distance(&z) - 5.0).abs() < 1e-12);
+        assert!((m.max_abs() - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unitary_check_accepts_hadamard_rejects_shear() {
+        let s = std::f64::consts::FRAC_1_SQRT_2;
+        let h = CMatrix::from_real_rows(&[&[s, s], &[s, -s]]);
+        assert!(h.is_unitary(1e-12));
+        let shear = CMatrix::from_real_rows(&[&[1.0, 1.0], &[0.0, 1.0]]);
+        assert!(!shear.is_unitary(1e-6));
+        let rect = CMatrix::zeros(2, 3);
+        assert!(!rect.is_unitary(1e-6));
+    }
+
+    #[test]
+    fn add_sub_scale() {
+        let a = CMatrix::from_real_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let b = CMatrix::identity(2);
+        let s = &a + &b;
+        assert_eq!(s[(0, 0)], c64(2.0, 0.0));
+        let d = &a - &b;
+        assert_eq!(d[(1, 1)], c64(3.0, 0.0));
+        let m = a.scale(C64::I);
+        assert_eq!(m[(0, 1)], c64(0.0, 2.0));
+    }
+
+    #[test]
+    fn submatrix_roundtrip() {
+        let m = CMatrix::from_fn(5, 5, |r, c| c64((r * 5 + c) as f64, 0.0));
+        let b = m.submatrix(1, 2, 3, 2);
+        assert_eq!(b.shape(), (3, 2));
+        assert_eq!(b[(0, 0)], m[(1, 2)]);
+        let mut z = CMatrix::zeros(5, 5);
+        z.set_submatrix(1, 2, &b);
+        assert_eq!(z[(3, 3)], m[(3, 3)]);
+        assert_eq!(z[(0, 0)], C64::ZERO);
+    }
+
+    #[test]
+    fn swap_rows_works() {
+        let mut m = CMatrix::from_fn(3, 2, |r, _| c64(r as f64, 0.0));
+        m.swap_rows(0, 2);
+        assert_eq!(m[(0, 0)], c64(2.0, 0.0));
+        assert_eq!(m[(2, 0)], c64(0.0, 0.0));
+        m.swap_rows(1, 1); // no-op
+        assert_eq!(m[(1, 0)], c64(1.0, 0.0));
+    }
+
+    #[test]
+    fn diagonal_extraction() {
+        let d = CMatrix::from_diagonal(&[c64(1.0, 0.0), c64(0.0, 2.0)]);
+        assert_eq!(d.diagonal(), vec![c64(1.0, 0.0), c64(0.0, 2.0)]);
+        assert_eq!(d[(0, 1)], C64::ZERO);
+    }
+}

@@ -1,0 +1,170 @@
+//! Matrix powers by repeated squaring.
+//!
+//! The QPE emulation path (paper §3.3) needs `U^{2^i}` for `i = 0..b−1`;
+//! each is one squaring of the previous power, so a `b`-bit phase estimate
+//! costs `b−1` GEMMs after the dense `U` is built.
+
+use crate::complex::C64;
+use crate::matrix::CMatrix;
+use crate::strassen::{multiply, MulAlgorithm};
+
+/// `U^e` by binary exponentiation with the chosen multiply algorithm.
+pub fn matrix_power(u: &CMatrix, mut e: u64, algo: MulAlgorithm) -> CMatrix {
+    assert!(u.is_square(), "matrix_power: U must be square");
+    let n = u.nrows();
+    let mut result = CMatrix::identity(n);
+    if e == 0 {
+        return result;
+    }
+    let mut base = u.clone();
+    loop {
+        if e & 1 == 1 {
+            result = multiply(&result, &base, algo);
+        }
+        e >>= 1;
+        if e == 0 {
+            break;
+        }
+        base = multiply(&base, &base, algo);
+    }
+    result
+}
+
+/// The sequence `[U, U², U⁴, …, U^{2^{b−1}}]` exactly as QPE consumes it
+/// (paper Eq. 7). Costs `b−1` squarings.
+pub fn powers_of_two(u: &CMatrix, b: usize, algo: MulAlgorithm) -> Vec<CMatrix> {
+    assert!(u.is_square(), "powers_of_two: U must be square");
+    assert!(b >= 1, "powers_of_two: need at least one power");
+    let mut out = Vec::with_capacity(b);
+    out.push(u.clone());
+    for i in 1..b {
+        let prev = &out[i - 1];
+        out.push(multiply(prev, prev, algo));
+    }
+    out
+}
+
+/// Naive `U^e` by `e − 1` sequential multiplies (reference for tests; this
+/// is also exactly what gate-level simulation effectively does).
+pub fn matrix_power_naive(u: &CMatrix, e: u64) -> CMatrix {
+    assert!(u.is_square());
+    let mut result = CMatrix::identity(u.nrows());
+    for _ in 0..e {
+        result = crate::gemm::gemm(&result, u);
+    }
+    result
+}
+
+/// Applies `diag(λ_k^e)` reconstruction: given an eigendecomposition
+/// `U = V Λ V⁻¹` with unitary `V` (normal `U`), computes `U^e` as
+/// `V Λ^e V†`. Used by the eigendecomposition QPE strategy.
+pub fn power_from_eig(v: &CMatrix, lambdas: &[C64], e: u64) -> CMatrix {
+    let n = v.nrows();
+    assert_eq!(lambdas.len(), n);
+    let powered: Vec<C64> = lambdas.iter().map(|l| l.powu(e)).collect();
+    let d = CMatrix::from_diagonal(&powered);
+    let vd = crate::gemm::gemm(v, &d);
+    crate::gemm::gemm(&vd, &v.adjoint())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::complex::c64;
+    use crate::eig::eig;
+    use crate::random::{random_matrix, random_unitary};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn power_zero_is_identity() {
+        let mut rng = StdRng::seed_from_u64(40);
+        let u = random_matrix(6, 6, &mut rng);
+        let p = matrix_power(&u, 0, MulAlgorithm::Gemm);
+        assert!(p.max_abs_diff(&CMatrix::identity(6)) < 1e-15);
+    }
+
+    #[test]
+    fn power_one_is_input() {
+        let mut rng = StdRng::seed_from_u64(41);
+        let u = random_matrix(6, 6, &mut rng);
+        assert!(matrix_power(&u, 1, MulAlgorithm::Gemm).max_abs_diff(&u) < 1e-15);
+    }
+
+    #[test]
+    fn squaring_matches_naive_powers() {
+        let mut rng = StdRng::seed_from_u64(42);
+        // Unitary input keeps powers bounded so tolerances stay meaningful.
+        let u = random_unitary(8, &mut rng);
+        for e in [2u64, 3, 7, 16, 31] {
+            let fast = matrix_power(&u, e, MulAlgorithm::Gemm);
+            let slow = matrix_power_naive(&u, e);
+            assert!(
+                fast.max_abs_diff(&slow) < 1e-9,
+                "mismatch at e = {e}: {}",
+                fast.max_abs_diff(&slow)
+            );
+        }
+    }
+
+    #[test]
+    fn strassen_path_agrees() {
+        let mut rng = StdRng::seed_from_u64(43);
+        let u = random_unitary(12, &mut rng);
+        let a = matrix_power(&u, 9, MulAlgorithm::Gemm);
+        let b = matrix_power(&u, 9, MulAlgorithm::Strassen);
+        assert!(a.max_abs_diff(&b) < 1e-9);
+    }
+
+    #[test]
+    fn powers_of_two_sequence() {
+        let mut rng = StdRng::seed_from_u64(44);
+        let u = random_unitary(6, &mut rng);
+        let b = 5;
+        let seq = powers_of_two(&u, b, MulAlgorithm::Gemm);
+        assert_eq!(seq.len(), b);
+        for (i, m) in seq.iter().enumerate() {
+            let expect = matrix_power_naive(&u, 1 << i);
+            assert!(
+                m.max_abs_diff(&expect) < 1e-8,
+                "U^(2^{i}) wrong by {}",
+                m.max_abs_diff(&expect)
+            );
+        }
+    }
+
+    #[test]
+    fn unitary_powers_stay_unitary() {
+        let mut rng = StdRng::seed_from_u64(45);
+        let u = random_unitary(10, &mut rng);
+        let seq = powers_of_two(&u, 6, MulAlgorithm::Gemm);
+        for (i, m) in seq.iter().enumerate() {
+            assert!(m.is_unitary(1e-8), "U^(2^{i}) lost unitarity");
+        }
+    }
+
+    #[test]
+    fn power_from_eig_matches_squaring_for_unitary() {
+        let mut rng = StdRng::seed_from_u64(46);
+        let u = random_unitary(8, &mut rng);
+        let e = eig(&u).unwrap();
+        let v = e.vectors.as_ref().unwrap();
+        for exp in [1u64, 2, 8, 32] {
+            let via_eig = power_from_eig(v, &e.values, exp);
+            let via_sq = matrix_power(&u, exp, MulAlgorithm::Gemm);
+            assert!(
+                via_eig.max_abs_diff(&via_sq) < 1e-6,
+                "exp = {exp}: {}",
+                via_eig.max_abs_diff(&via_sq)
+            );
+        }
+    }
+
+    #[test]
+    fn diagonal_powers_are_entrywise() {
+        let d = CMatrix::from_diagonal(&[C64::I, c64(-1.0, 0.0)]);
+        let p = matrix_power(&d, 4, MulAlgorithm::Gemm);
+        assert!(p[(0, 0)].approx_eq(C64::ONE, 1e-14)); // i⁴ = 1
+        assert!(p[(1, 1)].approx_eq(C64::ONE, 1e-14)); // (−1)⁴ = 1
+    }
+}

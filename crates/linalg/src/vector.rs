@@ -1,0 +1,130 @@
+//! Small helpers on complex vectors (state-vector style operations).
+
+use crate::complex::C64;
+
+/// Euclidean norm `‖v‖₂`.
+pub fn norm2(v: &[C64]) -> f64 {
+    v.iter().map(|z| z.norm_sqr()).sum::<f64>().sqrt()
+}
+
+/// Normalises `v` in place to unit Euclidean norm. Panics on the zero vector.
+pub fn normalize(v: &mut [C64]) {
+    let n = norm2(v);
+    assert!(n > 0.0, "cannot normalise the zero vector");
+    let inv = 1.0 / n;
+    for z in v.iter_mut() {
+        *z = z.scale(inv);
+    }
+}
+
+/// Inner product `⟨a|b⟩ = Σ conj(a_i)·b_i` (conjugate-linear in the first
+/// argument, physics convention).
+pub fn inner(a: &[C64], b: &[C64]) -> C64 {
+    assert_eq!(a.len(), b.len(), "inner: length mismatch");
+    let mut acc = C64::ZERO;
+    for (x, y) in a.iter().zip(b.iter()) {
+        acc += x.conj() * *y;
+    }
+    acc
+}
+
+/// Fidelity `|⟨a|b⟩|²` between two (assumed normalised) state vectors.
+pub fn fidelity(a: &[C64], b: &[C64]) -> f64 {
+    inner(a, b).norm_sqr()
+}
+
+/// `y ← y + α·x`.
+pub fn axpy(alpha: C64, x: &[C64], y: &mut [C64]) {
+    assert_eq!(x.len(), y.len(), "axpy: length mismatch");
+    for (yi, xi) in y.iter_mut().zip(x.iter()) {
+        *yi = alpha.mul_add(*xi, *yi);
+    }
+}
+
+/// Maximum component-wise absolute difference between two vectors.
+pub fn max_abs_diff(a: &[C64], b: &[C64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "max_abs_diff: length mismatch");
+    a.iter()
+        .zip(b.iter())
+        .map(|(x, y)| (*x - *y).abs())
+        .fold(0.0, f64::max)
+}
+
+/// Global-phase-insensitive distance: `min_φ ‖a − e^{iφ} b‖_∞`. Quantum
+/// states are rays, so tests comparing two execution paths use this.
+pub fn max_abs_diff_up_to_phase(a: &[C64], b: &[C64]) -> f64 {
+    assert_eq!(a.len(), b.len());
+    let ip = inner(b, a);
+    let phase = if ip.abs() < 1e-300 {
+        C64::ONE
+    } else {
+        ip.scale(1.0 / ip.abs())
+    };
+    a.iter()
+        .zip(b.iter())
+        .map(|(x, y)| (*x - phase * *y).abs())
+        .fold(0.0, f64::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::complex::c64;
+
+    #[test]
+    fn norm_and_normalize() {
+        let mut v = vec![c64(3.0, 0.0), c64(0.0, 4.0)];
+        assert!((norm2(&v) - 5.0).abs() < 1e-14);
+        normalize(&mut v);
+        assert!((norm2(&v) - 1.0).abs() < 1e-14);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero vector")]
+    fn normalize_zero_panics() {
+        let mut v = vec![C64::ZERO; 4];
+        normalize(&mut v);
+    }
+
+    #[test]
+    fn inner_is_conjugate_linear_on_left() {
+        let a = vec![C64::I];
+        let b = vec![C64::ONE];
+        // ⟨i·e|e⟩ = conj(i) = −i
+        assert!(inner(&a, &b).approx_eq(c64(0.0, -1.0), 1e-15));
+    }
+
+    #[test]
+    fn fidelity_of_identical_states_is_one() {
+        let v = vec![c64(0.6, 0.0), c64(0.0, 0.8)];
+        assert!((fidelity(&v, &v) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fidelity_of_orthogonal_states_is_zero() {
+        let a = vec![C64::ONE, C64::ZERO];
+        let b = vec![C64::ZERO, C64::ONE];
+        assert!(fidelity(&a, &b) < 1e-15);
+    }
+
+    #[test]
+    fn axpy_accumulates() {
+        let x = vec![C64::ONE, C64::I];
+        let mut y = vec![C64::ZERO, C64::ONE];
+        axpy(c64(2.0, 0.0), &x, &mut y);
+        assert!(y[0].approx_eq(c64(2.0, 0.0), 1e-15));
+        assert!(y[1].approx_eq(c64(1.0, 2.0), 1e-15));
+    }
+
+    #[test]
+    fn phase_insensitive_distance() {
+        let a = vec![c64(0.6, 0.0), c64(0.8, 0.0)];
+        let phase = C64::cis(1.234);
+        let b: Vec<C64> = a.iter().map(|z| *z * phase).collect();
+        assert!(max_abs_diff(&a, &b) > 0.1, "plain distance should see the phase");
+        assert!(
+            max_abs_diff_up_to_phase(&a, &b) < 1e-12,
+            "phase-insensitive distance should not"
+        );
+    }
+}

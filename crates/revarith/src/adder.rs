@@ -1,0 +1,305 @@
+//! Cuccaro ripple-carry adder (paper ref. [12]: quant-ph/0410184).
+//!
+//! Computes `(a, b) ↦ (a, a+b)` in place with a single ancilla qubit and
+//! the MAJ/UMA ladder; `2m` Toffolis and `4m` CNOTs for `m`-bit operands.
+//! Subtraction is the standard complement conjugation
+//! `b − a = ¬(¬b + a)`, and every variant exists in a controlled form
+//! (each gate gains the control) for use in the shift-and-add multiplier
+//! and the restoring divider.
+
+use crate::register::Register;
+use qcemu_sim::{Circuit, Gate};
+
+/// MAJ block: (x, y, z) carry-propagate step.
+fn maj(c: &mut Circuit, x: usize, y: usize, z: usize, controls: &[usize]) {
+    push_cx(c, z, y, controls);
+    push_cx(c, z, x, controls);
+    push_ccx(c, x, y, z, controls);
+}
+
+/// UMA block (2-CNOT version): undoes MAJ and writes the sum bit.
+fn uma(c: &mut Circuit, x: usize, y: usize, z: usize, controls: &[usize]) {
+    push_ccx(c, x, y, z, controls);
+    push_cx(c, z, x, controls);
+    push_cx(c, x, y, controls);
+}
+
+fn push_cx(c: &mut Circuit, ctrl: usize, tgt: usize, extra: &[usize]) {
+    let mut controls = vec![ctrl];
+    controls.extend_from_slice(extra);
+    c.push(Gate::Unary {
+        op: qcemu_sim::GateOp::X,
+        target: tgt,
+        controls,
+    });
+}
+
+fn push_ccx(c: &mut Circuit, c1: usize, c2: usize, tgt: usize, extra: &[usize]) {
+    let mut controls = vec![c1, c2];
+    controls.extend_from_slice(extra);
+    c.push(Gate::Unary {
+        op: qcemu_sim::GateOp::X,
+        target: tgt,
+        controls,
+    });
+}
+
+fn push_x(c: &mut Circuit, tgt: usize, extra: &[usize]) {
+    c.push(Gate::Unary {
+        op: qcemu_sim::GateOp::X,
+        target: tgt,
+        controls: extra.to_vec(),
+    });
+}
+
+/// Emits `b ← a + b (mod 2^m)` onto `circuit`.
+///
+/// * `a`, `b` — equal-length operand registers (`a` is restored).
+/// * `ancilla` — a work qubit that must be |0⟩ (restored to |0⟩).
+/// * `carry_out` — optional qubit receiving the final carry.
+/// * `controls` — extra controls applied to every gate (empty = plain add).
+pub fn emit_add(
+    circuit: &mut Circuit,
+    a: Register,
+    b: Register,
+    ancilla: usize,
+    carry_out: Option<usize>,
+    controls: &[usize],
+) {
+    assert_eq!(a.len, b.len, "adder operands must have equal width");
+    let m = a.len;
+    assert!(m >= 1, "empty adder");
+
+    // Carry chain: c0 = ancilla, then a_{i-1} carries forward.
+    maj(circuit, ancilla, b.bit(0), a.bit(0), controls);
+    for i in 1..m {
+        maj(circuit, a.bit(i - 1), b.bit(i), a.bit(i), controls);
+    }
+    if let Some(z) = carry_out {
+        push_cx(circuit, a.bit(m - 1), z, controls);
+    }
+    for i in (1..m).rev() {
+        uma(circuit, a.bit(i - 1), b.bit(i), a.bit(i), controls);
+    }
+    uma(circuit, ancilla, b.bit(0), a.bit(0), controls);
+}
+
+/// Emits `b ← b − a (mod 2^m)` (complement conjugation of [`emit_add`]).
+/// If `borrow_out` is given, it is flipped exactly when `a > b`.
+pub fn emit_sub(
+    circuit: &mut Circuit,
+    a: Register,
+    b: Register,
+    ancilla: usize,
+    borrow_out: Option<usize>,
+    controls: &[usize],
+) {
+    for j in 0..b.len {
+        push_x(circuit, b.bit(j), controls);
+    }
+    emit_add(circuit, a, b, ancilla, borrow_out, controls);
+    for j in 0..b.len {
+        push_x(circuit, b.bit(j), controls);
+    }
+}
+
+/// A standalone adder circuit with its register layout.
+pub struct AdderCircuit {
+    /// The synthesised circuit.
+    pub circuit: Circuit,
+    /// First operand (restored).
+    pub a: Register,
+    /// Second operand (receives the sum).
+    pub b: Register,
+    /// Work qubit (index), |0⟩ in and out.
+    pub ancilla: usize,
+    /// Carry-out qubit (present when built with `with_carry`).
+    pub carry_out: Option<usize>,
+    /// Total qubits.
+    pub n_qubits: usize,
+}
+
+/// Builds `(a, b) ↦ (a, a+b mod 2^m)` on `2m + 1` qubits
+/// (or `2m + 2` with carry-out).
+pub fn adder(m: usize, with_carry: bool) -> AdderCircuit {
+    let mut l = crate::register::Layout::new();
+    let a = l.alloc(m);
+    let b = l.alloc(m);
+    let ancilla = l.alloc_qubit();
+    let carry_out = if with_carry { Some(l.alloc_qubit()) } else { None };
+    let mut circuit = Circuit::new(l.total());
+    emit_add(&mut circuit, a, b, ancilla, carry_out, &[]);
+    AdderCircuit {
+        circuit,
+        a,
+        b,
+        ancilla,
+        carry_out,
+        n_qubits: l.total(),
+    }
+}
+
+/// Builds the subtractor `(a, b) ↦ (a, b − a mod 2^m)`.
+pub fn subtractor(m: usize, with_borrow: bool) -> AdderCircuit {
+    let mut l = crate::register::Layout::new();
+    let a = l.alloc(m);
+    let b = l.alloc(m);
+    let ancilla = l.alloc_qubit();
+    let borrow_out = if with_borrow { Some(l.alloc_qubit()) } else { None };
+    let mut circuit = Circuit::new(l.total());
+    emit_sub(&mut circuit, a, b, ancilla, borrow_out, &[]);
+    AdderCircuit {
+        circuit,
+        a,
+        b,
+        ancilla,
+        carry_out: borrow_out,
+        n_qubits: l.total(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bitsim::run_classical;
+
+    fn run_adder(m: usize, with_carry: bool, av: u64, bv: u64) -> (u64, u64, u64, Option<u64>) {
+        let ad = adder(m, with_carry);
+        let mut word = 0u64;
+        word = ad.a.set(word, av);
+        word = ad.b.set(word, bv);
+        let out = run_classical(&ad.circuit, word);
+        let carry = ad.carry_out.map(|z| (out >> z) & 1);
+        ((out >> ad.ancilla) & 1, ad.a.get(out), ad.b.get(out), carry)
+    }
+
+    #[test]
+    fn exhaustive_small_adders() {
+        for m in 1..=5usize {
+            let max = 1u64 << m;
+            for av in 0..max {
+                for bv in 0..max {
+                    let (anc, a_out, b_out, carry) = run_adder(m, true, av, bv);
+                    assert_eq!(anc, 0, "ancilla must be restored");
+                    assert_eq!(a_out, av, "a must be restored (m={m}, a={av}, b={bv})");
+                    assert_eq!(b_out, (av + bv) % max, "sum wrong (m={m}, a={av}, b={bv})");
+                    assert_eq!(
+                        carry,
+                        Some((av + bv) / max),
+                        "carry wrong (m={m}, a={av}, b={bv})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn wide_adder_random() {
+        use rand::Rng;
+        let mut rng = rand::thread_rng();
+        let m = 24;
+        let mask = (1u64 << m) - 1;
+        for _ in 0..200 {
+            let av = rng.gen::<u64>() & mask;
+            let bv = rng.gen::<u64>() & mask;
+            let (anc, a_out, b_out, _) = run_adder(m, false, av, bv);
+            assert_eq!(anc, 0);
+            assert_eq!(a_out, av);
+            assert_eq!(b_out, (av + bv) & mask);
+        }
+    }
+
+    #[test]
+    fn exhaustive_small_subtractors() {
+        for m in 1..=4usize {
+            let max = 1u64 << m;
+            let sb = subtractor(m, true);
+            for av in 0..max {
+                for bv in 0..max {
+                    let mut word = 0u64;
+                    word = sb.a.set(word, av);
+                    word = sb.b.set(word, bv);
+                    let out = run_classical(&sb.circuit, word);
+                    assert_eq!(sb.a.get(out), av);
+                    assert_eq!(
+                        sb.b.get(out),
+                        bv.wrapping_sub(av) & (max - 1),
+                        "difference wrong (m={m}, a={av}, b={bv})"
+                    );
+                    let borrow = (out >> sb.carry_out.unwrap()) & 1;
+                    assert_eq!(borrow, u64::from(av > bv), "borrow flag (a={av}, b={bv})");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn controlled_adder_respects_control() {
+        let m = 3;
+        let mut l = crate::register::Layout::new();
+        let a = l.alloc(m);
+        let b = l.alloc(m);
+        let anc = l.alloc_qubit();
+        let ctrl = l.alloc_qubit();
+        let mut c = Circuit::new(l.total());
+        emit_add(&mut c, a, b, anc, None, &[ctrl]);
+        for av in 0..8u64 {
+            for bv in 0..8u64 {
+                // Control off: identity.
+                let mut w = a.set(b.set(0, bv), av);
+                assert_eq!(run_classical(&c, w), w, "control-off must be identity");
+                // Control on: addition.
+                w |= 1 << ctrl;
+                let out = run_classical(&c, w);
+                assert_eq!(b.get(out), (av + bv) % 8);
+                assert_eq!(a.get(out), av);
+                assert_eq!((out >> ctrl) & 1, 1);
+            }
+        }
+    }
+
+    #[test]
+    fn adder_gate_count_scales_linearly() {
+        let g8 = adder(8, false).circuit.gate_count();
+        let g16 = adder(16, false).circuit.gate_count();
+        // 6 gates per bit (MAJ + UMA), so doubling m roughly doubles count.
+        assert_eq!(g8, 6 * 8);
+        assert_eq!(g16, 6 * 16);
+    }
+
+    #[test]
+    fn adder_works_on_superpositions() {
+        // Quantum sanity: adding a constant register to a superposed target
+        // permutes amplitudes coherently.
+        use qcemu_sim::StateVector;
+        let ad = adder(2, false);
+        // a = 1, b in uniform superposition: prepare via H on b's qubits.
+        let mut sv = StateVector::zero_state(ad.n_qubits);
+        sv.apply(&Gate::x(ad.a.bit(0))); // a = 1
+        sv.apply(&Gate::h(ad.b.bit(0)));
+        sv.apply(&Gate::h(ad.b.bit(1)));
+        sv.apply_circuit(&ad.circuit);
+        // Each b value v should now sit at b = v+1 mod 4, uniformly.
+        let dist = sv.register_distribution(&ad.b.bits());
+        for v in 0..4 {
+            assert!((dist[v] - 0.25).abs() < 1e-12);
+        }
+        // And a is still 1 with certainty.
+        let da = sv.register_distribution(&ad.a.bits());
+        assert!((da[1] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal width")]
+    fn rejects_mismatched_widths() {
+        let mut c = Circuit::new(8);
+        emit_add(
+            &mut c,
+            Register::new(0, 3),
+            Register::new(3, 4),
+            7,
+            None,
+            &[],
+        );
+    }
+}

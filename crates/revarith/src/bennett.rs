@@ -1,0 +1,348 @@
+//! Bennett-style compilation of irreversible boolean circuits to Toffoli
+//! networks (paper §3, refs [10, 11]).
+//!
+//! "A straight-forward approach to translating a classical function to a
+//! reversible quantum circuit is to replace all NAND gates by the
+//! reversible Toffoli gate, which requires an additional bit for each NAND
+//! to store the result. After completion of the circuit, the result can be
+//! copied using CNOT gates prior to clearing all (temporary) work bits by
+//! running the entire circuit in reverse."
+//!
+//! That is exactly what [`compile_bennett`] does, for a small netlist IR of
+//! NAND/AND/OR/XOR/NOT gates. The resulting gate and ancilla counts are the
+//! "bad news for a simulator" the emulator sidesteps.
+
+use crate::register::{Layout, Register};
+use qcemu_sim::Circuit;
+
+/// A wire in the boolean netlist: a primary input or the output of an
+/// earlier gate.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Wire {
+    /// Primary input `i`.
+    Input(usize),
+    /// Output of netlist gate `g`.
+    Node(usize),
+}
+
+/// One irreversible boolean gate.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BoolGate {
+    /// NAND — the universal gate the paper's argument is phrased in.
+    Nand(Wire, Wire),
+    /// AND.
+    And(Wire, Wire),
+    /// OR.
+    Or(Wire, Wire),
+    /// XOR.
+    Xor(Wire, Wire),
+    /// NOT.
+    Not(Wire),
+}
+
+/// An irreversible boolean circuit: a gate list in topological order plus
+/// designated output wires.
+#[derive(Clone, Debug)]
+pub struct BoolCircuit {
+    /// Number of primary inputs.
+    pub n_inputs: usize,
+    /// Gates in topological order (a gate may reference inputs and earlier
+    /// gates only).
+    pub gates: Vec<BoolGate>,
+    /// Output wires.
+    pub outputs: Vec<Wire>,
+}
+
+impl BoolCircuit {
+    /// Classical reference evaluation.
+    pub fn eval(&self, input: u64) -> u64 {
+        let mut node_vals = Vec::with_capacity(self.gates.len());
+        let val = |w: Wire, nodes: &[bool]| -> bool {
+            match w {
+                Wire::Input(i) => (input >> i) & 1 == 1,
+                Wire::Node(g) => nodes[g],
+            }
+        };
+        for g in &self.gates {
+            let v = match *g {
+                BoolGate::Nand(x, y) => !(val(x, &node_vals) && val(y, &node_vals)),
+                BoolGate::And(x, y) => val(x, &node_vals) && val(y, &node_vals),
+                BoolGate::Or(x, y) => val(x, &node_vals) || val(y, &node_vals),
+                BoolGate::Xor(x, y) => val(x, &node_vals) ^ val(y, &node_vals),
+                BoolGate::Not(x) => !val(x, &node_vals),
+            };
+            node_vals.push(v);
+        }
+        let mut out = 0u64;
+        for (j, &w) in self.outputs.iter().enumerate() {
+            if val(w, &node_vals) {
+                out |= 1 << j;
+            }
+        }
+        out
+    }
+
+    /// Validates topological ordering and wire ranges.
+    pub fn validate(&self) -> Result<(), String> {
+        let check = |w: Wire, g_idx: usize| -> Result<(), String> {
+            match w {
+                Wire::Input(i) if i >= self.n_inputs => {
+                    Err(format!("gate {g_idx} references input {i} of {}", self.n_inputs))
+                }
+                Wire::Node(n) if n >= g_idx => {
+                    Err(format!("gate {g_idx} references later node {n}"))
+                }
+                _ => Ok(()),
+            }
+        };
+        for (g_idx, g) in self.gates.iter().enumerate() {
+            match *g {
+                BoolGate::Nand(x, y)
+                | BoolGate::And(x, y)
+                | BoolGate::Or(x, y)
+                | BoolGate::Xor(x, y) => {
+                    check(x, g_idx)?;
+                    check(y, g_idx)?;
+                }
+                BoolGate::Not(x) => check(x, g_idx)?,
+            }
+        }
+        for &w in &self.outputs {
+            match w {
+                Wire::Input(i) if i >= self.n_inputs => return Err("output wire bad".into()),
+                Wire::Node(n) if n >= self.gates.len() => return Err("output wire bad".into()),
+                _ => {}
+            }
+        }
+        Ok(())
+    }
+}
+
+/// The reversible compilation result.
+pub struct BennettCircuit {
+    /// The Toffoli/CNOT/X network: compute → copy → uncompute.
+    pub circuit: Circuit,
+    /// Primary input register (restored).
+    pub inputs: Register,
+    /// Output register (receives `outputs XOR f(inputs)`).
+    pub outputs: Register,
+    /// Work register, one qubit per netlist gate (|0⟩ in and out).
+    pub work: Register,
+    /// Total qubits.
+    pub n_qubits: usize,
+}
+
+/// Compiles a boolean netlist to a reversible circuit with the Bennett
+/// compute–copy–uncompute discipline: one ancilla per gate, all ancillas
+/// returned to |0⟩, gate count `2·G_compute + |outputs|`.
+pub fn compile_bennett(bc: &BoolCircuit) -> BennettCircuit {
+    bc.validate().expect("invalid boolean circuit");
+    let mut l = Layout::new();
+    let inputs = l.alloc(bc.n_inputs.max(1));
+    let outputs = l.alloc(bc.outputs.len().max(1));
+    let work = l.alloc(bc.gates.len().max(1));
+    let mut circuit = Circuit::new(l.total());
+
+    let wire_qubit = |w: Wire| -> usize {
+        match w {
+            Wire::Input(i) => inputs.bit(i),
+            Wire::Node(g) => work.bit(g),
+        }
+    };
+
+    // Compute phase: evaluate every gate into its work qubit.
+    let mut compute = Circuit::new(l.total());
+    for (g_idx, g) in bc.gates.iter().enumerate() {
+        let t = work.bit(g_idx);
+        match *g {
+            BoolGate::Nand(x, y) => {
+                // t = 1 ⊕ (x ∧ y)
+                compute.x(t);
+                compute.toffoli(wire_qubit(x), wire_qubit(y), t);
+            }
+            BoolGate::And(x, y) => {
+                compute.toffoli(wire_qubit(x), wire_qubit(y), t);
+            }
+            BoolGate::Or(x, y) => {
+                // x ∨ y = (x ⊕ y) ⊕ (x ∧ y)
+                compute.cnot(wire_qubit(x), t);
+                compute.cnot(wire_qubit(y), t);
+                compute.toffoli(wire_qubit(x), wire_qubit(y), t);
+            }
+            BoolGate::Xor(x, y) => {
+                compute.cnot(wire_qubit(x), t);
+                compute.cnot(wire_qubit(y), t);
+            }
+            BoolGate::Not(x) => {
+                compute.cnot(wire_qubit(x), t);
+                compute.x(t);
+            }
+        }
+    }
+    circuit.extend(&compute);
+
+    // Copy phase: CNOT results into the output register.
+    for (j, &w) in bc.outputs.iter().enumerate() {
+        circuit.cnot(wire_qubit(w), outputs.bit(j));
+    }
+
+    // Uncompute phase: run the compute circuit in reverse.
+    circuit.extend(&compute.inverse());
+
+    BennettCircuit {
+        circuit,
+        inputs,
+        outputs,
+        work,
+        n_qubits: l.total(),
+    }
+}
+
+/// Builds a NAND-only full adder netlist (the classic 9-NAND construction),
+/// useful as a non-trivial compilation test case.
+pub fn full_adder_nand() -> BoolCircuit {
+    use BoolGate::*;
+    use Wire::*;
+    // Inputs: 0 = a, 1 = b, 2 = cin. Outputs: sum, cout.
+    let gates = vec![
+        Nand(Input(0), Input(1)),     // 0: n0 = ¬(ab)
+        Nand(Input(0), Node(0)),      // 1
+        Nand(Input(1), Node(0)),      // 2
+        Nand(Node(1), Node(2)),       // 3: a ⊕ b
+        Nand(Node(3), Input(2)),      // 4
+        Nand(Node(3), Node(4)),       // 5
+        Nand(Input(2), Node(4)),      // 6
+        Nand(Node(5), Node(6)),       // 7: sum
+        Nand(Node(4), Node(0)),       // 8: cout
+    ];
+    BoolCircuit {
+        n_inputs: 3,
+        gates,
+        outputs: vec![Node(7), Node(8)],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bitsim::run_classical;
+    use BoolGate::*;
+    use Wire::*;
+
+    fn check_compiled(bc: &BoolCircuit) {
+        let comp = compile_bennett(bc);
+        for input in 0..(1u64 << bc.n_inputs) {
+            let expect = bc.eval(input);
+            let mut w = comp.inputs.set(0, input);
+            let out = run_classical(&comp.circuit, w);
+            assert_eq!(comp.inputs.get(out), input, "inputs restored");
+            assert_eq!(comp.outputs.get(out), expect, "f({input}) wrong");
+            assert_eq!(comp.work.get(out), 0, "ancillas must be |0⟩ again");
+            // XOR semantics: pre-set output register toggles.
+            w = comp.outputs.set(w, comp.outputs.mask());
+            let out2 = run_classical(&comp.circuit, w);
+            assert_eq!(
+                comp.outputs.get(out2),
+                expect ^ comp.outputs.mask(),
+                "output must XOR"
+            );
+        }
+    }
+
+    #[test]
+    fn single_gates_compile_correctly() {
+        for g in [
+            Nand(Input(0), Input(1)),
+            And(Input(0), Input(1)),
+            Or(Input(0), Input(1)),
+            Xor(Input(0), Input(1)),
+        ] {
+            let bc = BoolCircuit {
+                n_inputs: 2,
+                gates: vec![g],
+                outputs: vec![Node(0)],
+            };
+            check_compiled(&bc);
+        }
+        let not = BoolCircuit {
+            n_inputs: 1,
+            gates: vec![Not(Input(0))],
+            outputs: vec![Node(0)],
+        };
+        check_compiled(&not);
+    }
+
+    #[test]
+    fn nand_full_adder_is_correct() {
+        let bc = full_adder_nand();
+        // Truth-table check of the netlist itself first.
+        for input in 0..8u64 {
+            let a = input & 1;
+            let b = (input >> 1) & 1;
+            let cin = (input >> 2) & 1;
+            let total = a + b + cin;
+            assert_eq!(bc.eval(input), (total & 1) | ((total >> 1) << 1));
+        }
+        check_compiled(&bc);
+    }
+
+    #[test]
+    fn deep_chain_compiles() {
+        // x0 through a chain of 20 NOTs: result = x0 (even) — all ancillas
+        // must still be cleaned.
+        let mut gates = vec![Not(Input(0))];
+        for g in 0..19 {
+            gates.push(Not(Node(g)));
+        }
+        let bc = BoolCircuit {
+            n_inputs: 1,
+            gates,
+            outputs: vec![Node(19)],
+        };
+        check_compiled(&bc);
+    }
+
+    #[test]
+    fn ancilla_count_is_one_per_gate() {
+        let bc = full_adder_nand();
+        let comp = compile_bennett(&bc);
+        assert_eq!(comp.work.len, bc.gates.len());
+        // Paper's cost statement: compute + uncompute ≈ doubles gates.
+        let compute_gates: usize = bc
+            .gates
+            .iter()
+            .map(|g| match g {
+                Nand(..) => 2,
+                And(..) => 1,
+                Or(..) => 3,
+                Xor(..) => 2,
+                Not(..) => 2,
+            })
+            .sum();
+        assert_eq!(
+            comp.circuit.gate_count(),
+            2 * compute_gates + bc.outputs.len()
+        );
+    }
+
+    #[test]
+    fn validation_rejects_forward_references() {
+        let bc = BoolCircuit {
+            n_inputs: 1,
+            gates: vec![And(Input(0), Node(5))],
+            outputs: vec![Node(0)],
+        };
+        assert!(bc.validate().is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid boolean circuit")]
+    fn compile_panics_on_invalid() {
+        let bc = BoolCircuit {
+            n_inputs: 1,
+            gates: vec![And(Input(3), Input(0))],
+            outputs: vec![Node(0)],
+        };
+        let _ = compile_bennett(&bc);
+    }
+}

@@ -1,0 +1,161 @@
+//! Classical executor for reversible (permutation) circuits.
+//!
+//! Arithmetic circuits built from X/CNOT/Toffoli/SWAP map basis states to
+//! basis states, so they can be validated on classical bit-words in O(G)
+//! instead of O(G·2ⁿ). This is how the test suite checks adders and
+//! dividers exhaustively at sizes a state vector could never hold.
+
+use qcemu_sim::{Circuit, Gate, GateOp};
+
+/// Applies a permutation-only circuit to a classical bit configuration.
+///
+/// Panics if the circuit contains a non-classical gate (anything that is
+/// not X or SWAP, possibly controlled).
+pub fn run_classical(circuit: &Circuit, mut bits: u64) -> u64 {
+    for gate in circuit.gates() {
+        bits = apply_classical_gate(gate, bits);
+    }
+    bits
+}
+
+/// Applies one permutation gate to a bit-word.
+pub fn apply_classical_gate(gate: &Gate, bits: u64) -> u64 {
+    match gate {
+        Gate::Unary {
+            op: GateOp::X,
+            target,
+            controls,
+        } => {
+            if controls_set(bits, controls) {
+                bits ^ (1u64 << target)
+            } else {
+                bits
+            }
+        }
+        Gate::Swap { a, b, controls } => {
+            if controls_set(bits, controls) {
+                let ba = (bits >> a) & 1;
+                let bb = (bits >> b) & 1;
+                if ba != bb {
+                    bits ^ (1u64 << a) ^ (1u64 << b)
+                } else {
+                    bits
+                }
+            } else {
+                bits
+            }
+        }
+        other => panic!("non-classical gate in reversible circuit: {other:?}"),
+    }
+}
+
+/// `true` if every gate in the circuit is classical (permutation).
+pub fn is_classical_circuit(circuit: &Circuit) -> bool {
+    circuit.gates().iter().all(|g| {
+        matches!(
+            g,
+            Gate::Unary {
+                op: GateOp::X,
+                ..
+            } | Gate::Swap { .. }
+        )
+    })
+}
+
+#[inline]
+fn controls_set(bits: u64, controls: &[usize]) -> bool {
+    controls.iter().all(|&c| (bits >> c) & 1 == 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qcemu_sim::StateVector;
+
+    #[test]
+    fn x_flips_bit() {
+        let mut c = Circuit::new(3);
+        c.x(1);
+        assert_eq!(run_classical(&c, 0b000), 0b010);
+        assert_eq!(run_classical(&c, 0b010), 0b000);
+    }
+
+    #[test]
+    fn cnot_and_toffoli() {
+        let mut c = Circuit::new(3);
+        c.cnot(0, 1).toffoli(0, 1, 2);
+        // 0b001 → CNOT sets bit1 → 0b011 → Toffoli sets bit2 → 0b111.
+        assert_eq!(run_classical(&c, 0b001), 0b111);
+        // 0b000: nothing fires.
+        assert_eq!(run_classical(&c, 0b000), 0b000);
+    }
+
+    #[test]
+    fn swap_exchanges() {
+        let mut c = Circuit::new(2);
+        c.swap(0, 1);
+        assert_eq!(run_classical(&c, 0b01), 0b10);
+        assert_eq!(run_classical(&c, 0b11), 0b11);
+    }
+
+    #[test]
+    fn controlled_swap() {
+        let mut c = Circuit::new(3);
+        c.push(Gate::Swap {
+            a: 0,
+            b: 1,
+            controls: vec![2],
+        });
+        assert_eq!(run_classical(&c, 0b001), 0b001); // control off
+        assert_eq!(run_classical(&c, 0b101), 0b110); // control on
+    }
+
+    #[test]
+    #[should_panic(expected = "non-classical gate")]
+    fn rejects_hadamard() {
+        let mut c = Circuit::new(1);
+        c.h(0);
+        run_classical(&c, 0);
+    }
+
+    #[test]
+    fn classical_detection() {
+        let mut c = Circuit::new(3);
+        c.x(0).cnot(0, 1).toffoli(0, 1, 2).swap(0, 2);
+        assert!(is_classical_circuit(&c));
+        c.h(0);
+        assert!(!is_classical_circuit(&c));
+    }
+
+    #[test]
+    fn agrees_with_statevector_simulation() {
+        // The bit executor and the full simulator must implement the same
+        // permutation semantics.
+        let mut c = Circuit::new(4);
+        c.x(0)
+            .cnot(0, 2)
+            .toffoli(0, 2, 3)
+            .swap(1, 3)
+            .push(Gate::mcx(vec![0, 2, 3], 1));
+        for input in 0..16usize {
+            let classical = run_classical(&c, input as u64) as usize;
+            let mut sv = StateVector::basis_state(4, input);
+            sv.apply_circuit(&c);
+            assert!(
+                (sv.probability(classical) - 1.0).abs() < 1e-12,
+                "input {input}: classical says {classical}"
+            );
+        }
+    }
+
+    #[test]
+    fn circuits_are_reversible() {
+        let mut c = Circuit::new(5);
+        c.x(0).cnot(0, 1).toffoli(1, 2, 3).swap(3, 4).cnot(4, 0);
+        let inv = c.inverse();
+        for input in 0..32u64 {
+            let out = run_classical(&c, input);
+            assert_eq!(run_classical(&inv, out), input);
+        }
+    }
+}

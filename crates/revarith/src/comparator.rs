@@ -1,0 +1,194 @@
+//! Reversible comparators via the subtract-overflow trick (paper §3.1:
+//! "the test for less/equal by checking for overflow").
+//!
+//! `a > b` is read off the borrow bit of `b − a`; computing the flag and
+//! then *uncomputing* the subtraction leaves only the answer — the
+//! compute/copy/uncompute shape whose cost, paid in gates and an extra
+//! work qubit, is exactly what emulation avoids.
+
+use crate::adder::emit_sub;
+use crate::register::{Layout, Register};
+use qcemu_sim::Circuit;
+
+/// A synthesised comparator.
+pub struct ComparatorCircuit {
+    /// The circuit.
+    pub circuit: Circuit,
+    /// Left operand (restored).
+    pub a: Register,
+    /// Right operand (restored).
+    pub b: Register,
+    /// Flag qubit: flipped iff the predicate holds. Must be |0⟩ on input
+    /// for a plain read-out.
+    pub flag: usize,
+    /// Cuccaro work qubit.
+    pub ancilla: usize,
+    /// Total qubits (`2m + 2`).
+    pub n_qubits: usize,
+}
+
+/// Builds the predicate `flag ^= (a > b)` on `2m + 2` qubits.
+///
+/// Implementation: run `b −= a` capturing the borrow into `flag`, then run
+/// the inverse subtraction *without* borrow capture to restore `b`.
+pub fn greater_than(m: usize) -> ComparatorCircuit {
+    assert!(m >= 1);
+    let mut l = Layout::new();
+    let a = l.alloc(m);
+    let b = l.alloc(m);
+    let flag = l.alloc_qubit();
+    let ancilla = l.alloc_qubit();
+    let mut circuit = Circuit::new(l.total());
+
+    // Compute: borrow of (b − a) = (a > b) lands in `flag`.
+    emit_sub(&mut circuit, a, b, ancilla, Some(flag), &[]);
+    // Uncompute the difference, leaving the flag: inverse of the same
+    // subtraction but *without* the borrow tap.
+    let mut fwd = Circuit::new(l.total());
+    emit_sub(&mut fwd, a, b, ancilla, None, &[]);
+    circuit.extend(&fwd.inverse());
+
+    ComparatorCircuit {
+        circuit,
+        a,
+        b,
+        flag,
+        ancilla,
+        n_qubits: l.total(),
+    }
+}
+
+/// Builds the predicate `flag ^= (a ≤ b)` (complement of [`greater_than`]).
+pub fn less_equal(m: usize) -> ComparatorCircuit {
+    let mut cmp = greater_than(m);
+    // flag ^= 1 turns (a > b) into (a ≤ b).
+    let flag = cmp.flag;
+    cmp.circuit.x(flag);
+    cmp
+}
+
+/// Builds `flag ^= (a == b)`: XOR `b` into `a` bitwise, flip `flag` when
+/// `a` is all-zero (multi-controlled X on inverted bits), undo.
+pub fn equal(m: usize) -> ComparatorCircuit {
+    assert!(m >= 1);
+    let mut l = Layout::new();
+    let a = l.alloc(m);
+    let b = l.alloc(m);
+    let flag = l.alloc_qubit();
+    let ancilla = l.alloc_qubit(); // unused; kept for layout parity
+    let mut circuit = Circuit::new(l.total());
+
+    for j in 0..m {
+        circuit.cnot(b.bit(j), a.bit(j)); // a ^= b
+        circuit.x(a.bit(j)); // invert: all-ones ⇔ equal
+    }
+    circuit.push(qcemu_sim::Gate::mcx(a.bits(), flag));
+    for j in (0..m).rev() {
+        circuit.x(a.bit(j));
+        circuit.cnot(b.bit(j), a.bit(j));
+    }
+
+    ComparatorCircuit {
+        circuit,
+        a,
+        b,
+        flag,
+        ancilla,
+        n_qubits: l.total(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bitsim::run_classical;
+
+    fn check(cmp: &ComparatorCircuit, av: u64, bv: u64, expect: bool) {
+        let mut w = 0u64;
+        w = cmp.a.set(w, av);
+        w = cmp.b.set(w, bv);
+        let out = run_classical(&cmp.circuit, w);
+        assert_eq!(cmp.a.get(out), av, "a restored (a={av}, b={bv})");
+        assert_eq!(cmp.b.get(out), bv, "b restored (a={av}, b={bv})");
+        assert_eq!((out >> cmp.ancilla) & 1, 0, "ancilla restored");
+        assert_eq!(
+            (out >> cmp.flag) & 1,
+            u64::from(expect),
+            "flag wrong for a={av}, b={bv}"
+        );
+    }
+
+    #[test]
+    fn greater_than_exhaustive() {
+        for m in 1..=4usize {
+            let cmp = greater_than(m);
+            let max = 1u64 << m;
+            for av in 0..max {
+                for bv in 0..max {
+                    check(&cmp, av, bv, av > bv);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn less_equal_exhaustive() {
+        let m = 3;
+        let cmp = less_equal(m);
+        for av in 0..8u64 {
+            for bv in 0..8u64 {
+                check(&cmp, av, bv, av <= bv);
+            }
+        }
+    }
+
+    #[test]
+    fn equal_exhaustive() {
+        for m in 1..=4usize {
+            let cmp = equal(m);
+            let max = 1u64 << m;
+            for av in 0..max {
+                for bv in 0..max {
+                    check(&cmp, av, bv, av == bv);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn flag_xor_semantics() {
+        // With flag initially 1, the comparator must XOR, not overwrite.
+        let cmp = greater_than(2);
+        let mut w = 0u64;
+        w = cmp.a.set(w, 3);
+        w = cmp.b.set(w, 1);
+        w |= 1 << cmp.flag;
+        let out = run_classical(&cmp.circuit, w);
+        assert_eq!((out >> cmp.flag) & 1, 0, "1 XOR (3>1) = 0");
+    }
+
+    #[test]
+    fn comparator_on_superposition() {
+        use qcemu_sim::{Gate, StateVector};
+        let cmp = greater_than(2);
+        let mut sv = StateVector::zero_state(cmp.n_qubits);
+        for qb in cmp.a.bits() {
+            sv.apply(&Gate::h(qb));
+        }
+        sv.apply(&Gate::x(cmp.b.bit(0))); // b = 1
+        sv.apply_circuit(&cmp.circuit);
+        let all: Vec<usize> = (0..cmp.n_qubits).collect();
+        for (idx, p) in sv.register_distribution(&all).iter().enumerate() {
+            if *p < 1e-15 {
+                continue;
+            }
+            let w = idx as u64;
+            assert_eq!(
+                (w >> cmp.flag) & 1,
+                u64::from(cmp.a.get(w) > 1),
+                "branch a={}",
+                cmp.a.get(w)
+            );
+        }
+    }
+}

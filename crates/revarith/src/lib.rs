@@ -1,0 +1,35 @@
+//! # qcemu-revarith
+//!
+//! Reversible arithmetic circuit synthesis — the gate-level circuits the
+//! paper's *simulator* must grind through so that the *emulator*'s §3.1
+//! shortcuts have an honest baseline:
+//!
+//! * [`adder`] — Cuccaro ripple-carry adder/subtractor (paper ref. [12])
+//!   with carry/borrow taps and controlled variants;
+//! * [`multiplier`] — repeated-addition-and-shift: `(a,b,c) ↦ (a,b,c+ab)`
+//!   on `3m+1` qubits (Fig. 1 workload);
+//! * [`divider`] — restoring repeated-subtraction-and-shift division on
+//!   `4m+3` qubits, whose extra work qubits are exactly why Fig. 2's
+//!   speedups dwarf Fig. 1's;
+//! * [`comparator`] — overflow-based `>` / `≤` / `=` predicates;
+//! * [`bennett`] — NAND-netlist → Toffoli-network compilation with the
+//!   compute–copy–uncompute discipline (paper refs [10, 11]);
+//! * [`bitsim`] — O(G) classical executor for permutation circuits, used
+//!   to validate arithmetic exhaustively at widths no state vector fits;
+//! * [`register`] — contiguous qubit registers and layout allocation.
+
+pub mod adder;
+pub mod bennett;
+pub mod bitsim;
+pub mod comparator;
+pub mod divider;
+pub mod multiplier;
+pub mod register;
+
+pub use adder::{adder, emit_add, emit_sub, subtractor, AdderCircuit};
+pub use bennett::{compile_bennett, full_adder_nand, BennettCircuit, BoolCircuit, BoolGate, Wire};
+pub use bitsim::{apply_classical_gate, is_classical_circuit, run_classical};
+pub use comparator::{equal, greater_than, less_equal, ComparatorCircuit};
+pub use divider::{divider, divider_model, DividerCircuit};
+pub use multiplier::{multiplier, multiplier_model, MultiplierCircuit};
+pub use register::{Layout, Register};

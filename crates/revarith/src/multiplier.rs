@@ -1,0 +1,183 @@
+//! Repeated-addition-and-shift multiplier (paper §3.1).
+//!
+//! Maps `(a, b, c=0) ↦ (a, b, a·b mod 2^m)` exactly as the paper's Fig. 1
+//! workload: for each bit `b_i`, a controlled Cuccaro addition of the
+//! shifted operand `a·2^i` into the product register, truncated at `m`
+//! bits. More generally the circuit computes `c ← c + a·b (mod 2^m)`,
+//! which is a bijection for any initial `c` — the property the emulator's
+//! in-place arithmetic map relies on.
+
+use crate::adder::emit_add;
+use crate::register::{Layout, Register};
+use qcemu_sim::Circuit;
+
+/// A synthesised multiplier with its register layout.
+pub struct MultiplierCircuit {
+    /// The circuit.
+    pub circuit: Circuit,
+    /// First factor (restored).
+    pub a: Register,
+    /// Second factor (restored).
+    pub b: Register,
+    /// Product register: receives `c + a·b mod 2^m`.
+    pub c: Register,
+    /// Cuccaro work qubit (|0⟩ in and out).
+    pub ancilla: usize,
+    /// Total qubits (`3m + 1`).
+    pub n_qubits: usize,
+}
+
+/// Builds the `m`-bit multiplier `(a, b, c) ↦ (a, b, c + a·b mod 2^m)` on
+/// `3m + 1` qubits (the paper's `n = 3m` plus the adder ancilla).
+pub fn multiplier(m: usize) -> MultiplierCircuit {
+    assert!(m >= 1, "multiplier needs at least 1 bit");
+    let mut l = Layout::new();
+    let a = l.alloc(m);
+    let b = l.alloc(m);
+    let c = l.alloc(m);
+    let ancilla = l.alloc_qubit();
+    let mut circuit = Circuit::new(l.total());
+
+    // c[i..m] += a[0..m-i]  controlled on b_i  (shifted, truncated add).
+    for i in 0..m {
+        let a_slice = a.slice(0, m - i);
+        let c_slice = c.slice(i, m - i);
+        emit_add(&mut circuit, a_slice, c_slice, ancilla, None, &[b.bit(i)]);
+    }
+
+    MultiplierCircuit {
+        circuit,
+        a,
+        b,
+        c,
+        ancilla,
+        n_qubits: l.total(),
+    }
+}
+
+/// Classical model of the circuit semantics (used by the emulator and the
+/// tests): `c' = c + a·b mod 2^m`.
+pub fn multiplier_model(m: usize, a: u64, b: u64, c: u64) -> u64 {
+    let mask = if m >= 64 { u64::MAX } else { (1u64 << m) - 1 };
+    (c.wrapping_add(a.wrapping_mul(b))) & mask
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bitsim::run_classical;
+
+    fn run_mult(m: usize, av: u64, bv: u64, cv: u64) -> (u64, u64, u64, u64) {
+        let mc = multiplier(m);
+        let mut w = 0u64;
+        w = mc.a.set(w, av);
+        w = mc.b.set(w, bv);
+        w = mc.c.set(w, cv);
+        let out = run_classical(&mc.circuit, w);
+        (
+            mc.a.get(out),
+            mc.b.get(out),
+            mc.c.get(out),
+            (out >> mc.ancilla) & 1,
+        )
+    }
+
+    #[test]
+    fn exhaustive_small_multipliers() {
+        for m in 1..=4usize {
+            let max = 1u64 << m;
+            for av in 0..max {
+                for bv in 0..max {
+                    let (ao, bo, co, anc) = run_mult(m, av, bv, 0);
+                    assert_eq!(anc, 0, "ancilla restored");
+                    assert_eq!(ao, av, "a restored");
+                    assert_eq!(bo, bv, "b restored");
+                    assert_eq!(
+                        co,
+                        (av * bv) % max,
+                        "product wrong (m={m}, a={av}, b={bv})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn accumulates_into_nonzero_c() {
+        // The add-convention semantics: c ← c + ab, a bijection in c.
+        for av in 0..8u64 {
+            for bv in 0..8u64 {
+                for cv in 0..8u64 {
+                    let (_, _, co, _) = run_mult(3, av, bv, cv);
+                    assert_eq!(co, multiplier_model(3, av, bv, cv));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn wide_multiplier_random() {
+        use rand::Rng;
+        let mut rng = rand::thread_rng();
+        let m = 16;
+        let mask = (1u64 << m) - 1;
+        for _ in 0..100 {
+            let av = rng.gen::<u64>() & mask;
+            let bv = rng.gen::<u64>() & mask;
+            let (ao, bo, co, anc) = run_mult(m, av, bv, 0);
+            assert_eq!((ao, bo, anc), (av, bv, 0));
+            assert_eq!(co, av.wrapping_mul(bv) & mask);
+        }
+    }
+
+    #[test]
+    fn multiplier_is_reversible() {
+        let mc = multiplier(3);
+        let inv = mc.circuit.inverse();
+        for w in 0..(1u64 << 9) {
+            // Only test ancilla = 0 states (the valid input space).
+            let out = run_classical(&mc.circuit, w);
+            assert_eq!(run_classical(&inv, out), w);
+        }
+    }
+
+    #[test]
+    fn gate_count_is_quadratic_ish() {
+        // Σ_{i} 6(m−i) = 6·m(m+1)/2 gates.
+        let m = 6;
+        let mc = multiplier(m);
+        assert_eq!(mc.circuit.gate_count(), 6 * m * (m + 1) / 2);
+        assert_eq!(mc.n_qubits, 3 * m + 1);
+    }
+
+    #[test]
+    fn multiplication_on_superposition_of_inputs() {
+        // The paper's workload: a, b in uniform superposition, product
+        // register picks up a·b for every branch simultaneously.
+        use qcemu_sim::StateVector;
+        let m = 2;
+        let mc = multiplier(m);
+        let mut sv = StateVector::zero_state(mc.n_qubits);
+        for q in mc.a.bits().into_iter().chain(mc.b.bits()) {
+            sv.apply(&qcemu_sim::Gate::h(q));
+        }
+        sv.apply_circuit(&mc.circuit);
+        // Check: P(c = a·b mod 4 | a, b) = 1 for each (a, b) branch.
+        let all_bits: Vec<usize> = (0..mc.n_qubits).collect();
+        let dist = sv.register_distribution(&all_bits);
+        for (idx, p) in dist.iter().enumerate() {
+            if *p < 1e-15 {
+                continue;
+            }
+            let w = idx as u64;
+            assert_eq!(
+                mc.c.get(w),
+                (mc.a.get(w) * mc.b.get(w)) % 4,
+                "branch a={}, b={} has wrong product",
+                mc.a.get(w),
+                mc.b.get(w)
+            );
+            assert!((p - 1.0 / 16.0).abs() < 1e-12, "uniform branch weight");
+        }
+    }
+}

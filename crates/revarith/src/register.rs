@@ -1,0 +1,156 @@
+//! Contiguous qubit registers and classical bit-word helpers.
+
+/// A contiguous run of qubits interpreted as a little-endian integer
+/// register (bit `j` of the value lives on qubit `offset + j`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Register {
+    /// First qubit index.
+    pub offset: usize,
+    /// Number of qubits.
+    pub len: usize,
+}
+
+impl Register {
+    /// Creates a register covering `offset .. offset + len`.
+    pub fn new(offset: usize, len: usize) -> Register {
+        Register { offset, len }
+    }
+
+    /// The qubit index of value-bit `j`.
+    #[inline]
+    pub fn bit(&self, j: usize) -> usize {
+        assert!(j < self.len, "register bit {j} out of range (len {})", self.len);
+        self.offset + j
+    }
+
+    /// All qubit indices, LSB first.
+    pub fn bits(&self) -> Vec<usize> {
+        (self.offset..self.offset + self.len).collect()
+    }
+
+    /// A sub-register of `len` bits starting at value-bit `start`.
+    pub fn slice(&self, start: usize, len: usize) -> Register {
+        assert!(start + len <= self.len, "slice out of range");
+        Register {
+            offset: self.offset + start,
+            len,
+        }
+    }
+
+    /// Reads this register's value out of a classical bit-word.
+    #[inline]
+    pub fn get(&self, word: u64) -> u64 {
+        (word >> self.offset) & self.mask()
+    }
+
+    /// Writes `value` (truncated to the register width) into a bit-word.
+    #[inline]
+    pub fn set(&self, word: u64, value: u64) -> u64 {
+        (word & !(self.mask() << self.offset)) | ((value & self.mask()) << self.offset)
+    }
+
+    /// Value mask `2^len − 1`.
+    #[inline]
+    pub fn mask(&self) -> u64 {
+        if self.len >= 64 {
+            u64::MAX
+        } else {
+            (1u64 << self.len) - 1
+        }
+    }
+
+    /// One-past-the-end qubit index.
+    #[inline]
+    pub fn end(&self) -> usize {
+        self.offset + self.len
+    }
+}
+
+/// Simple bump allocator for laying out registers on a qubit line.
+#[derive(Default, Debug)]
+pub struct Layout {
+    next: usize,
+}
+
+impl Layout {
+    /// Empty layout.
+    pub fn new() -> Layout {
+        Layout { next: 0 }
+    }
+
+    /// Allocates the next `len` qubits as a register.
+    pub fn alloc(&mut self, len: usize) -> Register {
+        let r = Register::new(self.next, len);
+        self.next += len;
+        r
+    }
+
+    /// Allocates a single qubit, returning its index.
+    pub fn alloc_qubit(&mut self) -> usize {
+        let q = self.next;
+        self.next += 1;
+        q
+    }
+
+    /// Total qubits allocated so far.
+    pub fn total(&self) -> usize {
+        self.next
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_bits_and_indexing() {
+        let r = Register::new(3, 4);
+        assert_eq!(r.bits(), vec![3, 4, 5, 6]);
+        assert_eq!(r.bit(0), 3);
+        assert_eq!(r.bit(3), 6);
+        assert_eq!(r.end(), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bit_out_of_range_panics() {
+        Register::new(0, 2).bit(2);
+    }
+
+    #[test]
+    fn get_set_roundtrip() {
+        let r = Register::new(5, 6);
+        let w = r.set(0, 0b101101);
+        assert_eq!(r.get(w), 0b101101);
+        // Other bits untouched.
+        let w2 = r.set(u64::MAX, 0);
+        assert_eq!(r.get(w2), 0);
+        assert_eq!(w2 | (r.mask() << r.offset), u64::MAX);
+    }
+
+    #[test]
+    fn set_truncates_to_width() {
+        let r = Register::new(0, 3);
+        assert_eq!(r.get(r.set(0, 0b11111)), 0b111);
+    }
+
+    #[test]
+    fn slicing() {
+        let r = Register::new(2, 8);
+        let s = r.slice(3, 2);
+        assert_eq!(s.offset, 5);
+        assert_eq!(s.len, 2);
+    }
+
+    #[test]
+    fn layout_allocation() {
+        let mut l = Layout::new();
+        let a = l.alloc(4);
+        let q = l.alloc_qubit();
+        let b = l.alloc(2);
+        assert_eq!(a, Register::new(0, 4));
+        assert_eq!(q, 4);
+        assert_eq!(b, Register::new(5, 2));
+        assert_eq!(l.total(), 7);
+    }
+}

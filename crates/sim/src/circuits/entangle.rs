@@ -1,0 +1,53 @@
+//! The "entangling operation" benchmark circuit of paper §4.5 (Fig. 6):
+//! a Hadamard on the first qubit followed by CNOTs onto every other qubit,
+//! all conditioned on the first — producing the n-qubit GHZ state from |0⟩.
+
+use crate::circuit::Circuit;
+
+/// `H(0)` then `CNOT(0 → k)` for `k = 1..n`.
+pub fn entangle_circuit(n: usize) -> Circuit {
+    assert!(n >= 1, "need at least one qubit");
+    let mut c = Circuit::new(n);
+    c.h(0);
+    for k in 1..n {
+        c.cnot(0, k);
+    }
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::statevector::StateVector;
+
+    #[test]
+    fn produces_ghz_state() {
+        for n in 1..=8 {
+            let mut sv = StateVector::zero_state(n);
+            sv.apply_circuit(&entangle_circuit(n));
+            let dim = 1usize << n;
+            assert!((sv.probability(0) - 0.5).abs() < 1e-12, "n = {n}");
+            assert!((sv.probability(dim - 1) - 0.5).abs() < 1e-12, "n = {n}");
+            for k in 1..dim - 1 {
+                assert!(sv.probability(k) < 1e-15, "n = {n}, k = {k}");
+            }
+        }
+    }
+
+    #[test]
+    fn gate_count_is_n() {
+        assert_eq!(entangle_circuit(22).gate_count(), 22);
+    }
+
+    #[test]
+    fn applied_twice_returns_to_plus_like_state() {
+        // The circuit is its own inverse (H and CNOT are involutions and
+        // they commute appropriately in reverse order only) — verify via
+        // explicit inverse instead.
+        let c = entangle_circuit(5);
+        let mut sv = StateVector::zero_state(5);
+        sv.apply_circuit(&c);
+        sv.apply_circuit(&c.inverse());
+        assert!((sv.probability(0) - 1.0).abs() < 1e-12);
+    }
+}

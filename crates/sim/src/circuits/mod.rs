@@ -1,0 +1,11 @@
+//! Generators for the benchmark circuits used throughout the paper:
+//! QFT (§3.2, Figs. 3–5), the entangling operation (Fig. 6), and the
+//! transverse-field Ising Trotter step (Table 2).
+
+pub mod entangle;
+pub mod qft;
+pub mod tfim;
+
+pub use entangle::entangle_circuit;
+pub use qft::{inverse_qft_circuit, qft_circuit, qft_circuit_no_swap, qft_gate_count};
+pub use tfim::{tfim_gate_count, tfim_trotter_step, TfimParams};

@@ -1,0 +1,156 @@
+//! Gate-level quantum Fourier transform circuits (paper §3.2).
+//!
+//! The QFT on `n` qubits is `n` Hadamards plus `n(n−1)/2` controlled phase
+//! shifts (plus ⌊n/2⌋ SWAPs for bit order) — the O(n²) circuit whose
+//! simulation the emulator replaces with a single FFT.
+//!
+//! Conventions: qubit `k` is bit `k` of the register value (little-endian).
+//! `qft_circuit` implements exactly paper Eq. (4):
+//! `α_l ↦ 2^{-n/2} Σ_k α_k e^{2πi k l / 2^n}`, verified against the FFT in
+//! the test suite.
+
+use crate::circuit::Circuit;
+use std::f64::consts::PI;
+
+/// Full QFT circuit on qubits `0..n` including the final SWAP network.
+pub fn qft_circuit(n: usize) -> Circuit {
+    let mut c = qft_circuit_no_swap(n);
+    for i in 0..n / 2 {
+        c.swap(i, n - 1 - i);
+    }
+    c
+}
+
+/// QFT without the final SWAPs: output in bit-reversed order. This is the
+/// variant algorithms use when they absorb the reversal into later indexing
+/// (e.g. Shor implementations).
+pub fn qft_circuit_no_swap(n: usize) -> Circuit {
+    let mut c = Circuit::new(n);
+    // Process from the most significant qubit downwards.
+    for t in (0..n).rev() {
+        c.h(t);
+        // Qubit t−d contributes a phase rotation of π/2^d on target t.
+        for d in 1..=t {
+            c.cphase(t - d, t, PI / (1u64 << d) as f64);
+        }
+    }
+    c
+}
+
+/// Inverse QFT (with SWAPs).
+pub fn inverse_qft_circuit(n: usize) -> Circuit {
+    qft_circuit(n).inverse()
+}
+
+/// Gate count of the QFT circuit: `n` H + `n(n−1)/2` CR + `⌊n/2⌋` SWAP.
+pub fn qft_gate_count(n: usize) -> usize {
+    n + n * (n - 1) / 2 + n / 2
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::statevector::StateVector;
+    use qcemu_fft::{inverse_qft_convention, qft_convention};
+    use qcemu_linalg::{max_abs_diff, random_state, C64};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn gate_count_formula() {
+        for n in 1..10 {
+            assert_eq!(qft_circuit(n).gate_count(), qft_gate_count(n), "n = {n}");
+        }
+    }
+
+    #[test]
+    fn qft_circuit_matches_fft_on_basis_states() {
+        for n in 1..=6 {
+            for k in 0..(1usize << n) {
+                let mut sv = StateVector::basis_state(n, k);
+                sv.apply_circuit(&qft_circuit(n));
+
+                let mut expect = vec![C64::ZERO; 1 << n];
+                expect[k] = C64::ONE;
+                qft_convention(&mut expect);
+
+                assert!(
+                    max_abs_diff(sv.amplitudes(), &expect) < 1e-10,
+                    "n = {n}, k = {k}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn qft_circuit_matches_fft_on_random_states() {
+        let mut rng = StdRng::seed_from_u64(80);
+        for n in 2..=8 {
+            let input = random_state(1 << n, &mut rng);
+            let mut sv = StateVector::from_amplitudes(input.clone());
+            sv.apply_circuit(&qft_circuit(n));
+            let mut expect = input;
+            qft_convention(&mut expect);
+            assert!(
+                max_abs_diff(sv.amplitudes(), &expect) < 1e-9,
+                "n = {n}: {}",
+                max_abs_diff(sv.amplitudes(), &expect)
+            );
+        }
+    }
+
+    #[test]
+    fn inverse_qft_matches_inverse_fft() {
+        let mut rng = StdRng::seed_from_u64(81);
+        let n = 6;
+        let input = random_state(1 << n, &mut rng);
+        let mut sv = StateVector::from_amplitudes(input.clone());
+        sv.apply_circuit(&inverse_qft_circuit(n));
+        let mut expect = input;
+        inverse_qft_convention(&mut expect);
+        assert!(max_abs_diff(sv.amplitudes(), &expect) < 1e-9);
+    }
+
+    #[test]
+    fn qft_then_inverse_is_identity() {
+        let mut rng = StdRng::seed_from_u64(82);
+        let n = 7;
+        let input = random_state(1 << n, &mut rng);
+        let mut sv = StateVector::from_amplitudes(input.clone());
+        sv.apply_circuit(&qft_circuit(n));
+        sv.apply_circuit(&inverse_qft_circuit(n));
+        assert!(max_abs_diff(sv.amplitudes(), &input) < 1e-9);
+    }
+
+    #[test]
+    fn no_swap_variant_is_bit_reversed() {
+        let n = 4;
+        let mut rng = StdRng::seed_from_u64(83);
+        let input = random_state(1 << n, &mut rng);
+        let mut plain = StateVector::from_amplitudes(input.clone());
+        plain.apply_circuit(&qft_circuit(n));
+        let mut ns = StateVector::from_amplitudes(input);
+        ns.apply_circuit(&qft_circuit_no_swap(n));
+        // Relate by bit reversal of the index.
+        let rev = |i: usize| {
+            let mut r = 0usize;
+            for b in 0..n {
+                r |= ((i >> b) & 1) << (n - 1 - b);
+            }
+            r
+        };
+        for i in 0..(1usize << n) {
+            assert!(
+                plain.amplitudes()[i].approx_eq(ns.amplitudes()[rev(i)], 1e-10),
+                "i = {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn qft_preserves_norm() {
+        let mut sv = StateVector::basis_state(5, 17);
+        sv.apply_circuit(&qft_circuit(5));
+        assert!((sv.norm() - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,435 @@
+//! Decomposition of multi-controlled gates into one- and two-qubit gates.
+//!
+//! Paper §2: "most experimental implementations of quantum computers are
+//! only capable of performing operations on one or two qubits … most
+//! quantum algorithms are decomposed into one- and two-qubit gates". The
+//! paper's simulator therefore chews through Toffoli *networks* at the
+//! {1-qubit, CNOT} level; this module provides that lowering so the
+//! Fig. 1/Fig. 2 baselines simulate what a hardware-targeting compiler
+//! would actually emit.
+//!
+//! Constructions (all ancilla-free):
+//! * multi-controlled **diagonal** gates (`Z`, `S`, `T`, `Phase`, `Rz`):
+//!   the parity-network identity
+//!   `c₁∧…∧c_k = 2^{1−k} Σ_{∅≠S} (−1)^{|S|+1} ⊕_S c` turns `C^k·diag(1,e^{iθ})`
+//!   into `2^k − 1` parity terms, each a CNOT-in / `Phase(±θ/2^{k−1})` /
+//!   CNOT-out block;
+//! * multi-controlled **X**: conjugate by Hadamard on the target and reuse
+//!   the diagonal network (`C^kX = H·C^kZ·H`);
+//! * multi-controlled **general** 2×2 `U`: the Barenco recursion
+//!   `C^kU = CV(c_k) · C^{k−1}X · CV†(c_k) · C^{k−1}X · C^{k−1}V` with
+//!   `V = √U` (principal square root via 2×2 eigendecomposition);
+//! * (controlled) **SWAP**: three (controlled) CNOTs, then recurse.
+
+use crate::circuit::Circuit;
+use crate::gate::{Gate, GateOp, GateStructure, Mat2};
+use qcemu_linalg::C64;
+
+/// Principal square root of a 2×2 unitary via closed-form
+/// eigendecomposition. `V·V = U` up to rounding.
+pub fn mat2_sqrt(u: &Mat2) -> Mat2 {
+    let a = u[0][0];
+    let b = u[0][1];
+    let c = u[1][0];
+    let d = u[1][1];
+    let tr = a + d;
+    let det = a * d - b * c;
+    let disc = (tr * tr - det.scale(4.0)).sqrt();
+    let l1 = (tr + disc).scale(0.5);
+    let l2 = (tr - disc).scale(0.5);
+    let s1 = l1.sqrt();
+    let s2 = l2.sqrt();
+    if (l1 - l2).abs() < 1e-12 {
+        // U = λI (the only normal case with equal eigenvalues and b=c≈0)
+        // or defective — for unitary U equal eigenvalues ⇒ U = λI.
+        return [[s1, C64::ZERO], [C64::ZERO, s1]];
+    }
+    // sqrt(U) = (U + s1·s2·I) / (s1 + s2): its eigenvalues are
+    // (λᵢ + s1·s2)/(s1 + s2) = sᵢ. The denominator cannot vanish for
+    // distinct eigenvalues (s1 = −s2 would force λ1 = λ2).
+    let sqrt_det = s1 * s2;
+    let denom = s1 + s2;
+    let apply = |z: C64, diag: bool| {
+        let num = if diag { z + sqrt_det } else { z };
+        num / denom
+    };
+    [
+        [apply(a, true), apply(b, false)],
+        [apply(c, false), apply(d, true)],
+    ]
+}
+
+/// Emits the parity network realising `exp(iθ·(w₁∧…∧w_k))` over the wire
+/// set `wires` (all treated symmetrically) into `out`, using only CNOT and
+/// single-qubit `Phase` gates.
+fn emit_parity_phase_network(out: &mut Vec<Gate>, wires: &[usize], theta: f64) {
+    let k = wires.len();
+    debug_assert!(k >= 1);
+    let base = theta / (1u64 << (k - 1)) as f64;
+    // Iterate nonempty subsets; representative = highest wire in subset.
+    for subset in 1usize..(1 << k) {
+        let sign = if subset.count_ones() % 2 == 1 { 1.0 } else { -1.0 };
+        let members: Vec<usize> = (0..k).filter(|j| subset >> j & 1 == 1).collect();
+        let rep = wires[*members.last().unwrap()];
+        // Fold parities into the representative.
+        for &j in &members[..members.len() - 1] {
+            out.push(Gate::cnot(wires[j], rep));
+        }
+        out.push(Gate::phase(rep, sign * base));
+        for &j in members[..members.len() - 1].iter().rev() {
+            out.push(Gate::cnot(wires[j], rep));
+        }
+    }
+}
+
+/// Decomposes one gate into gates with at most one control (i.e. one- and
+/// two-qubit gates). Gates already in that form pass through unchanged.
+pub fn decompose_gate(gate: &Gate) -> Vec<Gate> {
+    let mut out = Vec::new();
+    decompose_into(gate, &mut out);
+    out
+}
+
+fn decompose_into(gate: &Gate, out: &mut Vec<Gate>) {
+    match gate {
+        Gate::Unary {
+            op,
+            target,
+            controls,
+        } if controls.len() <= 1 => {
+            out.push(Gate::Unary {
+                op: op.clone(),
+                target: *target,
+                controls: controls.clone(),
+            });
+        }
+        Gate::Unary {
+            op,
+            target,
+            controls,
+        } => {
+            match op.structure() {
+                GateStructure::Diagonal(d0, d1) => {
+                    // diag(d0, d1) = d0·diag(1, d1/d0); the relative phase
+                    // triggers only when all controls AND the target are 1 →
+                    // the parity network over controls ∪ {target}. The d0
+                    // global factor on the controlled subspace is itself a
+                    // controlled phase over the controls only.
+                    let rel = (d1 / d0).arg();
+                    let mut wires = controls.clone();
+                    wires.push(*target);
+                    emit_parity_phase_network(out, &wires, rel);
+                    let g0 = d0.arg();
+                    if g0.abs() > 1e-15 {
+                        // Phase d0 applied when all *controls* are 1
+                        // (irrespective of the target bit).
+                        emit_parity_phase_network(out, controls, g0);
+                    }
+                }
+                GateStructure::PermutationX => {
+                    // C^kX = H_t · C^kZ · H_t with Z's parity network.
+                    out.push(Gate::h(*target));
+                    let mut wires = controls.clone();
+                    wires.push(*target);
+                    emit_parity_phase_network(out, &wires, std::f64::consts::PI);
+                    out.push(Gate::h(*target));
+                }
+                GateStructure::General(m) => {
+                    // Barenco recursion with V = sqrt(U).
+                    let v = mat2_sqrt(&m);
+                    let vd = crate::gate::mat2_dagger(&v);
+                    let (head, last) = controls.split_at(controls.len() - 1);
+                    let ck = last[0];
+                    // CV(ck → t)
+                    decompose_into(&Gate::controlled(GateOp::U(v), ck, *target), out);
+                    // C^{k-1}X(head → ck)
+                    decompose_into(
+                        &Gate::Unary {
+                            op: GateOp::X,
+                            target: ck,
+                            controls: head.to_vec(),
+                        },
+                        out,
+                    );
+                    // CV†(ck → t)
+                    decompose_into(&Gate::controlled(GateOp::U(vd), ck, *target), out);
+                    // C^{k-1}X(head → ck)
+                    decompose_into(
+                        &Gate::Unary {
+                            op: GateOp::X,
+                            target: ck,
+                            controls: head.to_vec(),
+                        },
+                        out,
+                    );
+                    // C^{k-1}V(head → t)
+                    decompose_into(
+                        &Gate::Unary {
+                            op: GateOp::U(v),
+                            target: *target,
+                            controls: head.to_vec(),
+                        },
+                        out,
+                    );
+                }
+            }
+        }
+        Gate::Swap { a, b, controls } => {
+            if controls.is_empty() {
+                out.push(Gate::cnot(*a, *b));
+                out.push(Gate::cnot(*b, *a));
+                out.push(Gate::cnot(*a, *b));
+            } else {
+                let mk = |c: usize, t: usize| {
+                    let mut ctl = controls.clone();
+                    ctl.push(c);
+                    Gate::Unary {
+                        op: GateOp::X,
+                        target: t,
+                        controls: ctl,
+                    }
+                };
+                decompose_into(&mk(*a, *b), out);
+                decompose_into(&mk(*b, *a), out);
+                decompose_into(&mk(*a, *b), out);
+            }
+        }
+    }
+}
+
+/// Decomposes a whole circuit into one- and two-qubit gates.
+pub fn decompose_circuit(circuit: &Circuit) -> Circuit {
+    let mut out = Circuit::new(circuit.n_qubits());
+    let mut buf = Vec::new();
+    for g in circuit.gates() {
+        buf.clear();
+        decompose_into(g, &mut buf);
+        for dg in buf.drain(..) {
+            out.push(dg);
+        }
+    }
+    out
+}
+
+/// `true` when every gate touches at most two qubits (one control max).
+pub fn is_elementary(circuit: &Circuit) -> bool {
+    circuit.gates().iter().all(|g| match g {
+        Gate::Unary { controls, .. } => controls.len() <= 1,
+        Gate::Swap { .. } => false,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gate::{mat2_is_unitary, mat2_mul};
+    use qcemu_linalg::c64;
+    use crate::statevector::StateVector;
+    use qcemu_linalg::random_state;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn check_equivalent(gate: Gate, n: usize, seed: u64, tol: f64) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let input = random_state(1 << n, &mut rng);
+        let mut direct = StateVector::from_amplitudes(input.clone());
+        direct.apply(&gate);
+        let mut lowered = StateVector::from_amplitudes(input);
+        for g in decompose_gate(&gate) {
+            assert!(g.num_controls() <= 1, "not elementary: {g:?}");
+            assert!(!matches!(g, Gate::Swap { .. }), "swap left: {g:?}");
+            lowered.apply(&g);
+        }
+        assert!(
+            direct.max_diff_up_to_phase(&lowered) < tol,
+            "decomposition of {gate:?} diverges: {}",
+            direct.max_diff_up_to_phase(&lowered)
+        );
+    }
+
+    #[test]
+    fn sqrt_of_standard_unitaries() {
+        for op in [
+            GateOp::X,
+            GateOp::H,
+            GateOp::Y,
+            GateOp::Rx(0.7),
+            GateOp::Ry(-1.2),
+            GateOp::Rz(0.4),
+            GateOp::Phase(1.1),
+        ] {
+            let u = op.matrix();
+            let v = mat2_sqrt(&u);
+            assert!(mat2_is_unitary(&v, 1e-9), "sqrt not unitary for {op:?}");
+            let vv = mat2_mul(&v, &v);
+            for r in 0..2 {
+                for c in 0..2 {
+                    assert!(
+                        (vv[r][c] - u[r][c]).abs() < 1e-9,
+                        "V² ≠ U for {op:?}: {vv:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sqrt_of_identity_scalar() {
+        let i2 = [[C64::ONE, C64::ZERO], [C64::ZERO, C64::ONE]];
+        let v = mat2_sqrt(&i2);
+        assert!((v[0][0] - C64::ONE).abs() < 1e-12);
+        let mi = [[c64(-1.0, 0.0), C64::ZERO], [C64::ZERO, c64(-1.0, 0.0)]];
+        let v = mat2_sqrt(&mi);
+        let vv = mat2_mul(&v, &v);
+        assert!((vv[0][0] - c64(-1.0, 0.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn toffoli_decomposes_correctly() {
+        check_equivalent(Gate::toffoli(0, 1, 2), 3, 900, 1e-9);
+        check_equivalent(Gate::toffoli(2, 0, 1), 3, 901, 1e-9);
+    }
+
+    #[test]
+    fn three_controlled_x_decomposes() {
+        check_equivalent(Gate::mcx(vec![0, 1, 2], 3), 4, 902, 1e-9);
+        check_equivalent(Gate::mcx(vec![3, 1, 0], 2), 4, 903, 1e-9);
+    }
+
+    #[test]
+    fn four_controlled_x_decomposes() {
+        check_equivalent(Gate::mcx(vec![0, 1, 2, 3], 4), 5, 904, 1e-8);
+    }
+
+    #[test]
+    fn multi_controlled_diagonals_decompose() {
+        check_equivalent(
+            Gate::Unary {
+                op: GateOp::Phase(0.83),
+                target: 2,
+                controls: vec![0, 1],
+            },
+            3,
+            905,
+            1e-9,
+        );
+        check_equivalent(
+            Gate::Unary {
+                op: GateOp::Rz(1.21),
+                target: 0,
+                controls: vec![1, 2, 3],
+            },
+            4,
+            906,
+            1e-9,
+        );
+        check_equivalent(
+            Gate::Unary {
+                op: GateOp::Z,
+                target: 1,
+                controls: vec![0, 2],
+            },
+            3,
+            907,
+            1e-9,
+        );
+    }
+
+    #[test]
+    fn multi_controlled_general_gates_decompose() {
+        check_equivalent(
+            Gate::Unary {
+                op: GateOp::H,
+                target: 0,
+                controls: vec![1, 2],
+            },
+            3,
+            908,
+            1e-9,
+        );
+        check_equivalent(
+            Gate::Unary {
+                op: GateOp::Rx(0.55),
+                target: 3,
+                controls: vec![0, 1, 2],
+            },
+            4,
+            909,
+            1e-8,
+        );
+    }
+
+    #[test]
+    fn controlled_swap_decomposes() {
+        check_equivalent(
+            Gate::Swap {
+                a: 0,
+                b: 2,
+                controls: vec![1],
+            },
+            3,
+            910,
+            1e-9,
+        );
+        check_equivalent(Gate::swap(1, 3), 4, 911, 1e-12);
+    }
+
+    #[test]
+    fn single_and_two_qubit_gates_pass_through() {
+        let g = Gate::cnot(0, 1);
+        assert_eq!(decompose_gate(&g), vec![g.clone()]);
+        let h = Gate::h(2);
+        assert_eq!(decompose_gate(&h), vec![h.clone()]);
+    }
+
+    #[test]
+    fn full_circuit_decomposition_is_elementary_and_equivalent() {
+        // The real deal: a multiplier circuit (Toffoli-heavy with 3-control
+        // gates from the controlled adders).
+        let mc = qcemu_revarith_test_multiplier();
+        let lowered = decompose_circuit(&mc);
+        assert!(is_elementary(&lowered));
+        assert!(lowered.gate_count() > mc.gate_count(), "lowering must expand");
+        let mut rng = StdRng::seed_from_u64(912);
+        let input = random_state(1 << mc.n_qubits(), &mut rng);
+        let mut a = StateVector::from_amplitudes(input.clone());
+        a.apply_circuit(&mc);
+        let mut b = StateVector::from_amplitudes(input);
+        b.apply_circuit(&lowered);
+        assert!(
+            a.max_diff_up_to_phase(&b) < 1e-8,
+            "lowered multiplier diverges: {}",
+            a.max_diff_up_to_phase(&b)
+        );
+    }
+
+    /// A small Toffoli-network stand-in (a controlled-adder-like block) so
+    /// this crate's tests do not depend on qcemu-revarith (which depends on
+    /// us). Mirrors the gate mix the arithmetic circuits produce.
+    fn qcemu_revarith_test_multiplier() -> Circuit {
+        let mut c = Circuit::new(6);
+        c.cnot(0, 3).toffoli(0, 1, 4);
+        c.push(Gate::mcx(vec![0, 1, 2], 5));
+        c.push(Gate::Unary {
+            op: GateOp::X,
+            target: 3,
+            controls: vec![2, 4],
+        });
+        c.toffoli(4, 5, 0).cnot(5, 1);
+        c.push(Gate::mcx(vec![1, 3, 5], 2));
+        c
+    }
+
+    #[test]
+    fn gate_count_of_toffoli_lowering_is_paper_plausible() {
+        // The parity-network Toffoli costs 2 H + (2³−1) phase blocks; the
+        // standard textbook count is ~15 gates — ours lands in 10–30,
+        // the right order for "simulation pays ~10× per Toffoli".
+        let g = decompose_gate(&Gate::toffoli(0, 1, 2));
+        assert!(
+            (10..=30).contains(&g.len()),
+            "Toffoli lowered to {} gates",
+            g.len()
+        );
+    }
+}

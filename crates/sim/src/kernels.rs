@@ -1,0 +1,503 @@
+//! Structure-specialised state-vector kernels.
+//!
+//! These kernels are the reason the paper's simulator beats qHiPSTER and
+//! LIQUi|⟩ (§4.5): instead of one generic sparse-matrix product per gate,
+//! each structural class gets its own loop —
+//!
+//! * **general 2×2**: one butterfly per amplitude pair;
+//! * **diagonal**: pure scaling, no pairing; with `d0 = 1` (phase gates)
+//!   only the `|1⟩` half is touched — a *controlled* phase therefore
+//!   touches exactly a quarter of the state vector, the access pattern the
+//!   paper's QFT cost model (Eq. 6) is built on;
+//! * **X / SWAP**: pure permutations, no arithmetic.
+//!
+//! Controls are folded into the index enumeration (not checked per entry):
+//! a gate with `c` controls iterates `2^{n−1−c}` compressed indices and
+//! expands each by bit insertion, so work shrinks geometrically with the
+//! number of controls.
+//!
+//! All kernels operate on raw `&mut [C64]` slices so that the distributed
+//! simulator (`qcemu-cluster`) can run them unchanged on node-local slabs.
+
+use crate::gate::{Gate, GateStructure, Mat2};
+use qcemu_linalg::C64;
+use rayon::prelude::*;
+
+/// State sizes below this run serially: thread handoff would dominate.
+pub const PAR_THRESHOLD: usize = 1 << 15;
+
+/// Pointer wrapper that lets rayon tasks write to provably disjoint indices
+/// of one buffer.
+#[derive(Copy, Clone)]
+struct StatePtr(*mut C64);
+// SAFETY: `StatePtr` is only used inside this module by the pair/single
+// drivers below, which guarantee that distinct loop indices expand to
+// disjoint state-vector indices (the expansion is injective and the target
+// bit separates the two elements of each pair). No two tasks ever alias.
+unsafe impl Send for StatePtr {}
+unsafe impl Sync for StatePtr {}
+
+/// Inserts zero bits into `k` at each of the (ascending) `positions`,
+/// producing the state index whose "free" bits are `k` and whose bits at
+/// `positions` are 0.
+#[inline(always)]
+pub fn expand_index(k: usize, positions: &[usize]) -> usize {
+    let mut x = k;
+    for &p in positions {
+        let low = x & ((1usize << p) - 1);
+        x = ((x >> p) << (p + 1)) | low;
+    }
+    x
+}
+
+/// Sorted gate-qubit positions plus the OR-mask of the control bits.
+fn control_layout(target_bits: &[usize], controls: &[usize]) -> (Vec<usize>, usize) {
+    let mut positions: Vec<usize> = controls.iter().chain(target_bits.iter()).copied().collect();
+    positions.sort_unstable();
+    let cmask = controls.iter().fold(0usize, |m, &c| m | (1usize << c));
+    (positions, cmask)
+}
+
+#[inline]
+fn log2_len(state: &[C64]) -> u32 {
+    debug_assert!(state.len().is_power_of_two(), "state length must be 2^n");
+    state.len().trailing_zeros()
+}
+
+/// Runs `f(&mut amp0, &mut amp1)` over every amplitude pair selected by
+/// (`target`, `controls`): indices with all control bits 1, differing only
+/// in the target bit.
+pub fn for_each_pair<F>(state: &mut [C64], target: usize, controls: &[usize], f: F)
+where
+    F: Fn(&mut C64, &mut C64) + Sync + Send,
+{
+    let n_bits = log2_len(state) as usize;
+    let (positions, cmask) = control_layout(&[target], controls);
+    debug_assert!(positions.len() <= n_bits, "gate uses more qubits than the state has");
+    let free_bits = n_bits - positions.len();
+    let count = 1usize << free_bits;
+    let tbit = 1usize << target;
+
+    if count >= PAR_THRESHOLD && rayon::current_num_threads() > 1 {
+        let ptr = StatePtr(state.as_mut_ptr());
+        (0..count).into_par_iter().for_each(|k| {
+            let i0 = expand_index(k, &positions) | cmask;
+            // SAFETY: `expand_index` is injective in k and leaves the target
+            // bit clear, so (i0, i0|tbit) pairs are pairwise disjoint across
+            // the loop; both indices are < state.len() by construction.
+            unsafe {
+                let p = ptr;
+                f(&mut *p.0.add(i0), &mut *p.0.add(i0 | tbit));
+            }
+        });
+    } else {
+        for k in 0..count {
+            let i0 = expand_index(k, &positions) | cmask;
+            let (a, b) = pair_mut(state, i0, i0 | tbit);
+            f(a, b);
+        }
+    }
+}
+
+/// Runs `f(&mut amp)` over every amplitude whose target bit is 1 and whose
+/// control bits are all 1 — the quarter-touch access pattern of the
+/// controlled phase shift.
+pub fn for_each_one<F>(state: &mut [C64], target: usize, controls: &[usize], f: F)
+where
+    F: Fn(&mut C64) + Sync + Send,
+{
+    let n_bits = log2_len(state) as usize;
+    let (positions, cmask) = control_layout(&[target], controls);
+    let free_bits = n_bits - positions.len();
+    let count = 1usize << free_bits;
+    let tbit = 1usize << target;
+
+    if count >= PAR_THRESHOLD && rayon::current_num_threads() > 1 {
+        let ptr = StatePtr(state.as_mut_ptr());
+        (0..count).into_par_iter().for_each(|k| {
+            let i = expand_index(k, &positions) | cmask | tbit;
+            // SAFETY: injective expansion ⇒ disjoint indices (see module doc).
+            unsafe {
+                let p = ptr;
+                f(&mut *p.0.add(i));
+            }
+        });
+    } else {
+        for k in 0..count {
+            let i = expand_index(k, &positions) | cmask | tbit;
+            f(&mut state[i]);
+        }
+    }
+}
+
+/// Two disjoint mutable references into one slice.
+#[inline(always)]
+fn pair_mut(state: &mut [C64], i: usize, j: usize) -> (&mut C64, &mut C64) {
+    debug_assert!(i < j);
+    let (lo, hi) = state.split_at_mut(j);
+    (&mut lo[i], &mut hi[0])
+}
+
+/// General (controlled) single-qubit unitary: one butterfly per pair.
+pub fn apply_general(state: &mut [C64], target: usize, controls: &[usize], m: &Mat2) {
+    let m = *m;
+    for_each_pair(state, target, controls, move |a, b| {
+        let x = *a;
+        let y = *b;
+        *a = m[0][0] * x + m[0][1] * y;
+        *b = m[1][0] * x + m[1][1] * y;
+    });
+}
+
+/// Diagonal (controlled) gate `diag(d0, d1)`. When `d0 = 1` (phase-type
+/// gates: Z, S, T, Rθ…) only the `|1⟩` half of the selected subspace is
+/// read and written.
+pub fn apply_diagonal(state: &mut [C64], target: usize, controls: &[usize], d0: C64, d1: C64) {
+    if d0 == C64::ONE {
+        if d1 == C64::ONE {
+            return; // identity
+        }
+        for_each_one(state, target, controls, move |z| *z *= d1);
+    } else {
+        for_each_pair(state, target, controls, move |a, b| {
+            *a *= d0;
+            *b *= d1;
+        });
+    }
+}
+
+/// (Controlled) X: swaps amplitude pairs, no arithmetic.
+pub fn apply_perm_x(state: &mut [C64], target: usize, controls: &[usize]) {
+    for_each_pair(state, target, controls, |a, b| std::mem::swap(a, b));
+}
+
+/// (Controlled) SWAP of qubits `a` and `b`: exchanges amplitudes whose two
+/// bits differ, touching half (uncontrolled) of the selected subspace.
+pub fn apply_swap(state: &mut [C64], qa: usize, qb: usize, controls: &[usize]) {
+    let n_bits = log2_len(state) as usize;
+    let (positions, cmask) = control_layout(&[qa, qb], controls);
+    let free_bits = n_bits - positions.len();
+    let count = 1usize << free_bits;
+    let abit = 1usize << qa;
+    let bbit = 1usize << qb;
+
+    if count >= PAR_THRESHOLD && rayon::current_num_threads() > 1 {
+        let ptr = StatePtr(state.as_mut_ptr());
+        (0..count).into_par_iter().for_each(|k| {
+            let base = expand_index(k, &positions) | cmask;
+            let i = base | abit;
+            let j = base | bbit;
+            // SAFETY: disjointness as in `for_each_pair`; i ≠ j since a ≠ b.
+            unsafe {
+                let p = ptr;
+                std::ptr::swap(p.0.add(i), p.0.add(j));
+            }
+        });
+    } else {
+        for k in 0..count {
+            let base = expand_index(k, &positions) | cmask;
+            state.swap(base | abit, base | bbit);
+        }
+    }
+}
+
+/// Applies one [`Gate`] to a raw state slice, dispatching on structure.
+pub fn apply_gate_slice(state: &mut [C64], gate: &Gate) {
+    match gate {
+        Gate::Unary {
+            op,
+            target,
+            controls,
+        } => match op.structure() {
+            GateStructure::Diagonal(d0, d1) => apply_diagonal(state, *target, controls, d0, d1),
+            GateStructure::PermutationX => apply_perm_x(state, *target, controls),
+            GateStructure::General(m) => apply_general(state, *target, controls, &m),
+        },
+        Gate::Swap { a, b, controls } => apply_swap(state, *a, *b, controls),
+    }
+}
+
+/// Number of state-vector entries a gate's kernel writes, as a function of
+/// structure — the quantity behind the paper's Eq. 6 memory-traffic model.
+/// (A controlled phase on n qubits writes `2^{n−2}` entries: a quarter.)
+pub fn touched_entries(n_qubits: usize, gate: &Gate) -> usize {
+    match gate {
+        Gate::Unary {
+            op,
+            controls,
+            ..
+        } => {
+            let free = n_qubits - 1 - controls.len();
+            match op.structure() {
+                GateStructure::Diagonal(d0, d1) => {
+                    if d0 == C64::ONE && d1 == C64::ONE {
+                        0
+                    } else if d0 == C64::ONE {
+                        1usize << free
+                    } else {
+                        2usize << free
+                    }
+                }
+                _ => 2usize << free,
+            }
+        }
+        Gate::Swap { controls, .. } => 2usize << (n_qubits - 2 - controls.len()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gate::GateOp;
+    use qcemu_linalg::{c64, max_abs_diff, norm2, random_state};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Independent semantic oracle: applies a gate by explicit scatter of
+    /// each basis amplitude. O(2^n) per gate, used only for validation.
+    fn oracle_apply(state: &[C64], gate: &Gate) -> Vec<C64> {
+        let n = state.len();
+        let mut out = vec![C64::ZERO; n];
+        for (j, &amp) in state.iter().enumerate() {
+            match gate {
+                Gate::Unary {
+                    op,
+                    target,
+                    controls,
+                } => {
+                    let ctrl_ok = controls.iter().all(|&c| (j >> c) & 1 == 1);
+                    if !ctrl_ok {
+                        out[j] += amp;
+                        continue;
+                    }
+                    let m = op.matrix();
+                    let b = (j >> target) & 1;
+                    let tbit = 1usize << target;
+                    out[j & !tbit] += m[0][b] * amp;
+                    out[j | tbit] += m[1][b] * amp;
+                }
+                Gate::Swap { a, b, controls } => {
+                    let ctrl_ok = controls.iter().all(|&c| (j >> c) & 1 == 1);
+                    if !ctrl_ok {
+                        out[j] += amp;
+                        continue;
+                    }
+                    let ba = (j >> a) & 1;
+                    let bb = (j >> b) & 1;
+                    let mut t = j & !((1usize << a) | (1usize << b));
+                    t |= bb << a;
+                    t |= ba << b;
+                    out[t] += amp;
+                }
+            }
+        }
+        out
+    }
+
+    fn check_gate(n_qubits: usize, gate: Gate, seed: u64) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let input = random_state(1 << n_qubits, &mut rng);
+        let mut fast = input.clone();
+        apply_gate_slice(&mut fast, &gate);
+        let slow = oracle_apply(&input, &gate);
+        assert!(
+            max_abs_diff(&fast, &slow) < 1e-12,
+            "kernel mismatch for {gate:?} on {n_qubits} qubits: {}",
+            max_abs_diff(&fast, &slow)
+        );
+        assert!((norm2(&fast) - 1.0).abs() < 1e-10, "norm broken by {gate:?}");
+    }
+
+    #[test]
+    fn expand_index_inserts_zero_bits() {
+        // positions [1, 3]: k bits fill positions 0, 2, 4, ...
+        assert_eq!(expand_index(0b000, &[1, 3]), 0b00000);
+        assert_eq!(expand_index(0b001, &[1, 3]), 0b00001);
+        assert_eq!(expand_index(0b010, &[1, 3]), 0b00100);
+        assert_eq!(expand_index(0b011, &[1, 3]), 0b00101);
+        assert_eq!(expand_index(0b100, &[1, 3]), 0b10000);
+    }
+
+    #[test]
+    fn expand_index_is_injective_and_avoids_positions() {
+        let positions = [0usize, 2, 5];
+        let mut seen = std::collections::HashSet::new();
+        for k in 0..64 {
+            let x = expand_index(k, &positions);
+            for &p in &positions {
+                assert_eq!((x >> p) & 1, 0, "bit {p} must be clear in {x:#b}");
+            }
+            assert!(seen.insert(x), "duplicate expansion {x}");
+        }
+    }
+
+    #[test]
+    fn single_qubit_gates_match_oracle() {
+        for (i, op) in [
+            GateOp::X,
+            GateOp::Y,
+            GateOp::Z,
+            GateOp::H,
+            GateOp::S,
+            GateOp::T,
+            GateOp::Rx(0.37),
+            GateOp::Ry(-0.9),
+            GateOp::Rz(1.1),
+            GateOp::Phase(2.2),
+        ]
+        .into_iter()
+        .enumerate()
+        {
+            for target in [0usize, 2, 4] {
+                check_gate(5, Gate::unary(op.clone(), target), 100 + i as u64);
+            }
+        }
+    }
+
+    #[test]
+    fn controlled_gates_match_oracle() {
+        check_gate(5, Gate::cnot(0, 4), 200);
+        check_gate(5, Gate::cnot(4, 0), 201);
+        check_gate(5, Gate::cz(2, 3), 202);
+        check_gate(5, Gate::cphase(1, 3, 0.77), 203);
+        check_gate(5, Gate::controlled(GateOp::H, 3, 1), 204);
+        check_gate(5, Gate::controlled(GateOp::Rz(0.5), 0, 2), 205);
+    }
+
+    #[test]
+    fn multi_controlled_gates_match_oracle() {
+        check_gate(6, Gate::toffoli(0, 1, 2), 300);
+        check_gate(6, Gate::toffoli(5, 3, 0), 301);
+        check_gate(6, Gate::mcx(vec![0, 2, 4], 5), 302);
+        check_gate(
+            6,
+            Gate::Unary {
+                op: GateOp::Phase(0.3),
+                target: 1,
+                controls: vec![0, 3, 5],
+            },
+            303,
+        );
+    }
+
+    #[test]
+    fn swap_gates_match_oracle() {
+        check_gate(5, Gate::swap(0, 4), 400);
+        check_gate(5, Gate::swap(2, 1), 401);
+        check_gate(
+            5,
+            Gate::Swap {
+                a: 0,
+                b: 3,
+                controls: vec![2],
+            },
+            402,
+        );
+    }
+
+    #[test]
+    fn large_state_parallel_path_matches_oracle() {
+        // Above PAR_THRESHOLD so the rayon branches execute.
+        let n_qubits = 16;
+        let mut rng = StdRng::seed_from_u64(500);
+        let input = random_state(1 << n_qubits, &mut rng);
+        for gate in [
+            Gate::h(15),
+            Gate::h(0),
+            Gate::cphase(3, 14, 0.9),
+            Gate::cnot(15, 1),
+            Gate::swap(0, 15),
+            Gate::rz(7, 0.123),
+        ] {
+            let mut fast = input.clone();
+            apply_gate_slice(&mut fast, &gate);
+            let slow = oracle_apply(&input, &gate);
+            assert!(
+                max_abs_diff(&fast, &slow) < 1e-12,
+                "parallel kernel mismatch for {gate:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn double_x_is_identity() {
+        let mut rng = StdRng::seed_from_u64(501);
+        let input = random_state(64, &mut rng);
+        let mut s = input.clone();
+        apply_perm_x(&mut s, 3, &[]);
+        apply_perm_x(&mut s, 3, &[]);
+        assert!(max_abs_diff(&s, &input) < 1e-15);
+    }
+
+    #[test]
+    fn phase_kernel_touches_only_one_half() {
+        // Phase gate on |0⟩-basis state must be a no-op.
+        let mut s = vec![C64::ZERO; 8];
+        s[0] = C64::ONE; // |000⟩
+        apply_diagonal(&mut s, 1, &[], C64::ONE, C64::cis(0.4));
+        assert!(s[0].approx_eq(C64::ONE, 1e-15));
+        // On |010⟩ it must apply the phase.
+        let mut s = vec![C64::ZERO; 8];
+        s[2] = C64::ONE;
+        apply_diagonal(&mut s, 1, &[], C64::ONE, C64::cis(0.4));
+        assert!(s[2].approx_eq(C64::cis(0.4), 1e-15));
+    }
+
+    #[test]
+    fn identity_diagonal_is_noop() {
+        let mut rng = StdRng::seed_from_u64(502);
+        let input = random_state(32, &mut rng);
+        let mut s = input.clone();
+        apply_diagonal(&mut s, 2, &[], C64::ONE, C64::ONE);
+        assert_eq!(
+            max_abs_diff(&s, &input),
+            0.0,
+            "identity must not even perturb rounding"
+        );
+    }
+
+    #[test]
+    fn touched_entries_model() {
+        let n = 10;
+        let full = 1usize << n;
+        // Hadamard: everything.
+        assert_eq!(touched_entries(n, &Gate::h(0)), full);
+        // Plain phase: half.
+        assert_eq!(touched_entries(n, &Gate::phase(0, 0.1)), full / 2);
+        // Controlled phase: a quarter (paper §3.2).
+        assert_eq!(touched_entries(n, &Gate::cphase(0, 1, 0.1)), full / 4);
+        // CNOT: half (pairs restricted by one control).
+        assert_eq!(touched_entries(n, &Gate::cnot(0, 1)), full / 2);
+        // Rz: both halves (d0 ≠ 1).
+        assert_eq!(touched_entries(n, &Gate::rz(0, 0.1)), full);
+        // Toffoli: a quarter.
+        assert_eq!(touched_entries(n, &Gate::toffoli(0, 1, 2)), full / 4);
+        // SWAP: half.
+        assert_eq!(touched_entries(n, &Gate::swap(0, 1)), full / 2);
+    }
+
+    #[test]
+    fn touched_entries_matches_instrumented_count() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let n = 8;
+        let mut state = vec![c64(1.0, 0.0); 1 << n]; // unnormalised, fine
+        let counter = AtomicUsize::new(0);
+        // Controlled phase via for_each_one.
+        for_each_one(&mut state, 3, &[5], |_| {
+            counter.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(
+            counter.load(Ordering::Relaxed),
+            touched_entries(n, &Gate::cphase(5, 3, 0.1))
+        );
+        // General pair kernel writes 2 per pair.
+        let counter = AtomicUsize::new(0);
+        for_each_pair(&mut state, 2, &[0, 6], |_, _| {
+            counter.fetch_add(2, Ordering::Relaxed);
+        });
+        assert_eq!(
+            counter.load(Ordering::Relaxed),
+            touched_entries(n, &Gate::toffoli(0, 6, 2))
+        );
+    }
+}

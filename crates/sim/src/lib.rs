@@ -1,0 +1,50 @@
+//! # qcemu-sim
+//!
+//! Gate-level state-vector simulator — the "our simulator" baseline of
+//! *High Performance Emulation of Quantum Circuits* (SC 2016), against
+//! which the emulator (`qcemu-core`) demonstrates its shortcuts, and which
+//! itself outperforms generic simulators by exploiting gate structure
+//! (paper §4.5, Figs. 4–6).
+//!
+//! Contents:
+//! * [`gate`] — Table 1 gate set with arbitrary controls and structural
+//!   classification (diagonal / permutation / general);
+//! * [`kernels`] — specialised amplitude kernels: a controlled phase shift
+//!   touches exactly ¼ of the state, X gates move data without arithmetic,
+//!   controls shrink the index space instead of being checked per entry;
+//!   all rayon-parallel over disjoint index sets;
+//! * [`statevector`] — the 2ⁿ-amplitude wave function (paper Eq. 1);
+//! * [`circuit`] — gate sequences with inverse / controlled / remap
+//!   transforms (uncomputation and QPE building blocks);
+//! * [`circuits`] — QFT, entangle and TFIM-Trotter benchmark generators;
+//! * [`measure`] — shot sampling, collapse, and exact expectations;
+//! * [`dense`] — circuit → dense unitary (QPE emulation front-end) and
+//!   (controlled) dense-operator application to registers.
+//!
+//! ### Qubit convention
+//! Little-endian throughout: qubit `k` is bit `k` of the basis index, so
+//! `|q_{n−1} … q_1 q_0⟩` has index `Σ q_k 2^k`.
+
+pub mod circuit;
+pub mod circuits;
+pub mod decompose;
+pub mod dense;
+pub mod gate;
+pub mod kernels;
+pub mod measure;
+pub mod statevector;
+
+pub use circuit::{Circuit, CircuitCensus};
+pub use circuits::{
+    entangle_circuit, inverse_qft_circuit, qft_circuit, qft_circuit_no_swap, qft_gate_count,
+    tfim_gate_count, tfim_trotter_step, TfimParams,
+};
+pub use decompose::{decompose_circuit, decompose_gate, is_elementary, mat2_sqrt};
+pub use dense::{apply_dense_to_register, circuit_to_dense};
+pub use gate::{Gate, GateOp, GateStructure, Mat2};
+pub use kernels::{apply_gate_slice, touched_entries, PAR_THRESHOLD};
+pub use measure::{
+    expectation_z, expectation_z_sampled, expectation_z_string, measure_all, measure_qubit,
+    prob_qubit_one, sample_histogram, sample_once, sample_shots,
+};
+pub use statevector::StateVector;

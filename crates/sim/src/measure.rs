@@ -1,0 +1,263 @@
+//! Measurement: sampling, collapse, and the full-distribution access that
+//! gives emulators their §3.4 advantage.
+//!
+//! A physical quantum computer measuring `n` qubits gets `n` classical bits
+//! per run and must repeat the circuit to estimate statistics. A simulator
+//! holds all 2ⁿ amplitudes, so an emulator exposes the *exact* distribution
+//! and expectation values in a single pass — this module provides both the
+//! honest shot-sampling interface and the exact one.
+
+use crate::statevector::StateVector;
+use rand::Rng;
+
+/// Samples a basis state index from `|α_i|²` **without** collapsing.
+pub fn sample_once(sv: &StateVector, rng: &mut impl Rng) -> usize {
+    let r: f64 = rng.gen();
+    let mut acc = 0.0;
+    let amps = sv.amplitudes();
+    for (i, a) in amps.iter().enumerate() {
+        acc += a.norm_sqr();
+        if r < acc {
+            return i;
+        }
+    }
+    amps.len() - 1 // numerical slack: r ≈ 1
+}
+
+/// Draws `shots` independent samples (the quantum computer's workflow).
+/// Uses a cumulative table + binary search: O(2ⁿ + shots·n).
+pub fn sample_shots(sv: &StateVector, shots: usize, rng: &mut impl Rng) -> Vec<usize> {
+    let amps = sv.amplitudes();
+    let mut cdf = Vec::with_capacity(amps.len());
+    let mut acc = 0.0;
+    for a in amps {
+        acc += a.norm_sqr();
+        cdf.push(acc);
+    }
+    let total = acc.max(f64::MIN_POSITIVE);
+    (0..shots)
+        .map(|_| {
+            let r: f64 = rng.gen::<f64>() * total;
+            match cdf.binary_search_by(|p| p.partial_cmp(&r).unwrap()) {
+                Ok(i) | Err(i) => i.min(amps.len() - 1),
+            }
+        })
+        .collect()
+}
+
+/// Histogram of `shots` samples over the full basis.
+pub fn sample_histogram(sv: &StateVector, shots: usize, rng: &mut impl Rng) -> Vec<usize> {
+    let mut hist = vec![0usize; sv.dim()];
+    for s in sample_shots(sv, shots, rng) {
+        hist[s] += 1;
+    }
+    hist
+}
+
+/// Projective measurement of **all** qubits: samples an outcome and
+/// collapses the state onto it.
+pub fn measure_all(sv: &mut StateVector, rng: &mut impl Rng) -> usize {
+    let outcome = sample_once(sv, rng);
+    let amps = sv.amplitudes_mut();
+    for (i, a) in amps.iter_mut().enumerate() {
+        *a = if i == outcome {
+            qcemu_linalg::C64::ONE
+        } else {
+            qcemu_linalg::C64::ZERO
+        };
+    }
+    outcome
+}
+
+/// Probability that qubit `q` reads 1.
+pub fn prob_qubit_one(sv: &StateVector, q: usize) -> f64 {
+    assert!(q < sv.n_qubits(), "qubit out of range");
+    let bit = 1usize << q;
+    sv.amplitudes()
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| i & bit != 0)
+        .map(|(_, a)| a.norm_sqr())
+        .sum()
+}
+
+/// Projective measurement of one qubit: samples 0/1, collapses, renormalises.
+pub fn measure_qubit(sv: &mut StateVector, q: usize, rng: &mut impl Rng) -> bool {
+    let p1 = prob_qubit_one(sv, q);
+    let outcome = rng.gen::<f64>() < p1;
+    let keep_bit = if outcome { 1usize } else { 0usize };
+    let bit = 1usize << q;
+    let renorm = 1.0 / if outcome { p1 } else { 1.0 - p1 }.sqrt();
+    for (i, a) in sv.amplitudes_mut().iter_mut().enumerate() {
+        if ((i & bit != 0) as usize) == keep_bit {
+            *a = a.scale(renorm);
+        } else {
+            *a = qcemu_linalg::C64::ZERO;
+        }
+    }
+    outcome
+}
+
+/// Exact expectation value `⟨Z_q⟩ = P(0) − P(1)` — the §3.4 shortcut: one
+/// pass over the amplitudes instead of many shots.
+pub fn expectation_z(sv: &StateVector, q: usize) -> f64 {
+    1.0 - 2.0 * prob_qubit_one(sv, q)
+}
+
+/// Exact expectation of a tensor product of Pauli-Zs:
+/// `⟨Z_{q1} Z_{q2} …⟩ = Σ_i (−1)^{popcount(i & mask)} |α_i|²`.
+pub fn expectation_z_string(sv: &StateVector, qubits: &[usize]) -> f64 {
+    let mask = qubits.iter().fold(0usize, |m, &q| {
+        assert!(q < sv.n_qubits(), "qubit out of range");
+        m | (1usize << q)
+    });
+    sv.amplitudes()
+        .iter()
+        .enumerate()
+        .map(|(i, a)| {
+            let sign = if (i & mask).count_ones() % 2 == 0 { 1.0 } else { -1.0 };
+            sign * a.norm_sqr()
+        })
+        .sum()
+}
+
+/// Estimates `⟨Z_q⟩` from `shots` samples — the cost an actual quantum
+/// computer (or a shot-faithful simulator) pays. Provided so benchmarks can
+/// quantify the §3.4 speedup (= number of shots).
+pub fn expectation_z_sampled(
+    sv: &StateVector,
+    q: usize,
+    shots: usize,
+    rng: &mut impl Rng,
+) -> f64 {
+    let bit = 1usize << q;
+    let ones = sample_shots(sv, shots, rng)
+        .into_iter()
+        .filter(|i| i & bit != 0)
+        .count();
+    1.0 - 2.0 * ones as f64 / shots as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::circuit::Circuit;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn sampling_basis_state_is_deterministic() {
+        let sv = StateVector::basis_state(4, 11);
+        let mut rng = StdRng::seed_from_u64(90);
+        for _ in 0..20 {
+            assert_eq!(sample_once(&sv, &mut rng), 11);
+        }
+        assert!(sample_shots(&sv, 50, &mut rng).iter().all(|&s| s == 11));
+    }
+
+    #[test]
+    fn uniform_sampling_covers_basis() {
+        let sv = StateVector::uniform_superposition(3);
+        let mut rng = StdRng::seed_from_u64(91);
+        let hist = sample_histogram(&sv, 8000, &mut rng);
+        for (i, &count) in hist.iter().enumerate() {
+            let freq = count as f64 / 8000.0;
+            assert!(
+                (freq - 0.125).abs() < 0.03,
+                "index {i} frequency {freq} too far from 1/8"
+            );
+        }
+    }
+
+    #[test]
+    fn measure_all_collapses() {
+        let mut sv = StateVector::uniform_superposition(4);
+        let mut rng = StdRng::seed_from_u64(92);
+        let outcome = measure_all(&mut sv, &mut rng);
+        assert_eq!(sv.probability(outcome), 1.0);
+        assert!((sv.norm() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn measure_qubit_collapses_consistently() {
+        let mut rng = StdRng::seed_from_u64(93);
+        for _ in 0..10 {
+            let mut sv = StateVector::zero_state(2);
+            let mut c = Circuit::new(2);
+            c.h(0).cnot(0, 1); // Bell pair: qubits correlated
+            sv.apply_circuit(&c);
+            let b0 = measure_qubit(&mut sv, 0, &mut rng);
+            let b1 = measure_qubit(&mut sv, 1, &mut rng);
+            assert_eq!(b0, b1, "Bell pair must give correlated outcomes");
+            assert!((sv.norm() - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn prob_qubit_one_on_plus_state() {
+        let mut sv = StateVector::zero_state(1);
+        sv.apply(&crate::gate::Gate::h(0));
+        assert!((prob_qubit_one(&sv, 0) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn expectation_z_exact_values() {
+        let sv = StateVector::zero_state(2);
+        assert!((expectation_z(&sv, 0) - 1.0).abs() < 1e-12);
+        let sv1 = StateVector::basis_state(2, 0b01);
+        assert!((expectation_z(&sv1, 0) + 1.0).abs() < 1e-12);
+        assert!((expectation_z(&sv1, 1) - 1.0).abs() < 1e-12);
+        let plus = StateVector::uniform_superposition(1);
+        assert!(expectation_z(&plus, 0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zz_string_on_bell_state_is_one() {
+        let mut sv = StateVector::zero_state(2);
+        let mut c = Circuit::new(2);
+        c.h(0).cnot(0, 1);
+        sv.apply_circuit(&c);
+        // Bell state: perfectly correlated Zs.
+        assert!((expectation_z_string(&sv, &[0, 1]) - 1.0).abs() < 1e-12);
+        // Single-qubit expectations vanish.
+        assert!(expectation_z(&sv, 0).abs() < 1e-12);
+        assert!(expectation_z(&sv, 1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_z_string_is_identity_expectation() {
+        let sv = StateVector::uniform_superposition(3);
+        assert!((expectation_z_string(&sv, &[]) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sampled_expectation_converges_to_exact() {
+        let mut sv = StateVector::zero_state(3);
+        sv.apply(&crate::gate::Gate::ry(1, 1.1));
+        let exact = expectation_z(&sv, 1);
+        let mut rng = StdRng::seed_from_u64(94);
+        let approx = expectation_z_sampled(&sv, 1, 20_000, &mut rng);
+        assert!(
+            (exact - approx).abs() < 0.03,
+            "sampled {approx} vs exact {exact}"
+        );
+    }
+
+    #[test]
+    fn register_distribution_matches_sampling() {
+        let mut sv = StateVector::zero_state(3);
+        sv.apply(&crate::gate::Gate::h(0));
+        sv.apply(&crate::gate::Gate::h(2));
+        let dist = sv.register_distribution(&[0, 2]);
+        let mut rng = StdRng::seed_from_u64(95);
+        let samples = sample_shots(&sv, 10_000, &mut rng);
+        let mut hist = vec![0usize; 4];
+        for s in samples {
+            hist[StateVector::register_value(s, &[0, 2])] += 1;
+        }
+        for v in 0..4 {
+            let freq = hist[v] as f64 / 10_000.0;
+            assert!((freq - dist[v]).abs() < 0.03, "v = {v}");
+        }
+    }
+}

@@ -1,0 +1,92 @@
+//! Quantum(-style) Monte Carlo integration by amplitude encoding — the
+//! application class the paper's summary singles out ("quantum accelerated
+//! Monte Carlo sampling", §5, ref [22]).
+//!
+//! Pipeline: put `x` in uniform superposition, rotate an indicator qubit by
+//! `θ(x) = 2·asin(√f(x))` so that `P(indicator = 1) = E[f(X)]`, then read
+//! the expectation **exactly** from the amplitudes (§3.4) instead of
+//! sampling shots. The controlled rotation is an emulated high-level op;
+//! its gate-level compilation (one multi-controlled Ry per register value)
+//! is also run at small size to verify equivalence.
+//!
+//! Run with: `cargo run --release --example monte_carlo [-- m]`
+//! Default: m = 12 argument bits (4096 quadrature points).
+
+use qcemu::prelude::*;
+use qcemu_core::RotationOp;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// The integrand: f(x) = sin²(πx) on [0, 1); ∫ f = 1/2 exactly.
+fn integrand(x: f64) -> f64 {
+    (std::f64::consts::PI * x).sin().powi(2)
+}
+
+fn build_program(m: usize) -> Result<QuantumProgram, EmuError> {
+    let mut pb = ProgramBuilder::new();
+    let x = pb.register("x", m);
+    let ind = pb.register("indicator", 1);
+    pb.hadamard_all(x);
+    pb.rotation(RotationOp {
+        name: "amplitude-encode".into(),
+        x,
+        target: ind,
+        angle: Arc::new(move |xv| {
+            let t = xv as f64 / (1u64 << m) as f64;
+            2.0 * integrand(t).sqrt().asin()
+        }),
+        gate_impl: None,
+    });
+    pb.build()
+}
+
+fn main() -> Result<(), EmuError> {
+    let args: Vec<String> = std::env::args().collect();
+    let m: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(12);
+
+    println!("Monte Carlo integration of sin²(πx) over [0,1) with 2^{m} points");
+
+    // Emulated run: superposition + controlled rotation + exact read-out.
+    let program = build_program(m)?;
+    let t0 = Instant::now();
+    let out = Emulator::new().run(&program, StateVector::zero_state(program.n_qubits()))?;
+    let p_one = measure::prob_qubit_one(&out, m); // indicator qubit
+    let t_emu = t0.elapsed().as_secs_f64();
+    println!("emulated estimate  E[f] = {p_one:.8}   ({t_emu:.3}s, exact read-out)");
+    println!("analytic value     E[f] = 0.50000000 (midpoint-rule bias at 2^{m} pts is O(2^-2m))");
+    assert!((p_one - 0.5).abs() < 1e-4);
+
+    // Shot-based estimate (what hardware, or a shot-faithful simulator,
+    // would need): σ ≈ 1/(2√shots).
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    let mut rng = StdRng::seed_from_u64(7);
+    for shots in [100usize, 10_000] {
+        let t0 = Instant::now();
+        let est = measure::expectation_z_sampled(&out, m, shots, &mut rng);
+        let p_est = (1.0 - est) / 2.0; // ⟨Z⟩ = 1 − 2P(1)
+        println!(
+            "{shots:>7}-shot estimate = {p_est:.6}  (|err| = {:.2e}, {:.3}s)",
+            (p_est - p_one).abs(),
+            t0.elapsed().as_secs_f64()
+        );
+    }
+
+    // Gate-level verification at a small size: the generic compilation
+    // expands to 2^m multi-controlled rotations.
+    let small_m = 5;
+    let program = build_program(small_m)?;
+    let init = StateVector::zero_state(program.n_qubits());
+    let emu = Emulator::new().run(&program, init.clone())?;
+    let t0 = Instant::now();
+    let sim = GateLevelSimulator::new().run(&program, init)?;
+    let t_sim = t0.elapsed().as_secs_f64();
+    let diff = emu.max_diff_up_to_phase(&sim);
+    println!(
+        "\nverification at m = {small_m}: gate-level (2^{small_m} multi-controlled Ry, {t_sim:.3}s) \
+         vs emulated, diff = {diff:.2e}"
+    );
+    assert!(diff < 1e-9);
+    println!("monte_carlo OK");
+    Ok(())
+}

@@ -1,0 +1,154 @@
+//! Property-based integration tests (proptest): randomized programs and
+//! circuits must satisfy the structural invariants the paper's shortcuts
+//! rely on — norm preservation, emulator/simulator agreement, decomposition
+//! equivalence, FFT/QFT-circuit agreement.
+
+use proptest::prelude::*;
+use qcemu::prelude::*;
+use qcemu_core::stdops;
+use qcemu_linalg::{max_abs_diff, norm2};
+use qcemu_sim::{decompose_circuit, qft_circuit};
+
+/// Strategy: a random circuit on `n` qubits drawn from the full gate zoo.
+fn random_circuit(n: usize, max_gates: usize) -> impl Strategy<Value = Circuit> {
+    let gate = (0..8usize, 0..n, 0..n, 0..n, -3.0f64..3.0).prop_map(
+        move |(kind, q1, q2, q3, theta)| {
+            let distinct2 = |a: usize, b: usize| if a == b { (a, (b + 1) % n) } else { (a, b) };
+            let (a, b) = distinct2(q1, q2);
+            match kind {
+                0 => Gate::h(a),
+                1 => Gate::x(a),
+                2 => Gate::rz(a, theta),
+                3 => Gate::phase(a, theta),
+                4 => Gate::cnot(a, b),
+                5 => Gate::cphase(a, b, theta),
+                6 => Gate::swap(a, b),
+                _ => {
+                    let c = if q3 == a || q3 == b { (b + 1) % n } else { q3 };
+                    if c != a && c != b {
+                        Gate::toffoli(a, c, b)
+                    } else {
+                        Gate::ry(a, theta)
+                    }
+                }
+            }
+        },
+    );
+    proptest::collection::vec(gate, 1..max_gates).prop_map(move |gates| {
+        let mut c = Circuit::new(n);
+        for g in gates {
+            c.push(g);
+        }
+        c
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn random_circuits_preserve_norm(circuit in random_circuit(6, 30)) {
+        let mut sv = StateVector::uniform_superposition(6);
+        sv.apply_circuit(&circuit);
+        prop_assert!((sv.norm() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn circuit_then_inverse_is_identity(circuit in random_circuit(5, 25)) {
+        let mut sv = StateVector::basis_state(5, 13);
+        sv.apply_circuit(&circuit);
+        sv.apply_circuit(&circuit.inverse());
+        prop_assert!(sv.max_diff_up_to_phase(&StateVector::basis_state(5, 13)) < 1e-9);
+    }
+
+    #[test]
+    fn decomposition_preserves_semantics(circuit in random_circuit(5, 20)) {
+        let lowered = decompose_circuit(&circuit);
+        prop_assert!(qcemu_sim::is_elementary(&lowered));
+        let mut a = StateVector::uniform_superposition(5);
+        let mut b = a.clone();
+        a.apply_circuit(&circuit);
+        b.apply_circuit(&lowered);
+        prop_assert!(a.max_diff_up_to_phase(&b) < 1e-8);
+    }
+
+    #[test]
+    fn baselines_agree_with_reference(circuit in random_circuit(5, 20)) {
+        let mut reference = StateVector::uniform_superposition(5);
+        reference.apply_circuit(&circuit);
+
+        let mut qh = StateVector::uniform_superposition(5);
+        qcemu_baselines::QhipsterSim::new().run(&circuit, &mut qh);
+        prop_assert!(reference.max_diff_up_to_phase(&qh) < 1e-9);
+
+        let mut lq = StateVector::uniform_superposition(5);
+        qcemu_baselines::LiquidSim::new().run(&circuit, &mut lq);
+        prop_assert!(reference.max_diff_up_to_phase(&lq) < 1e-8);
+    }
+
+    #[test]
+    fn xor_and_affine_maps_match_simulation(mult in 1u64..8, offset in 0u64..8, xor in 0u64..8) {
+        // Affine-ish bijections over 3 bits: x -> (odd*x + offset) ^ xor mod 8.
+        let odd = mult | 1;
+        let mut pb = ProgramBuilder::new();
+        let x = pb.register("x", 3);
+        pb.hadamard_all(x);
+        pb.gates(|c| { c.cphase(0, 2, 0.8); }); // some phase structure
+        pb.classical(stdops::apply_classical_fn("affine", vec![x], move |v| {
+            v[0] = ((odd.wrapping_mul(v[0]).wrapping_add(offset)) ^ xor) & 7;
+        }));
+        let program = pb.build().unwrap();
+        let init = StateVector::zero_state(3);
+        let emulated = Emulator::new().run(&program, init.clone()).unwrap();
+        prop_assert!((emulated.norm() - 1.0).abs() < 1e-10);
+        // Brute-force reference: permute amplitudes by the same map.
+        let mut pre = StateVector::zero_state(3);
+        for q in 0..3 { pre.apply(&Gate::h(q)); }
+        pre.apply(&Gate::cphase(0, 2, 0.8));
+        let mut expect = vec![qcemu_linalg::C64::ZERO; 8];
+        for (i, amp) in pre.amplitudes().iter().enumerate() {
+            let j = (((odd.wrapping_mul(i as u64).wrapping_add(offset)) ^ xor) & 7) as usize;
+            expect[j] = *amp;
+        }
+        prop_assert!(max_abs_diff(emulated.amplitudes(), &expect) < 1e-12);
+    }
+
+    #[test]
+    fn qft_circuit_equals_fft_for_any_input(seed in 0u64..1000) {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let n = 6;
+        let input = qcemu_linalg::random_state(1 << n, &mut rng);
+        let mut circuit_path = StateVector::from_amplitudes(input.clone());
+        circuit_path.apply_circuit(&qft_circuit(n));
+        let mut fft_path = input;
+        qcemu_fft::qft_convention(&mut fft_path);
+        prop_assert!(max_abs_diff(circuit_path.amplitudes(), &fft_path) < 1e-9);
+        prop_assert!((norm2(&fft_path) - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn adders_add_for_all_operands(a in 0u64..64, b in 0u64..64) {
+        let m = 6;
+        let ad = qcemu_revarith::adder(m, true);
+        let mut word = 0u64;
+        word = ad.a.set(word, a);
+        word = ad.b.set(word, b);
+        let out = qcemu_revarith::run_classical(&ad.circuit, word);
+        prop_assert_eq!(ad.b.get(out), (a + b) % 64);
+        prop_assert_eq!(ad.a.get(out), a);
+        prop_assert_eq!((out >> ad.carry_out.unwrap()) & 1, (a + b) / 64);
+    }
+
+    #[test]
+    fn dividers_divide_for_all_operands(a in 0u64..32, b in 1u64..32) {
+        let m = 5;
+        let dc = qcemu_revarith::divider(m);
+        let mut word = 0u64;
+        word = dc.a.set(word, a);
+        word = dc.b.set(word, b);
+        let out = qcemu_revarith::run_classical(&dc.circuit, word);
+        prop_assert_eq!(dc.q.get(out), a / b);
+        prop_assert_eq!(dc.r.slice(0, m).get(out), a % b);
+    }
+}
