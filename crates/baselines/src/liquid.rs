@@ -1,4 +1,4 @@
-//! LIQUi|⟩-like baseline simulator (paper ref. [7]).
+//! LIQUi|⟩-like baseline simulator (paper ref. \[7\]).
 //!
 //! Models the architecture of a language-level simulator: every gate is a
 //! first-class *object* carrying a dense matrix over its participating
@@ -89,10 +89,7 @@ pub fn gate_to_object(gate: &Gate) -> GateObject {
                 m[(col & !1, col)] = m2[0][b];
                 m[(col | 1, col)] = m2[1][b];
             }
-            GateObject {
-                qubits,
-                matrix: m,
-            }
+            GateObject { qubits, matrix: m }
         }
         Gate::Swap { a, b, controls } => {
             let mut qubits = vec![*a, *b];
@@ -112,10 +109,7 @@ pub fn gate_to_object(gate: &Gate) -> GateObject {
                 };
                 m[(row, col)] = C64::ONE;
             }
-            GateObject {
-                qubits,
-                matrix: m,
-            }
+            GateObject { qubits, matrix: m }
         }
     }
 }
@@ -287,7 +281,11 @@ mod tests {
 
     #[test]
     fn matches_reference_on_tfim() {
-        check(&tfim_trotter_step(5, TfimParams::default()), 5, LiquidSim::new());
+        check(
+            &tfim_trotter_step(5, TfimParams::default()),
+            5,
+            LiquidSim::new(),
+        );
     }
 
     #[test]
@@ -314,7 +312,10 @@ mod tests {
         let objects: Vec<GateObject> = qft_circuit(6).gates().iter().map(gate_to_object).collect();
         let before = objects.len();
         let after = fuse(objects, LiquidSim::MAX_FUSED_QUBITS).len();
-        assert!(after < before, "fusion should merge gates: {before} → {after}");
+        assert!(
+            after < before,
+            "fusion should merge gates: {before} → {after}"
+        );
     }
 
     #[test]

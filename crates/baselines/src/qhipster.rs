@@ -1,4 +1,4 @@
-//! qHiPSTER-like baseline simulator (paper ref. [21]).
+//! qHiPSTER-like baseline simulator (paper ref. \[21\]).
 //!
 //! Algorithmically faithful to a *generic* high-performance simulator: one
 //! dense 2×2 butterfly kernel for every single-qubit gate and one

@@ -8,7 +8,9 @@
 //!         [-- --n 5 --max-b 12]`
 
 use qcemu_bench::{fmt_secs, header, time_once, Args};
-use qcemu_core::{Emulator, Executor, GateLevelSimulator, ProgramBuilder, QpeOp, QpeStrategy, QpeTimings};
+use qcemu_core::{
+    Emulator, Executor, GateLevelSimulator, ProgramBuilder, QpeOp, QpeStrategy, QpeTimings,
+};
 use qcemu_linalg::{eig, gemm};
 use qcemu_sim::circuits::{tfim_gate_count, tfim_trotter_step, TfimParams};
 use qcemu_sim::{circuit_to_dense, StateVector};

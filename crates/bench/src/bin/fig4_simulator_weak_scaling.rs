@@ -41,8 +41,7 @@ fn count_exchanges(n: usize, log2p: usize, specialized: bool) -> usize {
             Gate::Swap { a, b, .. } => {
                 // Decomposed into 3 CNOTs; each with a global participant
                 // costs one exchange (both policies: X is not diagonal).
-                let globals =
-                    usize::from(*a >= n_local) + usize::from(*b >= n_local);
+                let globals = usize::from(*a >= n_local) + usize::from(*b >= n_local);
                 if globals > 0 {
                     exchanges += 3;
                 }
@@ -97,13 +96,17 @@ fn main() {
     for n in 28usize..=36 {
         let p = 1usize << (n - 28);
         if p == 1 {
-            println!("{:>3} {:>4} {:>10} {:>10} {:>12} {:>12} {:>9}", n, p, 0, 0, "-", "-", "1.00x");
+            println!(
+                "{:>3} {:>4} {:>10} {:>10} {:>12} {:>12} {:>9}",
+                n, p, 0, 0, "-", "-", "1.00x"
+            );
             continue;
         }
         let log2p = n - 28;
         let ex_ours = count_exchanges(n, log2p, true);
         let ex_qhip = count_exchanges(n, log2p, false);
-        let per_exchange = BYTES_PER_AMP * (2f64).powi(n as i32) / (machine.net_bw_per_node * p as f64);
+        let per_exchange =
+            BYTES_PER_AMP * (2f64).powi(n as i32) / (machine.net_bw_per_node * p as f64);
         let compute = machine.t_qft(n as u32, p) - (log2p as f64) * per_exchange;
         let t_ours = compute + ex_ours as f64 * per_exchange;
         let t_qhip = compute + ex_qhip as f64 * per_exchange;

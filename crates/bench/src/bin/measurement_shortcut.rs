@@ -30,7 +30,10 @@ fn main() {
     }
 
     let (t_exact, exact) = time_once(|| measure::expectation_z(&sv, 0));
-    println!("exact (one pass over 2^{n} amplitudes): <Z_0> = {exact:+.6} in {}", fmt_secs(t_exact));
+    println!(
+        "exact (one pass over 2^{n} amplitudes): <Z_0> = {exact:+.6} in {}",
+        fmt_secs(t_exact)
+    );
     println!();
     println!(
         "{:>9} {:>12} {:>12} {:>12} {:>10}",
@@ -61,7 +64,9 @@ fn main() {
         for s in measure::sample_shots(&sv, shots, &mut rng) {
             h[StateVector::register_value(s, &bits)] += 1;
         }
-        h.into_iter().map(|c| c as f64 / shots as f64).collect::<Vec<_>>()
+        h.into_iter()
+            .map(|c| c as f64 / shots as f64)
+            .collect::<Vec<_>>()
     });
     println!(
         "exact: {} | {shots}-shot histogram: {} | total variation: {:.4}",

@@ -151,7 +151,10 @@ where
     T: Send,
     F: Fn(&mut Comm) -> T + Sync,
 {
-    assert!(p >= 1 && p.is_power_of_two(), "rank count must be a power of two");
+    assert!(
+        p >= 1 && p.is_power_of_two(),
+        "rank count must be a power of two"
+    );
     let mut senders: Vec<Sender<Msg>> = Vec::with_capacity(p);
     let mut receivers: Vec<Option<Receiver<Msg>>> = Vec::with_capacity(p);
     for _ in 0..p {
@@ -316,7 +319,11 @@ mod tests {
             comm.sim_comm_time()
         });
         let expect = m.latency + 16_000.0 / m.net_bw_per_node;
-        assert!((results[0].0 - expect).abs() < 1e-12, "rank 0 clock {}", results[0].0);
+        assert!(
+            (results[0].0 - expect).abs() < 1e-12,
+            "rank 0 clock {}",
+            results[0].0
+        );
         assert_eq!(results[1].0, 0.0, "receiver pays nothing in this model");
         assert_eq!(results[0].1.bytes_sent, 16_000);
         assert_eq!(results[0].1.messages_sent, 1);

@@ -13,12 +13,7 @@ use qcemu_linalg::C64;
 /// Distributed transpose of an `rows × cols` matrix whose rows are sliced
 /// evenly over the ranks. Input: this rank's `rows/P` rows (row-major).
 /// Output: this rank's `cols/P` rows of the transposed matrix.
-pub fn distributed_transpose(
-    local: &[C64],
-    rows: usize,
-    cols: usize,
-    comm: &mut Comm,
-) -> Vec<C64> {
+pub fn distributed_transpose(local: &[C64], rows: usize, cols: usize, comm: &mut Comm) -> Vec<C64> {
     let p = comm.size();
     assert_eq!(rows % p, 0, "P must divide the row count");
     assert_eq!(cols % p, 0, "P must divide the column count");
@@ -208,8 +203,20 @@ mod tests {
             let chunk = n / 4;
             let start = comm.rank() * chunk;
             let mut local = input_ref[start..start + chunk].to_vec();
-            distributed_fft(&mut local, n_qubits, Direction::Forward, Normalization::Sqrt, comm);
-            distributed_fft(&mut local, n_qubits, Direction::Inverse, Normalization::Sqrt, comm);
+            distributed_fft(
+                &mut local,
+                n_qubits,
+                Direction::Forward,
+                Normalization::Sqrt,
+                comm,
+            );
+            distributed_fft(
+                &mut local,
+                n_qubits,
+                Direction::Inverse,
+                Normalization::Sqrt,
+                comm,
+            );
             local
         });
         let mut gathered = Vec::new();
@@ -228,7 +235,13 @@ mod tests {
         let results = run(p, MachineModel::stampede(), move |comm| {
             let mut local = vec![C64::ZERO; n / p];
             local[0] = C64::ONE;
-            distributed_fft(&mut local, n_qubits, Direction::Forward, Normalization::None, comm);
+            distributed_fft(
+                &mut local,
+                n_qubits,
+                Direction::Forward,
+                Normalization::None,
+                comm,
+            );
             comm.bytes_sent()
         });
         let expected_per_rank = 3 * (n / p) * 16 * (p - 1) / p;

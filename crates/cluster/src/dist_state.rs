@@ -370,7 +370,11 @@ mod tests {
     fn diagonal_gates_need_no_communication_under_specialized_policy() {
         // A circuit of only diagonal gates on *global* qubits.
         let mut c = Circuit::new(6);
-        c.rz(4, 0.3).cphase(4, 5, 0.7).z(5).phase(4, 0.2).cphase(0, 5, 0.9);
+        c.rz(4, 0.3)
+            .cphase(4, 5, 0.7)
+            .z(5)
+            .phase(4, 0.2)
+            .cphase(0, 5, 0.9);
         let c = &c;
         let results = run(4, MachineModel::stampede(), move |comm| {
             let mut ds = DistributedState::zero_state(6, comm);
@@ -393,7 +397,10 @@ mod tests {
             ds.exchange_count()
         });
         for (exchanges, _) in &results {
-            assert!(*exchanges > 0, "generic policy must exchange for global diagonals");
+            assert!(
+                *exchanges > 0,
+                "generic policy must exchange for global diagonals"
+            );
         }
     }
 

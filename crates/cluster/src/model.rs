@@ -221,7 +221,8 @@ mod tests {
         for p in [2usize, 4, 8, 64] {
             let n = 30u32;
             let big_n = (2f64).powi(n as i32);
-            let qft_comm = (p as f64).log2() * BYTES_PER_AMP * big_n / (m.net_bw_per_node * p as f64);
+            let qft_comm =
+                (p as f64).log2() * BYTES_PER_AMP * big_n / (m.net_bw_per_node * p as f64);
             let fft_comm = 3.0 * BYTES_PER_AMP * big_n / (m.net_bw_per_node * p as f64);
             assert!((qft_comm / fft_comm - (p as f64).log2() / 3.0).abs() < 1e-12);
         }
@@ -233,7 +234,10 @@ mod tests {
         let m = MachineModel::stampede();
         let t28 = m.t_fft(28, 1);
         let t32 = m.t_fft(32, 16);
-        assert!(t32 > t28, "weak-scaling FFT time should degrade: {t28} vs {t32}");
+        assert!(
+            t32 > t28,
+            "weak-scaling FFT time should degrade: {t28} vs {t32}"
+        );
         let q28 = m.t_qft(28, 1);
         let q36 = m.t_qft(36, 256);
         assert!(q36 > q28);
@@ -246,7 +250,10 @@ mod tests {
         let m = MachineModel::stampede();
         for (n, p) in [(28u32, 1usize), (30, 4), (32, 16), (34, 64), (36, 256)] {
             let s = m.qft_speedup(n, p);
-            assert!(s > 4.0 && s < 25.0, "n={n}, p={p}: speedup {s} out of range");
+            assert!(
+                s > 4.0 && s < 25.0,
+                "n={n}, p={p}: speedup {s} out of range"
+            );
         }
     }
 

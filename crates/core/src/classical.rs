@@ -8,7 +8,9 @@
 //! applied to every coset in parallel.
 
 use crate::error::EmuError;
-use crate::program::{ClassicalMap, MapKind, PhaseOracle, ProgramRegister, QuantumProgram, RotationOp};
+use crate::program::{
+    ClassicalMap, MapKind, PhaseOracle, ProgramRegister, QuantumProgram, RotationOp,
+};
 use qcemu_linalg::C64;
 use qcemu_sim::StateVector;
 use rayon::prelude::*;
@@ -348,7 +350,13 @@ mod tests {
     use crate::program::{GateImpl, ProgramBuilder};
     use std::sync::Arc;
 
-    fn two_reg_program(m: usize) -> (QuantumProgram, crate::program::RegisterId, crate::program::RegisterId) {
+    fn two_reg_program(
+        m: usize,
+    ) -> (
+        QuantumProgram,
+        crate::program::RegisterId,
+        crate::program::RegisterId,
+    ) {
         let mut pb = ProgramBuilder::new();
         let a = pb.register("a", m);
         let b = pb.register("b", m);

@@ -144,7 +144,10 @@ mod tests {
             let g = 4 * n - 3;
             let t = m.predict(n, g);
             let x = t.crossover_repeated_squaring().expect("must cross");
-            assert!(x > prev, "crossover must increase: n={n}, x={x}, prev={prev}");
+            assert!(
+                x > prev,
+                "crossover must increase: n={n}, x={x}, prev={prev}"
+            );
             prev = x;
         }
     }

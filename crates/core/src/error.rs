@@ -57,21 +57,36 @@ impl fmt::Display for EmuError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             EmuError::NotReversible { op, collision } => {
-                write!(f, "classical map '{op}' is not reversible (collision at output {collision})")
+                write!(
+                    f,
+                    "classical map '{op}' is not reversible (collision at output {collision})"
+                )
             }
             EmuError::TargetNotZero { op, register } => {
-                write!(f, "operation '{op}' requires register '{register}' to be |0⟩")
+                write!(
+                    f,
+                    "operation '{op}' requires register '{register}' to be |0⟩"
+                )
             }
             EmuError::NoGateImplementation { op } => {
-                write!(f, "operation '{op}' has no gate-level implementation (emulation only)")
+                write!(
+                    f,
+                    "operation '{op}' has no gate-level implementation (emulation only)"
+                )
             }
             EmuError::BadUnitary { reason } => write!(f, "bad unitary: {reason}"),
             EmuError::BadRegister { reason } => write!(f, "bad register: {reason}"),
             EmuError::DimensionMismatch { expected, got } => {
-                write!(f, "initial state has {got} qubits, program needs {expected}")
+                write!(
+                    f,
+                    "initial state has {got} qubits, program needs {expected}"
+                )
             }
             EmuError::AncillaNotClean { leaked } => {
-                write!(f, "ancillas not restored to |0⟩ (leaked probability {leaked:.3e})")
+                write!(
+                    f,
+                    "ancillas not restored to |0⟩ (leaked probability {leaked:.3e})"
+                )
             }
             EmuError::Eigensolver(msg) => write!(f, "eigensolver: {msg}"),
         }

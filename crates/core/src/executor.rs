@@ -19,8 +19,7 @@ use qcemu_sim::StateVector;
 /// Common interface of both execution back-ends.
 pub trait Executor {
     /// Runs the program on an initial state of `program.n_qubits()` qubits.
-    fn run(&self, program: &QuantumProgram, initial: StateVector)
-        -> Result<StateVector, EmuError>;
+    fn run(&self, program: &QuantumProgram, initial: StateVector) -> Result<StateVector, EmuError>;
 
     /// Back-end name (for reports).
     fn name(&self) -> &'static str;
@@ -60,11 +59,7 @@ impl GateLevelSimulator {
 }
 
 impl Executor for GateLevelSimulator {
-    fn run(
-        &self,
-        program: &QuantumProgram,
-        initial: StateVector,
-    ) -> Result<StateVector, EmuError> {
+    fn run(&self, program: &QuantumProgram, initial: StateVector) -> Result<StateVector, EmuError> {
         if initial.n_qubits() != program.n_qubits() {
             return Err(EmuError::DimensionMismatch {
                 expected: program.n_qubits(),
@@ -84,20 +79,22 @@ impl Executor for GateLevelSimulator {
             match op {
                 HighLevelOp::Gates(c) => state.apply_circuit(&self.lower(c)),
                 HighLevelOp::Classical(cm) => {
-                    let gi = cm.gate_impl.as_ref().ok_or_else(|| {
-                        EmuError::NoGateImplementation {
-                            op: cm.name.clone(),
-                        }
-                    })?;
+                    let gi =
+                        cm.gate_impl
+                            .as_ref()
+                            .ok_or_else(|| EmuError::NoGateImplementation {
+                                op: cm.name.clone(),
+                            })?;
                     let circuit = (gi.build)(program);
                     state.apply_circuit(&self.lower(&circuit));
                 }
                 HighLevelOp::Phase(po) => {
-                    let gi = po.gate_impl.as_ref().ok_or_else(|| {
-                        EmuError::NoGateImplementation {
-                            op: po.name.clone(),
-                        }
-                    })?;
+                    let gi =
+                        po.gate_impl
+                            .as_ref()
+                            .ok_or_else(|| EmuError::NoGateImplementation {
+                                op: po.name.clone(),
+                            })?;
                     let circuit = (gi.build)(program);
                     state.apply_circuit(&self.lower(&circuit));
                 }
@@ -114,14 +111,13 @@ impl Executor for GateLevelSimulator {
                 }
                 HighLevelOp::Qft(r) => {
                     let bits = program.register(*r).bits();
-                    let c = qft_circuit(bits.len())
-                        .remap_qubits(state.n_qubits(), |q| bits[q]);
+                    let c = qft_circuit(bits.len()).remap_qubits(state.n_qubits(), |q| bits[q]);
                     state.apply_circuit(&self.lower(&c));
                 }
                 HighLevelOp::InverseQft(r) => {
                     let bits = program.register(*r).bits();
-                    let c = inverse_qft_circuit(bits.len())
-                        .remap_qubits(state.n_qubits(), |q| bits[q]);
+                    let c =
+                        inverse_qft_circuit(bits.len()).remap_qubits(state.n_qubits(), |q| bits[q]);
                     state.apply_circuit(&self.lower(&c));
                 }
                 HighLevelOp::Qpe(qpe) => {
@@ -238,11 +234,7 @@ impl Emulator {
 }
 
 impl Executor for Emulator {
-    fn run(
-        &self,
-        program: &QuantumProgram,
-        initial: StateVector,
-    ) -> Result<StateVector, EmuError> {
+    fn run(&self, program: &QuantumProgram, initial: StateVector) -> Result<StateVector, EmuError> {
         if initial.n_qubits() != program.n_qubits() {
             return Err(EmuError::DimensionMismatch {
                 expected: program.n_qubits(),
@@ -256,7 +248,9 @@ impl Executor for Emulator {
             match op {
                 HighLevelOp::Gates(c) => state.apply_circuit(c),
                 HighLevelOp::Classical(cm) => apply_classical_map(&mut state, program, cm)?,
-                HighLevelOp::Phase(po) => crate::classical::apply_phase_oracle(&mut state, program, po),
+                HighLevelOp::Phase(po) => {
+                    crate::classical::apply_phase_oracle(&mut state, program, po)
+                }
                 HighLevelOp::Rotation(ro) => {
                     crate::classical::apply_controlled_rotation(&mut state, program, ro)
                 }
@@ -355,7 +349,10 @@ mod tests {
         pb.inverse_qft(a);
         let prog = pb.build().unwrap();
         let initial = StateVector::zero_state(5);
-        for exec in [&GateLevelSimulator::new() as &dyn Executor, &Emulator::new()] {
+        for exec in [
+            &GateLevelSimulator::new() as &dyn Executor,
+            &Emulator::new(),
+        ] {
             let out = exec.run(&prog, initial.clone()).unwrap();
             let dist = out.register_distribution(&prog.register(a).bits());
             assert!((dist[5] - 1.0).abs() < 1e-9, "{}: {:?}", exec.name(), dist);
@@ -382,11 +379,7 @@ mod tests {
     fn emulation_only_op_fails_on_simulator_but_runs_on_emulator() {
         let mut pb = ProgramBuilder::new();
         let a = pb.register("a", 3);
-        pb.classical(stdops::apply_classical_fn(
-            "xor3",
-            vec![a],
-            |v| v[0] ^= 3,
-        ));
+        pb.classical(stdops::apply_classical_fn("xor3", vec![a], |v| v[0] ^= 3));
         let prog = pb.build().unwrap();
         let initial = StateVector::zero_state(3);
         assert!(matches!(

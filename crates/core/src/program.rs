@@ -256,9 +256,7 @@ impl QuantumProgram {
                 HighLevelOp::Classical(cm) => {
                     cm.gate_impl.as_ref().map(|g| g.n_ancilla).unwrap_or(0)
                 }
-                HighLevelOp::Phase(po) => {
-                    po.gate_impl.as_ref().map(|g| g.n_ancilla).unwrap_or(0)
-                }
+                HighLevelOp::Phase(po) => po.gate_impl.as_ref().map(|g| g.n_ancilla).unwrap_or(0),
                 _ => 0,
             })
             .max()

@@ -17,7 +17,7 @@
 
 use crate::error::EmuError;
 use crate::program::QpeOp;
-use qcemu_linalg::{eig, powers_of_two, CMatrix, C64, MulAlgorithm};
+use qcemu_linalg::{eig, powers_of_two, CMatrix, MulAlgorithm, C64};
 use qcemu_sim::circuits::qft::inverse_qft_circuit;
 use qcemu_sim::{apply_dense_to_register, circuit_to_dense, Circuit, Gate, StateVector};
 
@@ -355,10 +355,7 @@ mod tests {
         // Exact phase ⇒ the phase register reads 3 with certainty.
         for (i, sv) in results.iter().enumerate() {
             let dist = sv.register_distribution(&phase_bits);
-            assert!(
-                (dist[3] - 1.0).abs() < 1e-8,
-                "strategy {i}: dist {dist:?}"
-            );
+            assert!((dist[3] - 1.0).abs() < 1e-8, "strategy {i}: dist {dist:?}");
         }
         // And the full states agree.
         assert!(results[0].max_diff_up_to_phase(&results[1]) < 1e-8);
@@ -472,7 +469,10 @@ mod tests {
         // unentangled when the target is an eigenstate.
         let theta = 2.0 * std::f64::consts::PI * (1.0 / 4.0);
         let op = make_op(phase_gate_circuit(theta));
-        for strategy in [QpeStrategy::RepeatedSquaring, QpeStrategy::Eigendecomposition] {
+        for strategy in [
+            QpeStrategy::RepeatedSquaring,
+            QpeStrategy::Eigendecomposition,
+        ] {
             let mut sv = StateVector::zero_state(4); // q0 target, q1 phase(2)… q3 bystander
             sv.apply(&Gate::x(0));
             sv.apply(&Gate::h(3));

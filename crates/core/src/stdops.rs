@@ -6,9 +6,9 @@
 //! simulator, wired to the `qcemu-revarith` synthesisers.
 
 use crate::program::{ClassicalMap, GateImpl, MapKind, PhaseOracle, QuantumProgram, RegisterId};
-use qcemu_sim::{Gate, GateOp};
 use qcemu_revarith::{adder, divider, divider_model, multiplier, multiplier_model};
 use qcemu_sim::Circuit;
+use qcemu_sim::{Gate, GateOp};
 use std::sync::Arc;
 
 /// In-place addition `b ← a + b (mod 2^m)` — Cuccaro adder on the

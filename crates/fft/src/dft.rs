@@ -50,7 +50,12 @@ mod tests {
 
     #[test]
     fn forward_then_inverse_identity() {
-        let x = vec![c64(1.0, 2.0), c64(-0.5, 0.25), c64(0.0, -1.0), c64(3.0, 0.0)];
+        let x = vec![
+            c64(1.0, 2.0),
+            c64(-0.5, 0.25),
+            c64(0.0, -1.0),
+            c64(3.0, 0.0),
+        ];
         let y = dft_reference(&x, Direction::Forward, Normalization::None);
         let z = dft_reference(&y, Direction::Inverse, Normalization::Full);
         assert!(max_abs_diff(&x, &z) < 1e-12);

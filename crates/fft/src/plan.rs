@@ -68,8 +68,14 @@ impl FftPlan {
     /// Builds a plan for size `n`, which must be a power of two (and
     /// ≤ 2³² entries so the bit-reversal table can use `u32`).
     pub fn new(n: usize) -> FftPlan {
-        assert!(n.is_power_of_two(), "FFT size must be a power of two, got {n}");
-        assert!(n <= (1usize << 32), "FFT size too large for u32 bitrev table");
+        assert!(
+            n.is_power_of_two(),
+            "FFT size must be a power of two, got {n}"
+        );
+        assert!(
+            n <= (1usize << 32),
+            "FFT size too large for u32 bitrev table"
+        );
         let log2n = n.trailing_zeros();
         let half = (n / 2).max(1);
         let mut twiddles = Vec::with_capacity(half);

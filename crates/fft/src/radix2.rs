@@ -78,7 +78,13 @@ fn twiddle_for(plan: &FftPlan, dir: Direction, idx: usize) -> C64 {
 }
 
 #[inline]
-fn butterfly_block(chunk: &mut [C64], half: usize, tw_stride: usize, plan: &FftPlan, dir: Direction) {
+fn butterfly_block(
+    chunk: &mut [C64],
+    half: usize,
+    tw_stride: usize,
+    plan: &FftPlan,
+    dir: Direction,
+) {
     let (lo, hi) = chunk.split_at_mut(half);
     for j in 0..half {
         let w = twiddle_for(plan, dir, j * tw_stride);
@@ -187,7 +193,10 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(53);
         let mut data = random_state(512, &mut rng);
         fft(&mut data, Direction::Forward, Normalization::Sqrt);
-        assert!((norm2(&data) - 1.0).abs() < 1e-11, "unitary FFT must preserve norm");
+        assert!(
+            (norm2(&data) - 1.0).abs() < 1e-11,
+            "unitary FFT must preserve norm"
+        );
     }
 
     #[test]
@@ -211,8 +220,7 @@ mod tests {
         qft_convention(&mut data);
         let scale = 1.0 / (n as f64).sqrt();
         for (l, z) in data.iter().enumerate() {
-            let expect =
-                C64::cis(std::f64::consts::TAU * (k * l) as f64 / n as f64).scale(scale);
+            let expect = C64::cis(std::f64::consts::TAU * (k * l) as f64 / n as f64).scale(scale);
             assert!(z.approx_eq(expect, 1e-12), "l = {l}");
         }
     }
@@ -223,7 +231,11 @@ mod tests {
         let a = random_state(64, &mut rng);
         let b = random_state(64, &mut rng);
         let alpha = c64(0.3, -0.4);
-        let combined: Vec<C64> = a.iter().zip(b.iter()).map(|(x, y)| alpha * *x + *y).collect();
+        let combined: Vec<C64> = a
+            .iter()
+            .zip(b.iter())
+            .map(|(x, y)| alpha * *x + *y)
+            .collect();
 
         let mut fa = a.clone();
         let mut fb = b.clone();
@@ -231,7 +243,11 @@ mod tests {
         fft(&mut fa, Direction::Forward, Normalization::None);
         fft(&mut fb, Direction::Forward, Normalization::None);
         fft(&mut fc, Direction::Forward, Normalization::None);
-        let recombined: Vec<C64> = fa.iter().zip(fb.iter()).map(|(x, y)| alpha * *x + *y).collect();
+        let recombined: Vec<C64> = fa
+            .iter()
+            .zip(fb.iter())
+            .map(|(x, y)| alpha * *x + *y)
+            .collect();
         assert!(max_abs_diff(&fc, &recombined) < 1e-10);
     }
 
@@ -244,7 +260,10 @@ mod tests {
         fft(&mut fast, Direction::Forward, Normalization::Sqrt);
         // Compare against the same algorithm forced serial by running it in
         // a single-thread pool.
-        let pool = rayon::ThreadPoolBuilder::new().num_threads(1).build().unwrap();
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(1)
+            .build()
+            .unwrap();
         let mut serial = input.clone();
         pool.install(|| fft(&mut serial, Direction::Forward, Normalization::Sqrt));
         assert!(max_abs_diff(&fast, &serial) < 1e-12);

@@ -105,12 +105,24 @@ pub fn fft_subspace(
 /// QFT (paper Eq. 4 convention: positive exponent, 1/√N) on the given
 /// register of a larger state.
 pub fn qft_subspace(state: &mut Vec<C64>, n_qubits: usize, bits: &[usize]) {
-    fft_subspace(state, n_qubits, bits, Direction::Inverse, Normalization::Sqrt);
+    fft_subspace(
+        state,
+        n_qubits,
+        bits,
+        Direction::Inverse,
+        Normalization::Sqrt,
+    );
 }
 
 /// Inverse QFT on the given register of a larger state.
 pub fn inverse_qft_subspace(state: &mut Vec<C64>, n_qubits: usize, bits: &[usize]) {
-    fft_subspace(state, n_qubits, bits, Direction::Forward, Normalization::Sqrt);
+    fft_subspace(
+        state,
+        n_qubits,
+        bits,
+        Direction::Forward,
+        Normalization::Sqrt,
+    );
 }
 
 #[cfg(test)]
@@ -138,7 +150,13 @@ mod tests {
         let input = random_state(1 << n_qubits, &mut rng);
         let bits: Vec<usize> = (0..n_qubits).collect();
         let mut a = input.clone();
-        fft_subspace(&mut a, n_qubits, &bits, Direction::Inverse, Normalization::Sqrt);
+        fft_subspace(
+            &mut a,
+            n_qubits,
+            &bits,
+            Direction::Inverse,
+            Normalization::Sqrt,
+        );
         let mut b = input.clone();
         qft_convention(&mut b);
         assert!(max_abs_diff(&a, &b) < 1e-11);
@@ -150,7 +168,13 @@ mod tests {
         // 3-qubit register inside 5 qubits → 4 independent blocks of 8.
         let input = random_state(32, &mut rng);
         let mut a = input.clone();
-        fft_subspace(&mut a, 5, &[0, 1, 2], Direction::Inverse, Normalization::Sqrt);
+        fft_subspace(
+            &mut a,
+            5,
+            &[0, 1, 2],
+            Direction::Inverse,
+            Normalization::Sqrt,
+        );
         for blk in 0..4 {
             let mut expect: Vec<C64> = input[blk * 8..(blk + 1) * 8].to_vec();
             qft_convention(&mut expect);
@@ -166,7 +190,13 @@ mod tests {
         let bits = [2usize, 3usize];
         let input = random_state(16, &mut rng);
         let mut fast = input.clone();
-        fft_subspace(&mut fast, n_q, &bits, Direction::Inverse, Normalization::Sqrt);
+        fft_subspace(
+            &mut fast,
+            n_q,
+            &bits,
+            Direction::Inverse,
+            Normalization::Sqrt,
+        );
 
         // Manual: for each assignment of qubits (0,1), do a 4-point QFT over
         // the register value.
@@ -187,11 +217,18 @@ mod tests {
         // bits [1, 0]: qubit 1 is the LSB of the register value.
         let input = random_state(4, &mut rng);
         let mut fast = input.clone();
-        fft_subspace(&mut fast, 2, &[1, 0], Direction::Forward, Normalization::None);
+        fft_subspace(
+            &mut fast,
+            2,
+            &[1, 0],
+            Direction::Forward,
+            Normalization::None,
+        );
         // Register value v = bit1 + 2·bit0 → index map 0→0, 1→2, 2→1, 3→3.
         let reorder = [0usize, 2, 1, 3];
         let gathered: Vec<C64> = reorder.iter().map(|&i| input[i]).collect();
-        let spectrum = crate::dft::dft_reference(&gathered, Direction::Forward, Normalization::None);
+        let spectrum =
+            crate::dft::dft_reference(&gathered, Direction::Forward, Normalization::None);
         for (v, &idx) in reorder.iter().enumerate() {
             assert!(
                 fast[idx].approx_eq(spectrum[v], 1e-10),
@@ -224,7 +261,13 @@ mod tests {
     #[should_panic(expected = "duplicate register bit")]
     fn rejects_duplicate_bits() {
         let mut state = vec![C64::ONE; 4];
-        fft_subspace(&mut state, 2, &[0, 0], Direction::Forward, Normalization::None);
+        fft_subspace(
+            &mut state,
+            2,
+            &[0, 0],
+            Direction::Forward,
+            Normalization::None,
+        );
     }
 
     #[test]

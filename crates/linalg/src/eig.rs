@@ -1,6 +1,6 @@
 //! Complex Schur decomposition and eigensolver (the `zgeev` replacement).
 //!
-//! Pipeline (paper §3.3, ref [17]): Householder Hessenberg reduction →
+//! Pipeline (paper §3.3, ref \[17\]): Householder Hessenberg reduction →
 //! implicitly shifted QR iteration with Givens rotations (Wilkinson shift,
 //! aggressive deflation) → upper triangular Schur factor `T` with
 //! `A = Z T Z†` → eigenvalues on the diagonal of `T` and, on request,
@@ -31,7 +31,10 @@ impl std::fmt::Display for EigError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             EigError::NoConvergence { remaining } => {
-                write!(f, "QR iteration did not converge; {remaining} eigenvalues remain")
+                write!(
+                    f,
+                    "QR iteration did not converge; {remaining} eigenvalues remain"
+                )
             }
             EigError::NotSquare => write!(f, "eigendecomposition requires a square matrix"),
         }
@@ -371,7 +374,10 @@ mod tests {
             let a = random_matrix(n, n, &mut rng);
             let e = eig(&a).unwrap();
             let res = eig_residual(&a, &e);
-            assert!(res < 1e-7 * (n as f64), "residual {res} too large for n = {n}");
+            assert!(
+                res < 1e-7 * (n as f64),
+                "residual {res} too large for n = {n}"
+            );
         }
     }
 
@@ -436,7 +442,9 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(36);
         let n = 10;
         let v = random_unitary(n, &mut rng);
-        let thetas: Vec<f64> = (0..n).map(|_| rng.gen::<f64>() * std::f64::consts::TAU).collect();
+        let thetas: Vec<f64> = (0..n)
+            .map(|_| rng.gen::<f64>() * std::f64::consts::TAU)
+            .collect();
         let d = CMatrix::from_diagonal(&thetas.iter().map(|&t| C64::cis(t)).collect::<Vec<_>>());
         let u = gemm(&gemm(&v, &d), &v.adjoint());
         let e = eig(&u).unwrap();
@@ -452,8 +460,14 @@ mod tests {
 
     #[test]
     fn not_square_is_rejected() {
-        assert_eq!(schur(&CMatrix::zeros(2, 3)).err(), Some(EigError::NotSquare));
-        assert!(matches!(eig(&CMatrix::zeros(2, 3)), Err(EigError::NotSquare)));
+        assert_eq!(
+            schur(&CMatrix::zeros(2, 3)).err(),
+            Some(EigError::NotSquare)
+        );
+        assert!(matches!(
+            eig(&CMatrix::zeros(2, 3)),
+            Err(EigError::NotSquare)
+        ));
     }
 
     #[test]

@@ -71,7 +71,15 @@ pub fn gemm_into(a: &CMatrix, b: &CMatrix, c: &mut CMatrix) {
 
 /// Computes `rows` rows of C starting at global row `i0`.
 /// `c_panel` is the row-major slab for exactly those rows.
-fn serial_block(a: &[C64], b: &[C64], c_panel: &mut [C64], i0: usize, rows: usize, k: usize, n: usize) {
+fn serial_block(
+    a: &[C64],
+    b: &[C64],
+    c_panel: &mut [C64],
+    i0: usize,
+    rows: usize,
+    k: usize,
+    n: usize,
+) {
     // i-k-j order: the inner j loop streams one row of B and one row of C,
     // both contiguous in memory; A is read once per (i, k).
     for kk in (0..k).step_by(KC) {

@@ -1,9 +1,9 @@
 //! Householder reduction to upper Hessenberg form.
 //!
-//! First stage of the `zgeev` replacement (paper §3.3, ref. [17]): a general
+//! First stage of the `zgeev` replacement (paper §3.3, ref. \[17\]): a general
 //! complex matrix `A` is reduced to `H = Q† A Q` with `H` upper Hessenberg
 //! (zero below the first subdiagonal) by a sequence of Householder
-//! reflectors. The shifted-QR iteration in [`crate::eig`] then works on `H`.
+//! reflectors. The shifted-QR iteration in [`crate::eig`](mod@crate::eig) then works on `H`.
 
 use crate::complex::C64;
 use crate::matrix::CMatrix;
@@ -45,7 +45,11 @@ pub fn hessenberg(a: &CMatrix) -> Hessenberg {
         let x0 = h[(k + 1, k)];
         // alpha = -e^{i·arg(x0)} ‖x‖ ; choosing the sign away from x0 avoids
         // cancellation in v = x − α e₁.
-        let phase = if x0.abs() == 0.0 { C64::ONE } else { x0.scale(1.0 / x0.abs()) };
+        let phase = if x0.abs() == 0.0 {
+            C64::ONE
+        } else {
+            x0.scale(1.0 / x0.abs())
+        };
         let alpha = -phase.scale(norm);
 
         for i in 0..len {
@@ -170,7 +174,10 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(22);
         let u = random_unitary(16, &mut rng);
         let hes = hessenberg(&u);
-        assert!(hes.h.is_unitary(1e-9), "Hessenberg form of unitary is unitary");
+        assert!(
+            hes.h.is_unitary(1e-9),
+            "Hessenberg form of unitary is unitary"
+        );
     }
 
     #[test]

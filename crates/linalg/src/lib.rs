@@ -5,11 +5,11 @@
 //! Emulation of Quantum Circuits* (Häner, Steiger, Smelyanskiy, Troyer,
 //! SC 2016):
 //!
-//! * [`gemm`] — cache-blocked, rayon-parallel complex GEMM (≈ `zgemm`), the
+//! * [`gemm`](mod@gemm) — cache-blocked, rayon-parallel complex GEMM (≈ `zgemm`), the
 //!   engine of the repeated-squaring QPE emulation path;
-//! * [`strassen`] — sub-cubic multiplication that shifts the paper's
+//! * [`strassen`](mod@strassen) — sub-cubic multiplication that shifts the paper's
 //!   emulation crossover from `b ≥ 2n` to `b ≳ 1.8n` bits of precision;
-//! * [`hessenberg`] + [`eig`] — Householder reduction and shifted-QR complex
+//! * [`hessenberg`](mod@hessenberg) + [`eig`](mod@eig) — Householder reduction and shifted-QR complex
 //!   Schur decomposition with eigenvector back-substitution (≈ `zgeev`);
 //! * [`power`] — `U^{2^i}` sequences by repeated squaring (paper Eq. 7);
 //! * [`complex`], [`matrix`], [`vector`], [`random`] — supporting types.

@@ -47,7 +47,10 @@ pub fn random_unitary(n: usize, rng: &mut impl Rng) -> CMatrix {
             }
         }
         let norm = cols[j].iter().map(|z| z.norm_sqr()).sum::<f64>().sqrt();
-        assert!(norm > 1e-12, "degenerate random matrix (astronomically unlikely)");
+        assert!(
+            norm > 1e-12,
+            "degenerate random matrix (astronomically unlikely)"
+        );
         for z in cols[j].iter_mut() {
             *z = z.scale(1.0 / norm);
         }

@@ -20,7 +20,10 @@ pub fn strassen(a: &CMatrix, b: &CMatrix) -> CMatrix {
 
 /// Strassen with an explicit recursion cutoff (used by benches/ablation).
 pub fn strassen_with_cutoff(a: &CMatrix, b: &CMatrix, cutoff: usize) -> CMatrix {
-    assert!(a.is_square() && b.is_square(), "strassen: inputs must be square");
+    assert!(
+        a.is_square() && b.is_square(),
+        "strassen: inputs must be square"
+    );
     assert_eq!(a.nrows(), b.nrows(), "strassen: dimension mismatch");
     strassen_rec(a, b, cutoff.max(2))
 }
@@ -161,7 +164,10 @@ mod tests {
     fn flop_model_is_subcubic() {
         let dense = gemm::gemm_flops(4096);
         let fast = strassen_flops(4096, 128);
-        assert!(fast < dense, "Strassen flops {fast} should be below dense {dense}");
+        assert!(
+            fast < dense,
+            "Strassen flops {fast} should be below dense {dense}"
+        );
     }
 
     #[test]

@@ -121,7 +121,10 @@ mod tests {
         let a = vec![c64(0.6, 0.0), c64(0.8, 0.0)];
         let phase = C64::cis(1.234);
         let b: Vec<C64> = a.iter().map(|z| *z * phase).collect();
-        assert!(max_abs_diff(&a, &b) > 0.1, "plain distance should see the phase");
+        assert!(
+            max_abs_diff(&a, &b) > 0.1,
+            "plain distance should see the phase"
+        );
         assert!(
             max_abs_diff_up_to_phase(&a, &b) < 1e-12,
             "phase-insensitive distance should not"

@@ -1,4 +1,4 @@
-//! Cuccaro ripple-carry adder (paper ref. [12]: quant-ph/0410184).
+//! Cuccaro ripple-carry adder (paper ref. \[12\]: quant-ph/0410184).
 //!
 //! Computes `(a, b) ↦ (a, a+b)` in place with a single ancilla qubit and
 //! the MAJ/UMA ladder; `2m` Toffolis and `4m` CNOTs for `m`-bit operands.
@@ -126,7 +126,11 @@ pub fn adder(m: usize, with_carry: bool) -> AdderCircuit {
     let a = l.alloc(m);
     let b = l.alloc(m);
     let ancilla = l.alloc_qubit();
-    let carry_out = if with_carry { Some(l.alloc_qubit()) } else { None };
+    let carry_out = if with_carry {
+        Some(l.alloc_qubit())
+    } else {
+        None
+    };
     let mut circuit = Circuit::new(l.total());
     emit_add(&mut circuit, a, b, ancilla, carry_out, &[]);
     AdderCircuit {
@@ -145,7 +149,11 @@ pub fn subtractor(m: usize, with_borrow: bool) -> AdderCircuit {
     let a = l.alloc(m);
     let b = l.alloc(m);
     let ancilla = l.alloc_qubit();
-    let borrow_out = if with_borrow { Some(l.alloc_qubit()) } else { None };
+    let borrow_out = if with_borrow {
+        Some(l.alloc_qubit())
+    } else {
+        None
+    };
     let mut circuit = Circuit::new(l.total());
     emit_sub(&mut circuit, a, b, ancilla, borrow_out, &[]);
     AdderCircuit {

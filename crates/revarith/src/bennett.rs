@@ -86,9 +86,10 @@ impl BoolCircuit {
     pub fn validate(&self) -> Result<(), String> {
         let check = |w: Wire, g_idx: usize| -> Result<(), String> {
             match w {
-                Wire::Input(i) if i >= self.n_inputs => {
-                    Err(format!("gate {g_idx} references input {i} of {}", self.n_inputs))
-                }
+                Wire::Input(i) if i >= self.n_inputs => Err(format!(
+                    "gate {g_idx} references input {i} of {}",
+                    self.n_inputs
+                )),
                 Wire::Node(n) if n >= g_idx => {
                     Err(format!("gate {g_idx} references later node {n}"))
                 }
@@ -205,15 +206,15 @@ pub fn full_adder_nand() -> BoolCircuit {
     use Wire::*;
     // Inputs: 0 = a, 1 = b, 2 = cin. Outputs: sum, cout.
     let gates = vec![
-        Nand(Input(0), Input(1)),     // 0: n0 = ¬(ab)
-        Nand(Input(0), Node(0)),      // 1
-        Nand(Input(1), Node(0)),      // 2
-        Nand(Node(1), Node(2)),       // 3: a ⊕ b
-        Nand(Node(3), Input(2)),      // 4
-        Nand(Node(3), Node(4)),       // 5
-        Nand(Input(2), Node(4)),      // 6
-        Nand(Node(5), Node(6)),       // 7: sum
-        Nand(Node(4), Node(0)),       // 8: cout
+        Nand(Input(0), Input(1)), // 0: n0 = ¬(ab)
+        Nand(Input(0), Node(0)),  // 1
+        Nand(Input(1), Node(0)),  // 2
+        Nand(Node(1), Node(2)),   // 3: a ⊕ b
+        Nand(Node(3), Input(2)),  // 4
+        Nand(Node(3), Node(4)),   // 5
+        Nand(Input(2), Node(4)),  // 6
+        Nand(Node(5), Node(6)),   // 7: sum
+        Nand(Node(4), Node(0)),   // 8: cout
     ];
     BoolCircuit {
         n_inputs: 3,

@@ -51,15 +51,10 @@ pub fn apply_classical_gate(gate: &Gate, bits: u64) -> u64 {
 
 /// `true` if every gate in the circuit is classical (permutation).
 pub fn is_classical_circuit(circuit: &Circuit) -> bool {
-    circuit.gates().iter().all(|g| {
-        matches!(
-            g,
-            Gate::Unary {
-                op: GateOp::X,
-                ..
-            } | Gate::Swap { .. }
-        )
-    })
+    circuit
+        .gates()
+        .iter()
+        .all(|g| matches!(g, Gate::Unary { op: GateOp::X, .. } | Gate::Swap { .. }))
 }
 
 #[inline]

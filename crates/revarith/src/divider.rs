@@ -301,7 +301,12 @@ mod tests {
                 continue;
             }
             let w = idx as u64;
-            assert_eq!(dc.q.get(w), dc.a.get(w) / 2, "quotient branch a={}", dc.a.get(w));
+            assert_eq!(
+                dc.q.get(w),
+                dc.a.get(w) / 2,
+                "quotient branch a={}",
+                dc.a.get(w)
+            );
             assert_eq!(
                 dc.r.slice(0, m).get(w),
                 dc.a.get(w) % 2,

@@ -4,11 +4,11 @@
 //! paper's *simulator* must grind through so that the *emulator*'s §3.1
 //! shortcuts have an honest baseline:
 //!
-//! * [`adder`] — Cuccaro ripple-carry adder/subtractor (paper ref. [12])
+//! * [`adder`](mod@adder) — Cuccaro ripple-carry adder/subtractor (paper ref. \[12\])
 //!   with carry/borrow taps and controlled variants;
-//! * [`multiplier`] — repeated-addition-and-shift: `(a,b,c) ↦ (a,b,c+ab)`
+//! * [`multiplier`](mod@multiplier) — repeated-addition-and-shift: `(a,b,c) ↦ (a,b,c+ab)`
 //!   on `3m+1` qubits (Fig. 1 workload);
-//! * [`divider`] — restoring repeated-subtraction-and-shift division on
+//! * [`divider`](mod@divider) — restoring repeated-subtraction-and-shift division on
 //!   `4m+3` qubits, whose extra work qubits are exactly why Fig. 2's
 //!   speedups dwarf Fig. 1's;
 //! * [`comparator`] — overflow-based `>` / `≤` / `=` predicates;

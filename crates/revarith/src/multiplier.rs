@@ -92,11 +92,7 @@ mod tests {
                     assert_eq!(anc, 0, "ancilla restored");
                     assert_eq!(ao, av, "a restored");
                     assert_eq!(bo, bv, "b restored");
-                    assert_eq!(
-                        co,
-                        (av * bv) % max,
-                        "product wrong (m={m}, a={av}, b={bv})"
-                    );
+                    assert_eq!(co, (av * bv) % max, "product wrong (m={m}, a={av}, b={bv})");
                 }
             }
         }

@@ -19,7 +19,11 @@ impl Register {
     /// The qubit index of value-bit `j`.
     #[inline]
     pub fn bit(&self, j: usize) -> usize {
-        assert!(j < self.len, "register bit {j} out of range (len {})", self.len);
+        assert!(
+            j < self.len,
+            "register bit {j} out of range (len {})",
+            self.len
+        );
         self.offset + j
     }
 

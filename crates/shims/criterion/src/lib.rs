@@ -1,0 +1,197 @@
+//! Offline shim for the [`criterion`](https://crates.io/crates/criterion)
+//! benchmark harness.
+//!
+//! The qcemu build environment has no crates.io access, so this in-tree
+//! crate provides the subset of the criterion API that
+//! `crates/bench/benches/kernels.rs` uses — [`Criterion`],
+//! `benchmark_group`/`bench_function`/`bench_with_input`, [`BenchmarkId`],
+//! [`black_box`], and the [`criterion_group!`]/[`criterion_main!`] macros —
+//! backed by a simple median-of-samples wall-clock timer instead of
+//! criterion's statistical machinery. Output is one line per benchmark:
+//!
+//! ```text
+//! kernels_2^20/h_general        median 1.234 ms  (20 samples)
+//! ```
+
+use std::time::Instant;
+
+/// Opaque value barrier, forwarding to [`std::hint::black_box`].
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Parameterised benchmark name (`group/function/parameter`).
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Builds an id from a function name and a displayable parameter.
+    pub fn new(function: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function.into(), parameter),
+        }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Per-benchmark timing driver handed to the closure of
+/// [`BenchmarkGroup::bench_function`].
+pub struct Bencher {
+    samples: usize,
+    /// Median seconds per iteration, recorded by [`Bencher::iter`].
+    median_s: f64,
+    iters_per_sample: u64,
+}
+
+impl Bencher {
+    /// Times `f` repeatedly and records the median sample time.
+    pub fn iter<T>(&mut self, mut f: impl FnMut() -> T) {
+        // Calibrate: grow the per-sample iteration count until one sample
+        // costs ≳ 1 ms, so cheap kernels aren't measured at timer noise.
+        let mut iters: u64 = 1;
+        loop {
+            let t0 = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            let dt = t0.elapsed().as_secs_f64();
+            if dt >= 1e-3 || iters >= 1 << 20 {
+                break;
+            }
+            iters *= 4;
+        }
+        let mut times: Vec<f64> = (0..self.samples)
+            .map(|_| {
+                let t0 = Instant::now();
+                for _ in 0..iters {
+                    black_box(f());
+                }
+                t0.elapsed().as_secs_f64() / iters as f64
+            })
+            .collect();
+        times.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        self.median_s = times[times.len() / 2];
+        self.iters_per_sample = iters;
+    }
+}
+
+/// A named group of benchmarks sharing a sample count.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _criterion: &'a mut Criterion,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    fn run_one(&mut self, id: &str, f: &mut dyn FnMut(&mut Bencher)) {
+        let mut b = Bencher {
+            samples: self.sample_size,
+            median_s: 0.0,
+            iters_per_sample: 0,
+        };
+        f(&mut b);
+        let (scaled, unit) = scale_seconds(b.median_s);
+        println!(
+            "{:<44} median {:>9.3} {}  ({} samples x {} iters)",
+            format!("{}/{}", self.name, id),
+            scaled,
+            unit,
+            self.sample_size,
+            b.iters_per_sample
+        );
+    }
+
+    /// Runs one benchmark under this group's settings.
+    pub fn bench_function(
+        &mut self,
+        id: impl std::fmt::Display,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        self.run_one(&id.to_string(), &mut f);
+        self
+    }
+
+    /// Runs one parameterised benchmark; `input` is passed to the closure.
+    pub fn bench_with_input<I>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        self.run_one(&id.to_string(), &mut |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (a no-op in the shim; kept for API parity).
+    pub fn finish(&mut self) {}
+}
+
+fn scale_seconds(s: f64) -> (f64, &'static str) {
+    if s >= 1.0 {
+        (s, "s ")
+    } else if s >= 1e-3 {
+        (s * 1e3, "ms")
+    } else if s >= 1e-6 {
+        (s * 1e6, "us")
+    } else {
+        (s * 1e9, "ns")
+    }
+}
+
+/// Top-level harness state, mirroring `criterion::Criterion`.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: 10,
+            _criterion: self,
+        }
+    }
+
+    /// Runs a single ungrouped benchmark.
+    pub fn bench_function(
+        &mut self,
+        id: impl std::fmt::Display,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        self.benchmark_group("bench").bench_function(id, f);
+        self
+    }
+}
+
+/// Declares a benchmark group function, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Declares the benchmark `main`, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

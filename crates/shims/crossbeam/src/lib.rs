@@ -1,0 +1,37 @@
+//! Offline shim for the [`crossbeam`](https://crates.io/crates/crossbeam)
+//! crate.
+//!
+//! The qcemu build environment has no crates.io access; the only crossbeam
+//! feature the workspace uses is `crossbeam::channel::{unbounded, Sender,
+//! Receiver}` for the virtual cluster's rank-to-rank mailboxes
+//! (`qcemu_cluster::comm`). Those are multi-producer single-consumer with
+//! one owned `Receiver` per rank thread, which `std::sync::mpsc` models
+//! exactly, so this shim is a thin re-export.
+
+/// Multi-producer channels, mirroring `crossbeam::channel`.
+pub mod channel {
+    pub use std::sync::mpsc::{Receiver, RecvError, SendError, Sender};
+
+    /// Creates an unbounded FIFO channel (`std::sync::mpsc::channel`).
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        std::sync::mpsc::channel()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel::unbounded;
+
+    #[test]
+    fn unbounded_channel_ferries_messages_across_threads() {
+        let (tx, rx) = unbounded::<u64>();
+        let tx2 = tx.clone();
+        let h = std::thread::spawn(move || {
+            tx2.send(7).unwrap();
+            tx.send(8).unwrap();
+        });
+        h.join().unwrap();
+        assert_eq!(rx.recv().unwrap(), 7);
+        assert_eq!(rx.recv().unwrap(), 8);
+    }
+}

@@ -1,0 +1,379 @@
+//! Offline shim for the [`proptest`](https://crates.io/crates/proptest)
+//! property-testing crate.
+//!
+//! The qcemu build environment has no crates.io access, so this in-tree
+//! crate reproduces the subset of the proptest DSL that
+//! `tests/properties.rs` uses:
+//!
+//! * the [`strategy::Strategy`] trait with `prop_map`, implemented for
+//!   integer/float [`Range`]s and tuples of strategies;
+//! * [`collection::vec`] for random-length vectors;
+//! * the [`proptest!`] macro (`fn name(pat in strategy, …) { … }` with an
+//!   optional `#![proptest_config(…)]` header), plus [`prop_assert!`] /
+//!   [`prop_assert_eq!`];
+//! * [`test_runner::Config`] (aliased [`prelude::ProptestConfig`]) with
+//!   `with_cases`.
+//!
+//! Differences from real proptest, deliberate for a dependency-free build:
+//! no shrinking (a failing case reports its values but is not minimised),
+//! and the per-test RNG is seeded deterministically from the test name, so
+//! failures reproduce exactly under `cargo test`.
+
+use std::ops::Range;
+
+/// Deterministic test runner state: configuration and RNG.
+pub mod test_runner {
+    use rand::rngs::StdRng;
+    use rand::{RngCore, SeedableRng};
+
+    /// Run configuration (only the case count is modelled).
+    #[derive(Clone, Debug)]
+    pub struct Config {
+        /// Number of random cases each property is checked with.
+        pub cases: u32,
+    }
+
+    impl Config {
+        /// A configuration running `cases` random cases per property.
+        pub fn with_cases(cases: u32) -> Self {
+            Config { cases }
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            Config { cases: 64 }
+        }
+    }
+
+    /// RNG handed to strategies; deterministic per test name.
+    pub struct TestRng {
+        inner: StdRng,
+    }
+
+    impl TestRng {
+        /// Seeds the RNG from an FNV-1a hash of `name`, so every test has
+        /// its own reproducible stream.
+        pub fn deterministic(name: &str) -> Self {
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in name.bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x1000_0000_01b3);
+            }
+            TestRng {
+                inner: StdRng::seed_from_u64(h),
+            }
+        }
+
+        /// Next 64 uniform random bits.
+        pub fn next_u64(&mut self) -> u64 {
+            self.inner.next_u64()
+        }
+
+        /// Uniform `f64` in `[0, 1)`.
+        pub fn unit_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+    }
+}
+
+/// The [`Strategy`] trait and adapters.
+pub mod strategy {
+    use super::test_runner::TestRng;
+    use std::ops::Range;
+
+    /// A recipe for generating random values of type `Value`.
+    pub trait Strategy {
+        /// The type of values this strategy generates.
+        type Value;
+
+        /// Draws one value.
+        fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f` (no shrinking in the shim).
+        fn prop_map<T, F: Fn(Self::Value) -> T>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { strategy: self, f }
+        }
+    }
+
+    /// Adapter returned by [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        strategy: S,
+        f: F,
+    }
+
+    impl<S: Strategy, T, F: Fn(S::Value) -> T> Strategy for Map<S, F> {
+        type Value = T;
+        fn sample(&self, rng: &mut TestRng) -> T {
+            (self.f)(self.strategy.sample(rng))
+        }
+    }
+
+    /// Constant-value strategy (`Just`).
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn sample(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    macro_rules! impl_int_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as u128).wrapping_sub(self.start as u128);
+                    self.start.wrapping_add((rng.next_u64() as u128 % span) as $t)
+                }
+            }
+        )*};
+    }
+
+    impl_int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Strategy for Range<f64> {
+        type Value = f64;
+        fn sample(&self, rng: &mut TestRng) -> f64 {
+            assert!(self.start < self.end, "empty range strategy");
+            self.start + rng.unit_f64() * (self.end - self.start)
+        }
+    }
+
+    macro_rules! impl_tuple_strategy {
+        ($($name:ident),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                #[allow(non_snake_case)]
+                fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.sample(rng),)+)
+                }
+            }
+        };
+    }
+
+    impl_tuple_strategy!(A);
+    impl_tuple_strategy!(A, B);
+    impl_tuple_strategy!(A, B, C);
+    impl_tuple_strategy!(A, B, C, D);
+    impl_tuple_strategy!(A, B, C, D, E);
+    impl_tuple_strategy!(A, B, C, D, E, F);
+}
+
+/// Collection strategies, mirroring `proptest::collection`.
+pub mod collection {
+    use super::strategy::Strategy;
+    use super::test_runner::TestRng;
+    use std::ops::Range;
+
+    /// Strategy for `Vec`s with a random length drawn from a range.
+    pub struct VecStrategy<S> {
+        element: S,
+        len: Range<usize>,
+    }
+
+    /// A `Vec<S::Value>` whose length is uniform in `len` and whose
+    /// elements come from `element`.
+    pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+        assert!(len.start < len.end, "empty length range");
+        VecStrategy { element, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.len.end - self.len.start) as u64;
+            let n = self.len.start + (rng.next_u64() % span) as usize;
+            (0..n).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+/// One-stop imports, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::collection;
+    pub use crate::strategy::{Just, Map, Strategy};
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, proptest};
+}
+
+/// Defines `#[test]` functions whose arguments are drawn from strategies.
+///
+/// Supported grammar (a subset of real proptest's):
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(24))]
+///     #[test]
+///     fn my_property(x in 0u64..10, v in collection::vec(0usize..4, 1..9)) {
+///         prop_assert!(x < 10);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (@cfg ($cfg:expr) $($(#[$meta:meta])* fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::Config = $cfg;
+                let mut rng = $crate::test_runner::TestRng::deterministic(stringify!($name));
+                for case in 0..config.cases {
+                    let mut inputs = ::std::string::String::new();
+                    let outcome: ::std::result::Result<(), ::std::string::String> =
+                        (|| -> ::std::result::Result<(), ::std::string::String> {
+                            $(
+                                let sampled =
+                                    $crate::strategy::Strategy::sample(&($strat), &mut rng);
+                                {
+                                    use ::std::fmt::Write as _;
+                                    let sep = if inputs.is_empty() { "" } else { ", " };
+                                    let _ = ::std::write!(
+                                        inputs,
+                                        "{}{} = {:?}",
+                                        sep,
+                                        stringify!($arg),
+                                        &sampled
+                                    );
+                                }
+                                let $arg = sampled;
+                            )+
+                            $body
+                            ::std::result::Result::Ok(())
+                        })();
+                    if let ::std::result::Result::Err(msg) = outcome {
+                        panic!(
+                            "proptest property `{}` failed on case {}/{} with inputs [{}]: {}",
+                            stringify!($name),
+                            case + 1,
+                            config.cases,
+                            inputs,
+                            msg
+                        );
+                    }
+                }
+            }
+        )*
+    };
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@cfg ($cfg) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@cfg ($crate::test_runner::Config::default()) $($rest)*);
+    };
+}
+
+/// `assert!` that fails the current proptest case with a message instead of
+/// panicking directly (must be used inside [`proptest!`]).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err(::std::format!(
+                "prop_assert failed: {}",
+                stringify!($cond)
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err(::std::format!($($fmt)+));
+        }
+    };
+}
+
+/// `assert_eq!` counterpart of [`prop_assert!`].
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        if !(l == r) {
+            return ::std::result::Result::Err(::std::format!(
+                "prop_assert_eq failed: {} = {:?}, {} = {:?}",
+                stringify!($left),
+                l,
+                stringify!($right),
+                r
+            ));
+        }
+    }};
+}
+
+/// Convenience re-export so `proptest::sample`-style paths resolve.
+pub use strategy::Strategy;
+
+/// Samples `strategy` once with a fresh deterministic RNG — handy for
+/// doc-tests and debugging strategies outside [`proptest!`].
+pub fn sample_once<S: Strategy>(strategy: &S, name: &str) -> S::Value {
+    let mut rng = test_runner::TestRng::deterministic(name);
+    strategy.sample(&mut rng)
+}
+
+/// Re-export of the range type strategies are implemented over.
+pub type SizeRange = Range<usize>;
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_respect_bounds(x in 3u64..17, y in -2.0f64..2.0, z in 0usize..5) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!((-2.0..2.0).contains(&y));
+            prop_assert!(z < 5);
+        }
+
+        #[test]
+        fn tuples_and_maps_compose(v in collection::vec((0u64..4, 0u64..4).prop_map(|(a, b)| a + b), 1..9)) {
+            prop_assert!(!v.is_empty() && v.len() < 9);
+            for x in &v {
+                prop_assert!(*x <= 6);
+            }
+        }
+
+        #[test]
+        fn eq_assertion_works(a in 0u64..100) {
+            prop_assert_eq!(a + 1, 1 + a);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(3))]
+
+        // No #[test] attribute: generated as a plain fn, invoked (and
+        // expected to panic) by `failure_message_includes_inputs`.
+        fn always_fails(x in 0u64..4, y in 10u64..14) {
+            prop_assert!(x + y > 100, "sum too small");
+        }
+    }
+
+    #[test]
+    fn failure_message_includes_inputs() {
+        let err = std::panic::catch_unwind(always_fails).unwrap_err();
+        let msg = err
+            .downcast_ref::<String>()
+            .cloned()
+            .or_else(|| err.downcast_ref::<&str>().map(|s| s.to_string()))
+            .unwrap();
+        assert!(msg.contains("x = "), "missing x in: {msg}");
+        assert!(msg.contains("y = "), "missing y in: {msg}");
+        assert!(msg.contains("sum too small"), "missing message in: {msg}");
+    }
+
+    #[test]
+    fn deterministic_rng_reproduces() {
+        let s = 0u64..1_000_000;
+        let a = super::sample_once(&s, "x");
+        let b = super::sample_once(&s, "x");
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,299 @@
+//! Offline shim for the [`rand`](https://crates.io/crates/rand) crate.
+//!
+//! The qcemu build environment has no crates.io access, so this in-tree
+//! crate provides the (deliberately small) subset of the `rand` 0.8 API the
+//! workspace actually uses:
+//!
+//! * [`RngCore`] / [`Rng`] with `gen::<u64>()`, `gen::<f64>()`, `gen_bool`
+//!   and `gen_range` over integer/float ranges;
+//! * [`SeedableRng::seed_from_u64`];
+//! * [`rngs::StdRng`] — here a xoshiro256++ generator seeded through
+//!   SplitMix64 (the reference construction from Blackman & Vigna,
+//!   "Scrambled linear pseudorandom number generators", 2019);
+//! * [`thread_rng`] / [`rngs::ThreadRng`] — a per-thread `StdRng` seeded
+//!   from the system clock and a per-thread counter.
+//!
+//! It is **not** the real `rand` crate: streams differ, so seeded tests are
+//! reproducible against this shim only. That is exactly what the qcemu test
+//! suite needs (determinism within a build), and nothing else in the
+//! workspace depends on rand-compatible streams.
+
+use std::cell::RefCell;
+
+/// Low-level source of random 64-bit words.
+pub trait RngCore {
+    /// Returns the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Returns the next 32 random bits (upper half of [`RngCore::next_u64`]).
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// Types that can be sampled uniformly from an [`Rng`] (the shim's stand-in
+/// for `rand::distributions::Standard`). For `f64` the sample is uniform in
+/// `[0, 1)` with 53 bits of precision.
+pub trait Standard: Sized {
+    /// Draws one uniform sample from `rng`.
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Standard for u64 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Standard for u32 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32()
+    }
+}
+
+impl Standard for usize {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() as usize
+    }
+}
+
+impl Standard for bool {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Standard for f64 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // 53 uniform mantissa bits in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for f32 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u64 << 24) as f32)
+    }
+}
+
+/// Range types usable with [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    /// Draws one uniform sample from the range.
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+macro_rules! impl_int_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for std::ops::Range<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "gen_range: empty range");
+                let span = (self.end as u128).wrapping_sub(self.start as u128);
+                self.start.wrapping_add((rng.next_u64() as u128 % span) as $t)
+            }
+        }
+        impl SampleRange<$t> for std::ops::RangeInclusive<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "gen_range: empty range");
+                let span = (end as u128) - (start as u128) + 1;
+                start.wrapping_add((rng.next_u64() as u128 % span) as $t)
+            }
+        }
+    )*};
+}
+
+impl_int_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl SampleRange<f64> for std::ops::Range<f64> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "gen_range: empty range");
+        self.start + f64::sample(rng) * (self.end - self.start)
+    }
+}
+
+/// High-level convenience methods over any [`RngCore`].
+pub trait Rng: RngCore {
+    /// Uniform sample of a [`Standard`] type (`u64`, `f64`, `bool`, …).
+    fn gen<T: Standard>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::sample(self)
+    }
+
+    /// Uniform sample from an integer or float range.
+    fn gen_range<T, Rg: SampleRange<T>>(&mut self, range: Rg) -> T
+    where
+        Self: Sized,
+    {
+        range.sample_from(self)
+    }
+
+    /// Bernoulli sample with success probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        f64::sample(self) < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Seedable generators (only the `seed_from_u64` entry point is provided).
+pub trait SeedableRng: Sized {
+    /// Builds a generator whose stream is fully determined by `seed`.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Pre-packaged generators, mirroring `rand::rngs`.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// xoshiro256++ generator: the shim's stand-in for `rand::rngs::StdRng`.
+    ///
+    /// Seeding runs the 64-bit seed through SplitMix64 to fill the four
+    /// lanes of state, as recommended by the algorithm's authors.
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut sm = seed;
+            let s = [
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+            ];
+            StdRng { s }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+
+    /// Per-thread generator returned by [`crate::thread_rng`].
+    #[derive(Clone, Debug)]
+    pub struct ThreadRng {
+        inner: StdRng,
+    }
+
+    impl ThreadRng {
+        pub(crate) fn new(inner: StdRng) -> Self {
+            ThreadRng { inner }
+        }
+    }
+
+    impl RngCore for ThreadRng {
+        fn next_u64(&mut self) -> u64 {
+            self.inner.next_u64()
+        }
+    }
+}
+
+thread_local! {
+    static THREAD_RNG_SEQ: RefCell<u64> = const { RefCell::new(0) };
+}
+
+/// Returns a fresh per-thread generator seeded from the system clock, the
+/// thread id hash, and a per-thread call counter (unlike the real
+/// `thread_rng`, each call returns an independent owned generator).
+pub fn thread_rng() -> rngs::ThreadRng {
+    use std::hash::{Hash, Hasher};
+    let nanos = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_nanos() as u64)
+        .unwrap_or(0);
+    let mut hasher = std::collections::hash_map::DefaultHasher::new();
+    std::thread::current().id().hash(&mut hasher);
+    let seq = THREAD_RNG_SEQ.with(|c| {
+        let mut c = c.borrow_mut();
+        *c += 1;
+        *c
+    });
+    let seed = nanos ^ hasher.finish().rotate_left(17) ^ seq.wrapping_mul(0x2545_F491_4F6C_DD1D);
+    rngs::ThreadRng::new(<rngs::StdRng as SeedableRng>::seed_from_u64(seed))
+}
+
+/// Top-level convenience: one sample from a fresh [`thread_rng`].
+pub fn random<T: Standard>() -> T {
+    T::sample(&mut thread_rng())
+}
+
+/// `rand::prelude` stand-in.
+pub mod prelude {
+    pub use super::rngs::{StdRng, ThreadRng};
+    pub use super::{random, thread_rng, Rng, RngCore, SeedableRng};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn seeded_streams_are_deterministic() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(2);
+        let same = (0..16).filter(|_| a.gen::<u64>() == b.gen::<u64>()).count();
+        assert!(same < 4);
+    }
+
+    #[test]
+    fn f64_samples_are_unit_interval() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let x: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(9);
+        for _ in 0..1000 {
+            let v = rng.gen_range(3u64..17);
+            assert!((3..17).contains(&v));
+            let f = rng.gen_range(-2.0f64..3.0);
+            assert!((-2.0..3.0).contains(&f));
+        }
+    }
+}

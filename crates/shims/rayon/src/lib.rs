@@ -1,0 +1,674 @@
+//! Offline shim for the [`rayon`](https://crates.io/crates/rayon) crate.
+//!
+//! The qcemu build environment has no crates.io access, so this in-tree
+//! crate reproduces the slice/range parallel-iterator surface the workspace
+//! uses — `par_iter`, `par_iter_mut`, `par_chunks_mut`,
+//! `into_par_iter` on ranges (with `for_each`, `enumerate`, `zip`,
+//! `map`/`collect`), plus [`current_num_threads`], [`join`] and a
+//! [`ThreadPoolBuilder`] whose [`ThreadPool::install`] scopes the visible
+//! thread count.
+//!
+//! Unlike real rayon there is no work-stealing pool: each parallel call
+//! splits its index space into `current_num_threads()` contiguous blocks
+//! and runs them on `std::thread::scope` threads. That keeps the same
+//! *disjointness* contract the kernels rely on (each worker owns a
+//! contiguous block) at the cost of per-call spawn overhead — acceptable
+//! for the 2^20-amplitude workloads where parallelism matters. Worker
+//! threads inherit an even share of the caller's thread budget, so nested
+//! parallel calls (e.g. the four-step FFT parallelising rows whose
+//! per-row FFTs are themselves parallel) divide rather than multiply the
+//! number of live threads, and a `ThreadPool::install` bound applies at
+//! every nesting level.
+
+use std::cell::Cell;
+use std::ops::Range;
+
+thread_local! {
+    static NUM_THREADS_OVERRIDE: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+/// Restores the previous thread-count override on drop, so a scoped
+/// override survives panics in the guarded closure.
+struct ThreadCountGuard {
+    prev: Option<usize>,
+}
+
+impl Drop for ThreadCountGuard {
+    fn drop(&mut self) {
+        NUM_THREADS_OVERRIDE.with(|o| o.set(self.prev));
+    }
+}
+
+/// Sets this thread's visible thread count until the guard drops.
+fn set_thread_count(n: usize) -> ThreadCountGuard {
+    ThreadCountGuard {
+        prev: NUM_THREADS_OVERRIDE.with(|o| o.replace(Some(n.max(1)))),
+    }
+}
+
+/// Thread budget each of `workers` spawned workers inherits, so nested
+/// parallel calls divide the caller's budget instead of multiplying it.
+fn inner_threads(outer: usize, workers: usize) -> usize {
+    (outer / workers.max(1)).max(1)
+}
+
+/// Number of worker threads parallel calls on this thread will use.
+///
+/// Defaults to [`std::thread::available_parallelism`]; inside
+/// [`ThreadPool::install`] it reports that pool's configured size.
+pub fn current_num_threads() -> usize {
+    NUM_THREADS_OVERRIDE.with(|o| {
+        o.get().unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        })
+    })
+}
+
+/// Runs two closures, potentially in parallel, returning both results.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    let outer = current_num_threads();
+    if outer <= 1 {
+        let ra = a();
+        let rb = b();
+        return (ra, rb);
+    }
+    let inner = inner_threads(outer, 2);
+    std::thread::scope(|s| {
+        let hb = s.spawn(move || {
+            let _threads = set_thread_count(inner);
+            b()
+        });
+        let ra = {
+            let _threads = set_thread_count(inner);
+            a()
+        };
+        let rb = hb.join().expect("rayon-shim: join worker panicked");
+        (ra, rb)
+    })
+}
+
+/// Splits `0..len` into at most `workers` contiguous blocks and invokes
+/// `body(block_range)` on scoped threads (serially when it isn't worth it).
+fn for_each_block(len: usize, body: impl Fn(Range<usize>) + Sync) {
+    let outer = current_num_threads();
+    let workers = outer.min(len.max(1));
+    if workers <= 1 || len < 2 {
+        body(0..len);
+        return;
+    }
+    let inner = inner_threads(outer, workers);
+    let per = len.div_ceil(workers);
+    std::thread::scope(|s| {
+        for w in 0..workers {
+            let lo = w * per;
+            let hi = ((w + 1) * per).min(len);
+            if lo >= hi {
+                break;
+            }
+            let body = &body;
+            s.spawn(move || {
+                let _threads = set_thread_count(inner);
+                body(lo..hi)
+            });
+        }
+    });
+}
+
+/// Range → parallel iterator conversion (`(0..n).into_par_iter()`).
+pub trait IntoParallelIterator {
+    /// The parallel-iterator adapter type.
+    type Iter;
+    /// Converts `self` into its parallel adapter.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+impl IntoParallelIterator for Range<usize> {
+    type Iter = ParRange;
+    fn into_par_iter(self) -> ParRange {
+        ParRange { range: self }
+    }
+}
+
+/// Parallel adapter over a `Range<usize>`.
+pub struct ParRange {
+    range: Range<usize>,
+}
+
+impl ParRange {
+    /// Calls `f(i)` for every index, split across worker threads.
+    pub fn for_each<F: Fn(usize) + Sync + Send>(self, f: F) {
+        let start = self.range.start;
+        let len = self.range.end.saturating_sub(start);
+        for_each_block(len, |block| {
+            for i in block {
+                f(start + i);
+            }
+        });
+    }
+
+    /// Maps every index through `f`, preserving order.
+    pub fn map<T, F: Fn(usize) -> T + Sync + Send>(self, f: F) -> ParRangeMap<T, F> {
+        ParRangeMap {
+            range: self.range,
+            f,
+            _marker: std::marker::PhantomData,
+        }
+    }
+}
+
+/// Result of [`ParRange::map`]; consumed by [`ParRangeMap::collect`].
+pub struct ParRangeMap<T, F> {
+    range: Range<usize>,
+    f: F,
+    _marker: std::marker::PhantomData<T>,
+}
+
+impl<T: Send, F: Fn(usize) -> T + Sync + Send> ParRangeMap<T, F> {
+    /// Evaluates all elements in parallel and collects them in index order.
+    pub fn collect<C: FromIterator<T>>(self) -> C {
+        let start = self.range.start;
+        let len = self.range.end.saturating_sub(start);
+        let outer = current_num_threads();
+        let workers = outer.min(len.max(1));
+        if workers <= 1 || len < 2 {
+            return (start..start + len).map(self.f).collect();
+        }
+        let inner = inner_threads(outer, workers);
+        let per = len.div_ceil(workers);
+        let f = &self.f;
+        let mut parts: Vec<Vec<T>> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..workers)
+                .filter_map(|w| {
+                    let lo = w * per;
+                    let hi = ((w + 1) * per).min(len);
+                    (lo < hi).then(|| {
+                        s.spawn(move || {
+                            let _threads = set_thread_count(inner);
+                            (start + lo..start + hi).map(f).collect::<Vec<T>>()
+                        })
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("rayon-shim: map worker panicked"))
+                .collect()
+        });
+        let mut all = Vec::with_capacity(len);
+        for part in parts.iter_mut() {
+            all.append(part);
+        }
+        all.into_iter().collect()
+    }
+}
+
+/// `&[T]` / `&Vec<T>` → [`ParSlice`] (`.par_iter()`).
+pub trait ParallelSlice<T> {
+    /// Parallel shared-slice iterator.
+    fn par_iter(&self) -> ParSlice<'_, T>;
+}
+
+impl<T: Sync> ParallelSlice<T> for [T] {
+    fn par_iter(&self) -> ParSlice<'_, T> {
+        ParSlice { slice: self }
+    }
+}
+
+impl<T: Sync> ParallelSlice<T> for Vec<T> {
+    fn par_iter(&self) -> ParSlice<'_, T> {
+        ParSlice { slice: self }
+    }
+}
+
+/// Parallel iterator over `&[T]`.
+pub struct ParSlice<'a, T> {
+    slice: &'a [T],
+}
+
+impl<'a, T: Sync> ParSlice<'a, T> {
+    /// Calls `f(&item)` for every element.
+    pub fn for_each<F: Fn(&'a T) + Sync + Send>(self, f: F) {
+        let slice = self.slice;
+        for_each_block(slice.len(), |block| {
+            for item in &slice[block] {
+                f(item);
+            }
+        });
+    }
+
+    /// Index-carrying variant: yields `(index, &item)` pairs.
+    pub fn enumerate(self) -> ParSliceEnumerate<'a, T> {
+        ParSliceEnumerate { slice: self.slice }
+    }
+}
+
+/// Enumerated parallel iterator over `&[T]`.
+pub struct ParSliceEnumerate<'a, T> {
+    slice: &'a [T],
+}
+
+impl<'a, T: Sync> ParSliceEnumerate<'a, T> {
+    /// Calls `f((i, &item))` for every element.
+    pub fn for_each<F: Fn((usize, &'a T)) + Sync + Send>(self, f: F) {
+        let slice = self.slice;
+        for_each_block(slice.len(), |block| {
+            for i in block {
+                f((i, &slice[i]));
+            }
+        });
+    }
+}
+
+/// `&mut [T]` → [`ParSliceMut`] / [`ParChunksMut`] (`.par_iter_mut()`,
+/// `.par_chunks_mut(n)`).
+pub trait ParallelSliceMut<T> {
+    /// Parallel mutable iterator over elements.
+    fn par_iter_mut(&mut self) -> ParSliceMut<'_, T>;
+    /// Parallel iterator over contiguous mutable chunks of length
+    /// `chunk_size` (the last chunk may be shorter).
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParChunksMut<'_, T>;
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_iter_mut(&mut self) -> ParSliceMut<'_, T> {
+        ParSliceMut { slice: self }
+    }
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParChunksMut<'_, T> {
+        assert!(chunk_size > 0, "par_chunks_mut: chunk size must be > 0");
+        ParChunksMut {
+            slice: self,
+            chunk_size,
+        }
+    }
+}
+
+impl<T: Send> ParallelSliceMut<T> for Vec<T> {
+    fn par_iter_mut(&mut self) -> ParSliceMut<'_, T> {
+        self.as_mut_slice().par_iter_mut()
+    }
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParChunksMut<'_, T> {
+        self.as_mut_slice().par_chunks_mut(chunk_size)
+    }
+}
+
+/// Splits `slice` at the block boundaries of a `workers`-way partition,
+/// returning `(start_index, sub_slice)` pairs.
+fn split_blocks<'a, T>(slice: &'a mut [T], workers: usize) -> Vec<(usize, &'a mut [T])> {
+    let len = slice.len();
+    let per = len.div_ceil(workers.max(1)).max(1);
+    let mut parts = Vec::with_capacity(workers);
+    let mut rest = slice;
+    let mut offset = 0;
+    while !rest.is_empty() {
+        let take = per.min(rest.len());
+        let (head, tail) = rest.split_at_mut(take);
+        parts.push((offset, head));
+        offset += take;
+        rest = tail;
+    }
+    parts
+}
+
+/// Parallel mutable iterator over `&mut [T]`.
+pub struct ParSliceMut<'a, T> {
+    slice: &'a mut [T],
+}
+
+impl<'a, T: Send> ParSliceMut<'a, T> {
+    /// Calls `f(&mut item)` for every element.
+    pub fn for_each<F: Fn(&mut T) + Sync + Send>(self, f: F) {
+        let outer = current_num_threads();
+        let workers = outer.min(self.slice.len().max(1));
+        if workers <= 1 || self.slice.len() < 2 {
+            self.slice.iter_mut().for_each(f);
+            return;
+        }
+        let inner = inner_threads(outer, workers);
+        let parts = split_blocks(self.slice, workers);
+        std::thread::scope(|s| {
+            for (_, part) in parts {
+                let f = &f;
+                s.spawn(move || {
+                    let _threads = set_thread_count(inner);
+                    part.iter_mut().for_each(f)
+                });
+            }
+        });
+    }
+
+    /// Index-carrying variant: yields `(index, &mut item)` pairs.
+    pub fn enumerate(self) -> ParSliceMutEnumerate<'a, T> {
+        ParSliceMutEnumerate { slice: self.slice }
+    }
+
+    /// Locksteps two mutable slices (truncating to the shorter).
+    pub fn zip(self, other: ParSliceMut<'a, T>) -> ParZipMut<'a, T> {
+        ParZipMut {
+            a: self.slice,
+            b: other.slice,
+        }
+    }
+}
+
+/// Enumerated parallel mutable iterator.
+pub struct ParSliceMutEnumerate<'a, T> {
+    slice: &'a mut [T],
+}
+
+impl<'a, T: Send> ParSliceMutEnumerate<'a, T> {
+    /// Calls `f((i, &mut item))` for every element.
+    pub fn for_each<F: Fn((usize, &mut T)) + Sync + Send>(self, f: F) {
+        let outer = current_num_threads();
+        let workers = outer.min(self.slice.len().max(1));
+        if workers <= 1 || self.slice.len() < 2 {
+            for (i, item) in self.slice.iter_mut().enumerate() {
+                f((i, item));
+            }
+            return;
+        }
+        let inner = inner_threads(outer, workers);
+        let parts = split_blocks(self.slice, workers);
+        std::thread::scope(|s| {
+            for (offset, part) in parts {
+                let f = &f;
+                s.spawn(move || {
+                    let _threads = set_thread_count(inner);
+                    for (i, item) in part.iter_mut().enumerate() {
+                        f((offset + i, item));
+                    }
+                });
+            }
+        });
+    }
+}
+
+/// Parallel lockstep over two mutable slices.
+pub struct ParZipMut<'a, T> {
+    a: &'a mut [T],
+    b: &'a mut [T],
+}
+
+impl<'a, T: Send> ParZipMut<'a, T> {
+    /// Index-carrying variant: yields `(i, (&mut a, &mut b))`.
+    pub fn enumerate(self) -> ParZipMutEnumerate<'a, T> {
+        ParZipMutEnumerate {
+            a: self.a,
+            b: self.b,
+        }
+    }
+
+    /// Calls `f((&mut a, &mut b))` for every lockstep pair.
+    pub fn for_each<F: Fn((&mut T, &mut T)) + Sync + Send>(self, f: F) {
+        ParZipMutEnumerate {
+            a: self.a,
+            b: self.b,
+        }
+        .for_each(|(_, pair)| f(pair));
+    }
+}
+
+/// Enumerated parallel lockstep over two mutable slices.
+pub struct ParZipMutEnumerate<'a, T> {
+    a: &'a mut [T],
+    b: &'a mut [T],
+}
+
+impl<'a, T: Send> ParZipMutEnumerate<'a, T> {
+    /// Calls `f((i, (&mut a, &mut b)))` for every lockstep pair.
+    pub fn for_each<F: Fn((usize, (&mut T, &mut T))) + Sync + Send>(self, f: F) {
+        let len = self.a.len().min(self.b.len());
+        let (a, b) = (&mut self.a[..len], &mut self.b[..len]);
+        let outer = current_num_threads();
+        let workers = outer.min(len.max(1));
+        if workers <= 1 || len < 2 {
+            for (i, (x, y)) in a.iter_mut().zip(b.iter_mut()).enumerate() {
+                f((i, (x, y)));
+            }
+            return;
+        }
+        let inner = inner_threads(outer, workers);
+        let pa = split_blocks(a, workers);
+        let pb = split_blocks(b, workers);
+        std::thread::scope(|s| {
+            for ((offset, part_a), (_, part_b)) in pa.into_iter().zip(pb) {
+                let f = &f;
+                s.spawn(move || {
+                    let _threads = set_thread_count(inner);
+                    for (i, (x, y)) in part_a.iter_mut().zip(part_b.iter_mut()).enumerate() {
+                        f((offset + i, (x, y)));
+                    }
+                });
+            }
+        });
+    }
+}
+
+/// Parallel iterator over contiguous mutable chunks.
+pub struct ParChunksMut<'a, T> {
+    slice: &'a mut [T],
+    chunk_size: usize,
+}
+
+impl<'a, T: Send> ParChunksMut<'a, T> {
+    fn chunks(self) -> Vec<&'a mut [T]> {
+        self.slice.chunks_mut(self.chunk_size).collect()
+    }
+
+    /// Calls `f(chunk)` for every chunk.
+    pub fn for_each<F: Fn(&mut [T]) + Sync + Send>(self, f: F) {
+        ParChunksMutEnumerate { inner: self }.for_each(|(_, chunk)| f(chunk));
+    }
+
+    /// Index-carrying variant: yields `(chunk_index, chunk)` pairs.
+    pub fn enumerate(self) -> ParChunksMutEnumerate<'a, T> {
+        ParChunksMutEnumerate { inner: self }
+    }
+}
+
+/// Enumerated parallel iterator over contiguous mutable chunks.
+pub struct ParChunksMutEnumerate<'a, T> {
+    inner: ParChunksMut<'a, T>,
+}
+
+impl<'a, T: Send> ParChunksMutEnumerate<'a, T> {
+    /// Calls `f((chunk_index, chunk))` for every chunk.
+    pub fn for_each<F: Fn((usize, &mut [T])) + Sync + Send>(self, f: F) {
+        let mut chunks = self.inner.chunks();
+        let n_chunks = chunks.len();
+        let outer = current_num_threads();
+        let workers = outer.min(n_chunks.max(1));
+        if workers <= 1 || n_chunks < 2 {
+            for (i, chunk) in chunks.into_iter().enumerate() {
+                f((i, chunk));
+            }
+            return;
+        }
+        let inner = inner_threads(outer, workers);
+        let per = n_chunks.div_ceil(workers);
+        std::thread::scope(|s| {
+            let mut start = 0;
+            while !chunks.is_empty() {
+                let take = per.min(chunks.len());
+                let rest = chunks.split_off(take);
+                let group = std::mem::replace(&mut chunks, rest);
+                let f = &f;
+                s.spawn(move || {
+                    let _threads = set_thread_count(inner);
+                    for (i, chunk) in group.into_iter().enumerate() {
+                        f((start + i, chunk));
+                    }
+                });
+                start += take;
+            }
+        });
+    }
+}
+
+/// Error type returned by [`ThreadPoolBuilder::build`]; never constructed.
+#[derive(Debug)]
+pub struct ThreadPoolBuildError(());
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("rayon-shim: thread pool build error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Builder mirroring `rayon::ThreadPoolBuilder` (only `num_threads`).
+#[derive(Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: Option<usize>,
+}
+
+impl ThreadPoolBuilder {
+    /// Creates a builder with default settings.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the thread count the built pool reports.
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = Some(n);
+        self
+    }
+
+    /// Builds the pool (infallible in the shim).
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        Ok(ThreadPool {
+            num_threads: self.num_threads.unwrap_or_else(current_num_threads).max(1),
+        })
+    }
+}
+
+/// A scoped thread-count context, standing in for a real rayon pool:
+/// [`ThreadPool::install`] makes [`current_num_threads`] report the pool's
+/// size inside the closure, so size-gated parallel/serial code paths behave
+/// as they would under real rayon.
+pub struct ThreadPool {
+    num_threads: usize,
+}
+
+impl ThreadPool {
+    /// Runs `f` with this pool's thread count visible to
+    /// [`current_num_threads`].
+    pub fn install<R>(&self, f: impl FnOnce() -> R) -> R {
+        let _threads = set_thread_count(self.num_threads);
+        f()
+    }
+
+    /// The configured thread count.
+    pub fn current_num_threads(&self) -> usize {
+        self.num_threads
+    }
+}
+
+/// `rayon::prelude` stand-in: the traits that hang `par_*` methods off
+/// slices, vectors and ranges.
+pub mod prelude {
+    pub use super::{IntoParallelIterator, ParallelSlice, ParallelSliceMut};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+
+    #[test]
+    fn range_for_each_covers_all_indices() {
+        let hits: Vec<std::sync::atomic::AtomicUsize> = (0..1000)
+            .map(|_| std::sync::atomic::AtomicUsize::new(0))
+            .collect();
+        (0..1000).into_par_iter().for_each(|i| {
+            hits[i].fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        });
+        assert!(hits
+            .iter()
+            .all(|h| h.load(std::sync::atomic::Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let v: Vec<usize> = (0..997).into_par_iter().map(|i| i * 3).collect();
+        assert_eq!(v.len(), 997);
+        assert!(v.iter().enumerate().all(|(i, &x)| x == i * 3));
+    }
+
+    #[test]
+    fn par_iter_mut_and_chunks_mut() {
+        let mut v = vec![1u64; 4096];
+        v.par_iter_mut().for_each(|x| *x += 1);
+        assert!(v.iter().all(|&x| x == 2));
+        v.par_chunks_mut(100).enumerate().for_each(|(i, chunk)| {
+            for x in chunk.iter_mut() {
+                *x = i as u64;
+            }
+        });
+        assert_eq!(v[0], 0);
+        assert_eq!(v[150], 1);
+        assert_eq!(v[4095], 40);
+    }
+
+    #[test]
+    fn zip_enumerate_locksteps() {
+        let mut a = vec![0usize; 512];
+        let mut b = vec![0usize; 512];
+        a.par_iter_mut()
+            .zip(b.par_iter_mut())
+            .enumerate()
+            .for_each(|(i, (x, y))| {
+                *x = i;
+                *y = 2 * i;
+            });
+        assert!(a.iter().enumerate().all(|(i, &x)| x == i));
+        assert!(b.iter().enumerate().all(|(i, &y)| y == 2 * i));
+    }
+
+    #[test]
+    fn install_overrides_thread_count() {
+        let pool = ThreadPoolBuilder::new().num_threads(1).build().unwrap();
+        assert_eq!(pool.install(current_num_threads), 1);
+        assert!(current_num_threads() >= 1);
+    }
+
+    #[test]
+    fn install_restores_thread_count_after_panic() {
+        let before = current_num_threads();
+        let pool = ThreadPoolBuilder::new().num_threads(1).build().unwrap();
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            pool.install(|| panic!("boom"));
+        }));
+        assert!(caught.is_err());
+        assert_eq!(current_num_threads(), before);
+    }
+
+    #[test]
+    fn nested_parallelism_divides_thread_budget() {
+        // Each worker of an outer parallel call sees outer/workers threads,
+        // so a nested parallel call cannot oversubscribe.
+        let pool = ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+        let max_inner = std::sync::atomic::AtomicUsize::new(0);
+        pool.install(|| {
+            (0..4).into_par_iter().for_each(|_| {
+                max_inner.fetch_max(current_num_threads(), std::sync::atomic::Ordering::Relaxed);
+            });
+        });
+        assert_eq!(max_inner.load(std::sync::atomic::Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn join_returns_both() {
+        let (a, b) = join(|| 2 + 2, || "ok");
+        assert_eq!(a, 4);
+        assert_eq!(b, "ok");
+    }
+}

@@ -122,7 +122,7 @@ impl Circuit {
 
     /// The inverse circuit: gates reversed and daggered. Running a circuit
     /// in reverse is the uncomputation step of reversible arithmetic
-    /// (paper §3, Bennett [10]).
+    /// (paper §3, Bennett \[10\]).
     pub fn inverse(&self) -> Circuit {
         Circuit {
             n_qubits: self.n_qubits,
@@ -257,7 +257,12 @@ mod tests {
     #[test]
     fn inverse_undoes_circuit() {
         let mut c = Circuit::new(3);
-        c.h(0).cnot(0, 1).rz(1, 0.7).cphase(0, 2, 1.1).x(2).swap(1, 2);
+        c.h(0)
+            .cnot(0, 1)
+            .rz(1, 0.7)
+            .cphase(0, 2, 1.1)
+            .x(2)
+            .swap(1, 2);
         let mut sv = StateVector::zero_state(3);
         sv.apply_circuit(&c);
         sv.apply_circuit(&c.inverse());

@@ -62,7 +62,15 @@ mod tests {
     #[test]
     fn gate_count_matches_table2() {
         // Paper Table 2 row "Number of gates G": 29, 33, …, 53 for n = 8..14.
-        let expected = [(8, 29), (9, 33), (10, 37), (11, 41), (12, 45), (13, 49), (14, 53)];
+        let expected = [
+            (8, 29),
+            (9, 33),
+            (10, 37),
+            (11, 41),
+            (12, 45),
+            (13, 49),
+            (14, 53),
+        ];
         for (n, g) in expected {
             assert_eq!(tfim_trotter_step(n, TfimParams::default()).gate_count(), g);
             assert_eq!(tfim_gate_count(n), g);
@@ -141,7 +149,10 @@ mod tests {
         use crate::gate::{Gate, GateOp};
         assert!(matches!(
             &c.gates()[0],
-            Gate::Unary { op: GateOp::Rx(_), .. }
+            Gate::Unary {
+                op: GateOp::Rx(_),
+                ..
+            }
         ));
         assert!(matches!(
             &c.gates()[c.gate_count() - 1],

@@ -68,7 +68,11 @@ fn emit_parity_phase_network(out: &mut Vec<Gate>, wires: &[usize], theta: f64) {
     let base = theta / (1u64 << (k - 1)) as f64;
     // Iterate nonempty subsets; representative = highest wire in subset.
     for subset in 1usize..(1 << k) {
-        let sign = if subset.count_ones() % 2 == 1 { 1.0 } else { -1.0 };
+        let sign = if subset.count_ones() % 2 == 1 {
+            1.0
+        } else {
+            -1.0
+        };
         let members: Vec<usize> = (0..k).filter(|j| subset >> j & 1 == 1).collect();
         let rep = wires[*members.last().unwrap()];
         // Fold parities into the representative.
@@ -223,8 +227,8 @@ pub fn is_elementary(circuit: &Circuit) -> bool {
 mod tests {
     use super::*;
     use crate::gate::{mat2_is_unitary, mat2_mul};
-    use qcemu_linalg::c64;
     use crate::statevector::StateVector;
+    use qcemu_linalg::c64;
     use qcemu_linalg::random_state;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
@@ -389,7 +393,10 @@ mod tests {
         let mc = qcemu_revarith_test_multiplier();
         let lowered = decompose_circuit(&mc);
         assert!(is_elementary(&lowered));
-        assert!(lowered.gate_count() > mc.gate_count(), "lowering must expand");
+        assert!(
+            lowered.gate_count() > mc.gate_count(),
+            "lowering must expand"
+        );
         let mut rng = StdRng::seed_from_u64(912);
         let input = random_state(1 << mc.n_qubits(), &mut rng);
         let mut a = StateVector::from_amplitudes(input.clone());

@@ -53,7 +53,11 @@ pub fn apply_dense_to_register(
 ) {
     let m = bits.len();
     let dim = 1usize << m;
-    assert_eq!(u.shape(), (dim, dim), "operator does not match register size");
+    assert_eq!(
+        u.shape(),
+        (dim, dim),
+        "operator does not match register size"
+    );
     assert_eq!(state.len(), 1usize << n_qubits, "state length mismatch");
     for &b in bits {
         assert!(b < n_qubits, "register bit out of range");

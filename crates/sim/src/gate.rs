@@ -444,10 +444,19 @@ mod tests {
     #[test]
     fn structure_classification() {
         assert_eq!(GateOp::X.structure(), GateStructure::PermutationX);
-        assert!(matches!(GateOp::Rz(0.1).structure(), GateStructure::Diagonal(_, _)));
-        assert!(matches!(GateOp::Phase(0.1).structure(), GateStructure::Diagonal(_, _)));
+        assert!(matches!(
+            GateOp::Rz(0.1).structure(),
+            GateStructure::Diagonal(_, _)
+        ));
+        assert!(matches!(
+            GateOp::Phase(0.1).structure(),
+            GateStructure::Diagonal(_, _)
+        ));
         assert!(matches!(GateOp::H.structure(), GateStructure::General(_)));
-        assert!(matches!(GateOp::Rx(0.2).structure(), GateStructure::General(_)));
+        assert!(matches!(
+            GateOp::Rx(0.2).structure(),
+            GateStructure::General(_)
+        ));
         // User-supplied diagonal matrix is detected.
         let d = GateOp::U([[C64::I, C64::ZERO], [C64::ZERO, C64::ONE]]);
         assert!(d.is_diagonal());
@@ -455,7 +464,13 @@ mod tests {
 
     #[test]
     fn diagonal_structure_values_match_matrix() {
-        for op in [GateOp::Z, GateOp::S, GateOp::T, GateOp::Rz(0.77), GateOp::Phase(-0.3)] {
+        for op in [
+            GateOp::Z,
+            GateOp::S,
+            GateOp::T,
+            GateOp::Rz(0.77),
+            GateOp::Phase(-0.3),
+        ] {
             if let GateStructure::Diagonal(d0, d1) = op.structure() {
                 let m = op.matrix();
                 assert!(d0.approx_eq(m[0][0], 1e-15), "{op:?}");

@@ -73,7 +73,10 @@ where
 {
     let n_bits = log2_len(state) as usize;
     let (positions, cmask) = control_layout(&[target], controls);
-    debug_assert!(positions.len() <= n_bits, "gate uses more qubits than the state has");
+    debug_assert!(
+        positions.len() <= n_bits,
+        "gate uses more qubits than the state has"
+    );
     let free_bits = n_bits - positions.len();
     let count = 1usize << free_bits;
     let tbit = 1usize << target;
@@ -222,11 +225,7 @@ pub fn apply_gate_slice(state: &mut [C64], gate: &Gate) {
 /// (A controlled phase on n qubits writes `2^{n−2}` entries: a quarter.)
 pub fn touched_entries(n_qubits: usize, gate: &Gate) -> usize {
     match gate {
-        Gate::Unary {
-            op,
-            controls,
-            ..
-        } => {
+        Gate::Unary { op, controls, .. } => {
             let free = n_qubits - 1 - controls.len();
             match op.structure() {
                 GateStructure::Diagonal(d0, d1) => {
@@ -305,7 +304,10 @@ mod tests {
             "kernel mismatch for {gate:?} on {n_qubits} qubits: {}",
             max_abs_diff(&fast, &slow)
         );
-        assert!((norm2(&fast) - 1.0).abs() < 1e-10, "norm broken by {gate:?}");
+        assert!(
+            (norm2(&fast) - 1.0).abs() < 1e-10,
+            "norm broken by {gate:?}"
+        );
     }
 
     #[test]

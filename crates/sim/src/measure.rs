@@ -115,7 +115,11 @@ pub fn expectation_z_string(sv: &StateVector, qubits: &[usize]) -> f64 {
         .iter()
         .enumerate()
         .map(|(i, a)| {
-            let sign = if (i & mask).count_ones() % 2 == 0 { 1.0 } else { -1.0 };
+            let sign = if (i & mask).count_ones() % 2 == 0 {
+                1.0
+            } else {
+                -1.0
+            };
             sign * a.norm_sqr()
         })
         .sum()
@@ -124,12 +128,7 @@ pub fn expectation_z_string(sv: &StateVector, qubits: &[usize]) -> f64 {
 /// Estimates `⟨Z_q⟩` from `shots` samples — the cost an actual quantum
 /// computer (or a shot-faithful simulator) pays. Provided so benchmarks can
 /// quantify the §3.4 speedup (= number of shots).
-pub fn expectation_z_sampled(
-    sv: &StateVector,
-    q: usize,
-    shots: usize,
-    rng: &mut impl Rng,
-) -> f64 {
+pub fn expectation_z_sampled(sv: &StateVector, q: usize, shots: usize, rng: &mut impl Rng) -> f64 {
     let bit = 1usize << q;
     let ones = sample_shots(sv, shots, rng)
         .into_iter()

@@ -24,7 +24,10 @@ fn main() -> Result<(), EmuError> {
     let program = pb.build()?;
     let init = StateVector::zero_state(program.n_qubits());
 
-    println!("multiplication of two superposed {m}-bit numbers ({} qubits + 1 ancilla):", 3 * m);
+    println!(
+        "multiplication of two superposed {m}-bit numbers ({} qubits + 1 ancilla):",
+        3 * m
+    );
     let t0 = Instant::now();
     let emulated = Emulator::new().run(&program, init.clone())?;
     let t_emu = t0.elapsed().as_secs_f64();
@@ -32,7 +35,10 @@ fn main() -> Result<(), EmuError> {
     let simulated = GateLevelSimulator::elementary().run(&program, init)?;
     let t_sim = t0.elapsed().as_secs_f64();
     assert!(emulated.max_diff_up_to_phase(&simulated) < 1e-9);
-    println!("  emulated {t_emu:.4}s   simulated {t_sim:.4}s   speedup {:.1}x", t_sim / t_emu);
+    println!(
+        "  emulated {t_emu:.4}s   simulated {t_sim:.4}s   speedup {:.1}x",
+        t_sim / t_emu
+    );
 
     // Verify one branch explicitly: P(c = a·b mod 2^m) = 1 in every branch.
     let regs = program.registers();
@@ -65,7 +71,10 @@ fn main() -> Result<(), EmuError> {
     let program = pb.build()?;
     let init = StateVector::zero_state(program.n_qubits());
 
-    println!("\ndivision of a superposed {m}-bit number by 3 ({} qubits + 3 ancillas):", 4 * m);
+    println!(
+        "\ndivision of a superposed {m}-bit number by 3 ({} qubits + 3 ancillas):",
+        4 * m
+    );
     let t0 = Instant::now();
     let emulated = Emulator::new().run(&program, init.clone())?;
     let t_emu = t0.elapsed().as_secs_f64();
@@ -73,7 +82,10 @@ fn main() -> Result<(), EmuError> {
     let simulated = GateLevelSimulator::elementary().run(&program, init)?;
     let t_sim = t0.elapsed().as_secs_f64();
     assert!(emulated.max_diff_up_to_phase(&simulated) < 1e-9);
-    println!("  emulated {t_emu:.4}s   simulated {t_sim:.4}s   speedup {:.1}x", t_sim / t_emu);
+    println!(
+        "  emulated {t_emu:.4}s   simulated {t_sim:.4}s   speedup {:.1}x",
+        t_sim / t_emu
+    );
 
     let regs = program.registers();
     for (idx, p) in emulated

@@ -9,8 +9,8 @@
 use qcemu::prelude::*;
 use qcemu_core::QpeTimings;
 use qcemu_linalg::eigenvalues;
-use qcemu_sim::circuits::{tfim_gate_count, tfim_trotter_step, TfimParams};
 use qcemu_sim::circuit_to_dense;
+use qcemu_sim::circuits::{tfim_gate_count, tfim_trotter_step, TfimParams};
 use std::time::Instant;
 
 fn main() -> Result<(), EmuError> {
@@ -26,28 +26,35 @@ fn main() -> Result<(), EmuError> {
 
     // Program: target register holds the eigenvector guess (here |0…0⟩ —
     // a superposition of eigenstates), phase register reads the estimate.
-    let build = |strategy: Option<QpeStrategy>| -> Result<(QuantumProgram, Box<dyn Executor>), EmuError> {
-        let mut pb = ProgramBuilder::new();
-        let target = pb.register("spins", n);
-        let phase = pb.register("phase", b);
-        pb.qpe(QpeOp {
-            unitary: unitary.clone(),
-            target,
-            phase,
-        });
-        let program = pb.build()?;
-        let exec: Box<dyn Executor> = match strategy {
-            None => Box::new(GateLevelSimulator::new()),
-            Some(s) => Box::new(Emulator::with_qpe_strategy(s)),
+    let build =
+        |strategy: Option<QpeStrategy>| -> Result<(QuantumProgram, Box<dyn Executor>), EmuError> {
+            let mut pb = ProgramBuilder::new();
+            let target = pb.register("spins", n);
+            let phase = pb.register("phase", b);
+            pb.qpe(QpeOp {
+                unitary: unitary.clone(),
+                target,
+                phase,
+            });
+            let program = pb.build()?;
+            let exec: Box<dyn Executor> = match strategy {
+                None => Box::new(GateLevelSimulator::new()),
+                Some(s) => Box::new(Emulator::with_qpe_strategy(s)),
+            };
+            Ok((program, exec))
         };
-        Ok((program, exec))
-    };
 
     let mut reference: Option<StateVector> = None;
     for (label, strategy) in [
         ("gate-level simulation", None),
-        ("repeated squaring     ", Some(QpeStrategy::RepeatedSquaring)),
-        ("eigendecomposition    ", Some(QpeStrategy::Eigendecomposition)),
+        (
+            "repeated squaring     ",
+            Some(QpeStrategy::RepeatedSquaring),
+        ),
+        (
+            "eigendecomposition    ",
+            Some(QpeStrategy::Eigendecomposition),
+        ),
     ] {
         let (program, exec) = build(strategy)?;
         let init = StateVector::zero_state(program.n_qubits());
@@ -129,6 +136,9 @@ fn main() -> Result<(), EmuError> {
         "\ncrossover advisor: simulate up to b = {}, then emulate (measured on this host)",
         timings.crossover_repeated_squaring().unwrap_or(64) - 1
     );
-    println!("best strategy at b = {b}: {:?}", timings.best_strategy(b as u32));
+    println!(
+        "best strategy at b = {b}: {:?}",
+        timings.best_strategy(b as u32)
+    );
     Ok(())
 }

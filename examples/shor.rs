@@ -87,8 +87,10 @@ fn main() -> Result<(), EmuError> {
         println!("\nno period found in the top peaks (rerun with another a)");
         return Ok(());
     };
-    println!("\nrecovered period r = {r} (check: {a_value}^{r} mod {n_value} = {})",
-        pow_mod(a_value, r, n_value));
+    println!(
+        "\nrecovered period r = {r} (check: {a_value}^{r} mod {n_value} = {})",
+        pow_mod(a_value, r, n_value)
+    );
 
     // Factor N when the period is usable.
     if r % 2 == 0 && pow_mod(a_value, r / 2, n_value) != n_value - 1 {

@@ -57,13 +57,11 @@ pub use qcemu_sim;
 /// One-stop imports for applications.
 pub mod prelude {
     pub use qcemu_core::{
-        stdops, ClassicalMap, Emulator, EmuError, Executor, GateLevelSimulator, HighLevelOp,
+        stdops, ClassicalMap, EmuError, Emulator, Executor, GateLevelSimulator, HighLevelOp,
         MapKind, ProgramBuilder, QpeOp, QpeStrategy, QuantumProgram, RegisterId,
     };
-    pub use qcemu_linalg::{c64, C64, CMatrix};
-    pub use qcemu_sim::{
-        measure, Circuit, Gate, GateOp, StateVector,
-    };
+    pub use qcemu_linalg::{c64, CMatrix, C64};
+    pub use qcemu_sim::{measure, Circuit, Gate, GateOp, StateVector};
 }
 
 #[cfg(test)]

@@ -3,9 +3,7 @@
 //! path (distributed gate application) and the emulation path (distributed
 //! FFT), under both communication policies.
 
-use qcemu_cluster::{
-    distributed_fft, run, CommPolicy, DistributedState, MachineModel,
-};
+use qcemu_cluster::{distributed_fft, run, CommPolicy, DistributedState, MachineModel};
 use qcemu_fft::{Direction, Normalization};
 use qcemu_linalg::{max_abs_diff, random_state};
 use qcemu_sim::circuits::{entangle_circuit, qft_circuit, tfim_trotter_step, TfimParams};

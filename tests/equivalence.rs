@@ -132,8 +132,13 @@ fn qpe_program_all_strategies_match_gate_level() {
     let program = pb.build().unwrap();
     let init = StateVector::zero_state(program.n_qubits());
 
-    let gate = GateLevelSimulator::new().run(&program, init.clone()).unwrap();
-    for strategy in [QpeStrategy::RepeatedSquaring, QpeStrategy::Eigendecomposition] {
+    let gate = GateLevelSimulator::new()
+        .run(&program, init.clone())
+        .unwrap();
+    for strategy in [
+        QpeStrategy::RepeatedSquaring,
+        QpeStrategy::Eigendecomposition,
+    ] {
         let emu = Emulator::with_qpe_strategy(strategy)
             .run(&program, init.clone())
             .unwrap();

@@ -11,8 +11,8 @@ use qcemu_sim::{decompose_circuit, qft_circuit};
 
 /// Strategy: a random circuit on `n` qubits drawn from the full gate zoo.
 fn random_circuit(n: usize, max_gates: usize) -> impl Strategy<Value = Circuit> {
-    let gate = (0..8usize, 0..n, 0..n, 0..n, -3.0f64..3.0).prop_map(
-        move |(kind, q1, q2, q3, theta)| {
+    let gate =
+        (0..8usize, 0..n, 0..n, 0..n, -3.0f64..3.0).prop_map(move |(kind, q1, q2, q3, theta)| {
             let distinct2 = |a: usize, b: usize| if a == b { (a, (b + 1) % n) } else { (a, b) };
             let (a, b) = distinct2(q1, q2);
             match kind {
@@ -32,8 +32,7 @@ fn random_circuit(n: usize, max_gates: usize) -> impl Strategy<Value = Circuit> 
                     }
                 }
             }
-        },
-    );
+        });
     proptest::collection::vec(gate, 1..max_gates).prop_map(move |gates| {
         let mut c = Circuit::new(n);
         for g in gates {
