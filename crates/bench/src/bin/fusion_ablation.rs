@@ -1,0 +1,96 @@
+//! **Fusion ablation**: unfused gate-by-gate application vs the gate-fusion
+//! engine at block widths k ∈ {2..5}, on the paper's Fig. 5 (QFT) and
+//! Fig. 6 (entangling) circuits.
+//!
+//! Usage: `cargo run -p qcemu-bench --release --bin fusion_ablation
+//!         [-- --min-n 20 --max-n 21 --min-k 2 --max-k 5]`
+//!
+//! No paper counterpart: the paper's simulator (§4.5) applies one gate per
+//! state sweep; this harness quantifies what the qHiPSTER-class fusion
+//! layer adds on top. Columns: measured wall time, speedup over unfused,
+//! the traffic model's predicted entry-write ratio, and the block census.
+//! How to read the output (and the memory-traffic model behind the
+//! `traffic` column) is documented in `docs/PERFORMANCE.md`.
+
+use qcemu_bench::{fmt_secs, header, time_median, time_once, Args};
+use qcemu_sim::{entangle_circuit, qft_circuit, FusionPolicy, StateVector};
+
+fn main() {
+    let args = Args::parse();
+    let min_n: usize = args.get("min-n").unwrap_or(20);
+    let max_n: usize = args.get("max-n").unwrap_or(21);
+    let min_k: usize = args.get("min-k").unwrap_or(2);
+    let max_k: usize = args.get("max-k").unwrap_or(5);
+
+    header(
+        "Fusion ablation — unfused vs greedy gate fusion at k = 2..5",
+        "one blocked sweep per fused run of gates, vs one sweep per gate (Fig. 5/6 circuits)",
+    );
+    println!(
+        "{:>3} {:<9} {:>5} {:>7} {:>12} {:>9} {:>9} {:>22}",
+        "n", "circuit", "k", "sweeps", "time", "speedup", "traffic", "blocks (diag/perm/gen)"
+    );
+
+    for n in min_n..=max_n {
+        for (name, circuit) in [
+            ("fig5-qft", qft_circuit(n)),
+            ("fig6-ghz", entangle_circuit(n)),
+        ] {
+            let reps = if n <= 20 { 3 } else { 2 };
+            let unfused_traffic = circuit.fuse(&FusionPolicy::Disabled).touched_entries(n) as f64;
+
+            let t_unfused = time_median(reps, || {
+                let mut sv = StateVector::uniform_superposition(n);
+                sv.apply_circuit(&circuit);
+                std::hint::black_box(sv.amplitudes()[0]);
+            });
+            println!(
+                "{:>3} {:<9} {:>5} {:>7} {:>12} {:>8.2}x {:>9.3} {:>22}",
+                n,
+                name,
+                "-",
+                circuit.gate_count(),
+                fmt_secs(t_unfused),
+                1.0,
+                1.0,
+                "-"
+            );
+
+            for k in min_k..=max_k {
+                let policy = FusionPolicy::Greedy {
+                    max_fused_qubits: k,
+                };
+                // Fusion (compose + classify) is paid once per circuit and
+                // amortised over reps — reported via `fuse` below.
+                let (t_fuse, fused) = time_once(|| circuit.fuse(&policy));
+                let census = fused.census();
+                let t_fused = time_median(reps, || {
+                    let mut sv = StateVector::uniform_superposition(n);
+                    sv.apply_fused_circuit(&fused);
+                    std::hint::black_box(sv.amplitudes()[0]);
+                });
+                println!(
+                    "{:>3} {:<9} {:>5} {:>7} {:>12} {:>8.2}x {:>9.3} {:>15}/{}/{}  (fuse {})",
+                    n,
+                    name,
+                    k,
+                    census.total_ops(),
+                    fmt_secs(t_fused),
+                    t_unfused / t_fused,
+                    fused.touched_entries(n) as f64 / unfused_traffic,
+                    census.diagonal_blocks,
+                    census.permutation_blocks,
+                    census.general_blocks + census.dense_blocks,
+                    fmt_secs(t_fuse),
+                );
+            }
+        }
+    }
+    println!();
+    println!("note: 'sweeps' counts executable ops (gates, or blocks after fusion);");
+    println!("      'traffic' is the modelled ratio of state-vector entries written");
+    println!("      (FusedCircuit::touched_entries / sum of per-gate touched_entries).");
+    println!("      Fused runs replay each block's gates on an L1-resident 2^k buffer,");
+    println!("      so flops match unfused execution while memory passes shrink.");
+    println!("      See docs/PERFORMANCE.md for the model and reference numbers.");
+}

@@ -14,7 +14,7 @@ use crate::qpe::{apply_qpe, QpeStrategy};
 use qcemu_fft::{inverse_qft_subspace, qft_subspace};
 use qcemu_linalg::C64;
 use qcemu_sim::circuits::qft::{inverse_qft_circuit, qft_circuit};
-use qcemu_sim::StateVector;
+use qcemu_sim::{SimConfig, StateVector};
 
 /// Common interface of both execution back-ends.
 pub trait Executor {
@@ -33,6 +33,10 @@ pub struct GateLevelSimulator {
     /// Toffolis then cost ~10-30 elementary gates each). Off by default —
     /// the multi-control kernels are faster and state-equivalent.
     pub elementary_gates: bool,
+    /// State-vector execution configuration (gate-fusion policy). The
+    /// default keeps fusion off so this executor stays bitwise identical
+    /// to gate-by-gate application; [`GateLevelSimulator::fused`] opts in.
+    pub config: SimConfig,
 }
 
 impl GateLevelSimulator {
@@ -46,7 +50,22 @@ impl GateLevelSimulator {
     pub fn elementary() -> GateLevelSimulator {
         GateLevelSimulator {
             elementary_gates: true,
+            ..GateLevelSimulator::default()
         }
+    }
+
+    /// Creates the simulator with greedy gate fusion at the default block
+    /// width — circuits are merged into cache-blocked multi-qubit sweeps
+    /// (`qcemu_sim::fusion`, `docs/PERFORMANCE.md`).
+    pub fn fused() -> GateLevelSimulator {
+        GateLevelSimulator::default()
+            .with_config(SimConfig::fused(qcemu_sim::DEFAULT_MAX_FUSED_QUBITS))
+    }
+
+    /// Replaces the execution configuration.
+    pub fn with_config(mut self, config: SimConfig) -> GateLevelSimulator {
+        self.config = config;
+        self
     }
 
     fn lower<'c>(&self, c: &'c qcemu_sim::Circuit) -> std::borrow::Cow<'c, qcemu_sim::Circuit> {
@@ -77,7 +96,7 @@ impl Executor for GateLevelSimulator {
 
         for op in program.ops() {
             match op {
-                HighLevelOp::Gates(c) => state.apply_circuit(&self.lower(c)),
+                HighLevelOp::Gates(c) => state.run(&self.lower(c), &self.config),
                 HighLevelOp::Classical(cm) => {
                     let gi =
                         cm.gate_impl
@@ -86,7 +105,7 @@ impl Executor for GateLevelSimulator {
                                 op: cm.name.clone(),
                             })?;
                     let circuit = (gi.build)(program);
-                    state.apply_circuit(&self.lower(&circuit));
+                    state.run(&self.lower(&circuit), &self.config);
                 }
                 HighLevelOp::Phase(po) => {
                     let gi =
@@ -96,7 +115,7 @@ impl Executor for GateLevelSimulator {
                                 op: po.name.clone(),
                             })?;
                     let circuit = (gi.build)(program);
-                    state.apply_circuit(&self.lower(&circuit));
+                    state.run(&self.lower(&circuit), &self.config);
                 }
                 HighLevelOp::Rotation(ro) => {
                     // Generic gate path: one multi-controlled Ry per
@@ -107,18 +126,18 @@ impl Executor for GateLevelSimulator {
                         Some(gi) => (gi.build)(program),
                         None => rotation_expansion_circuit(program, ro),
                     };
-                    state.apply_circuit(&self.lower(&circuit));
+                    state.run(&self.lower(&circuit), &self.config);
                 }
                 HighLevelOp::Qft(r) => {
                     let bits = program.register(*r).bits();
                     let c = qft_circuit(bits.len()).remap_qubits(state.n_qubits(), |q| bits[q]);
-                    state.apply_circuit(&self.lower(&c));
+                    state.run(&self.lower(&c), &self.config);
                 }
                 HighLevelOp::InverseQft(r) => {
                     let bits = program.register(*r).bits();
                     let c =
                         inverse_qft_circuit(bits.len()).remap_qubits(state.n_qubits(), |q| bits[q]);
-                    state.apply_circuit(&self.lower(&c));
+                    state.run(&self.lower(&c), &self.config);
                 }
                 HighLevelOp::Qpe(qpe) => {
                     let target_bits = program.register(qpe.target).bits();
@@ -192,19 +211,18 @@ fn rotation_expansion_circuit(
 }
 
 /// The emulator: each op runs at its mathematical level (paper §3).
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, Default)]
 pub struct Emulator {
     /// QPE strategy; `None` = decide per op via the crossover advisor
     /// heuristic (cheap static rule: eigendecomposition for `b > 2n`,
     /// repeated squaring otherwise — see [`crate::crossover`] for the
     /// measured version).
     pub qpe_strategy: Option<QpeStrategy>,
-}
-
-impl Default for Emulator {
-    fn default() -> Self {
-        Emulator { qpe_strategy: None }
-    }
+    /// Execution configuration for the gate-level residue
+    /// ([`HighLevelOp::Gates`] sequences, which have no shortcut): with
+    /// fusion enabled, emulation shortcuts and fused simulation compose —
+    /// each op runs at whichever level is cheapest.
+    pub config: SimConfig,
 }
 
 impl Emulator {
@@ -217,7 +235,14 @@ impl Emulator {
     pub fn with_qpe_strategy(strategy: QpeStrategy) -> Emulator {
         Emulator {
             qpe_strategy: Some(strategy),
+            ..Emulator::default()
         }
+    }
+
+    /// Replaces the gate-level execution configuration.
+    pub fn with_config(mut self, config: SimConfig) -> Emulator {
+        self.config = config;
+        self
     }
 
     fn choose_qpe_strategy(&self, target_len: usize, phase_len: usize) -> QpeStrategy {
@@ -246,7 +271,7 @@ impl Executor for Emulator {
 
         for op in program.ops() {
             match op {
-                HighLevelOp::Gates(c) => state.apply_circuit(c),
+                HighLevelOp::Gates(c) => state.run(c, &self.config),
                 HighLevelOp::Classical(cm) => apply_classical_map(&mut state, program, cm)?,
                 HighLevelOp::Phase(po) => {
                     crate::classical::apply_phase_oracle(&mut state, program, po)
@@ -321,6 +346,33 @@ mod tests {
             let c = (idx >> 4) & 0b11;
             assert_eq!(c, (a * b) % 4, "branch a={a} b={b}");
         }
+    }
+
+    #[test]
+    fn fused_simulator_matches_unfused_and_emulator() {
+        let prog = multiplication_program(2);
+        let initial = StateVector::zero_state(prog.n_qubits());
+        let unfused = GateLevelSimulator::new()
+            .run(&prog, initial.clone())
+            .unwrap();
+        for k in 2..=5 {
+            let fused = GateLevelSimulator::new()
+                .with_config(qcemu_sim::SimConfig::fused(k))
+                .run(&prog, initial.clone())
+                .unwrap();
+            assert!(
+                unfused.max_diff_up_to_phase(&fused) < 1e-10,
+                "k = {k}: {}",
+                unfused.max_diff_up_to_phase(&fused)
+            );
+        }
+        // And the default fused constructor composes with emulation.
+        let emu = Emulator::new()
+            .with_config(qcemu_sim::SimConfig::fused(4))
+            .run(&prog, initial.clone())
+            .unwrap();
+        let fused = GateLevelSimulator::fused().run(&prog, initial).unwrap();
+        assert!(fused.max_diff_up_to_phase(&emu) < 1e-10);
     }
 
     #[test]

@@ -7,7 +7,7 @@
 //! controlled — to a register inside a larger state.
 
 use crate::circuit::Circuit;
-use crate::kernels::apply_gate_slice;
+use crate::kernels::{apply_gate_slice, scatter_index};
 use qcemu_linalg::{CMatrix, C64};
 use rayon::prelude::*;
 
@@ -88,21 +88,21 @@ pub fn apply_dense_to_register(
     let process = |c: usize| {
         // Capture the Send+Sync wrapper, not the raw-pointer field.
         let p = &ptr;
-        let base = qcemu_fft_scatter(c, &comp);
+        let base = scatter_index(c, &comp);
         if base & cmask != cmask {
             return; // a control qubit is 0 → identity on this coset
         }
         // Gather the register subvector.
         let mut v = vec![C64::ZERO; dim];
         for (val, slot) in v.iter_mut().enumerate() {
-            let idx = base | qcemu_fft_scatter(val, bits);
+            let idx = base | scatter_index(val, bits);
             // SAFETY: distinct batches have distinct `base` complements and
             // therefore disjoint index sets; within a batch we are serial.
             unsafe { *slot = *p.0.add(idx) };
         }
         let y = u.matvec(&v);
         for (val, res) in y.iter().enumerate() {
-            let idx = base | qcemu_fft_scatter(val, bits);
+            let idx = base | scatter_index(val, bits);
             unsafe { *p.0.add(idx) = *res };
         }
     };
@@ -111,17 +111,6 @@ pub fn apply_dense_to_register(
     } else {
         (0..batches).for_each(process);
     }
-}
-
-/// Local re-implementation of bit scatter (kept here to avoid a dependency
-/// cycle with `qcemu-fft`; identical semantics to `qcemu_fft::scatter_bits`).
-#[inline]
-fn qcemu_fft_scatter(v: usize, bits: &[usize]) -> usize {
-    let mut x = 0usize;
-    for (j, &b) in bits.iter().enumerate() {
-        x |= ((v >> j) & 1) << b;
-    }
-    x
 }
 
 #[cfg(test)]

@@ -16,15 +16,30 @@
 //! expands each by bit insertion, so work shrinks geometrically with the
 //! number of controls.
 //!
+//! On top of the per-gate kernels sit the **fused** kernels
+//! ([`apply_fused`], [`apply_fused_diagonal`], [`apply_fused_permutation`]):
+//! they apply a whole k-qubit block — produced by [`crate::fusion`] from a
+//! run of adjacent gates — in *one* blocked pass over the state vector,
+//! so memory traffic is paid once per block instead of once per gate (the
+//! qHiPSTER-style optimisation layered on the paper's §4.5 kernels).
+//!
 //! All kernels operate on raw `&mut [C64]` slices so that the distributed
 //! simulator (`qcemu-cluster`) can run them unchanged on node-local slabs.
 
 use crate::gate::{Gate, GateStructure, Mat2};
-use qcemu_linalg::C64;
+use qcemu_linalg::{CMatrix, C64};
 use rayon::prelude::*;
 
 /// State sizes below this run serially: thread handoff would dominate.
 pub const PAR_THRESHOLD: usize = 1 << 15;
+
+/// Widest block the fused kernels accept. The gather/scatter buffers are
+/// stack-allocated at `2^MAX_FUSED_QUBITS` amplitudes (1 KiB), keeping the
+/// per-group working set L1-resident — the whole point of fusion.
+pub const MAX_FUSED_QUBITS: usize = 6;
+
+/// Stack-buffer dimension backing the fused kernels.
+const MAX_FUSED_DIM: usize = 1 << MAX_FUSED_QUBITS;
 
 /// Pointer wrapper that lets rayon tasks write to provably disjoint indices
 /// of one buffer.
@@ -67,6 +82,18 @@ fn log2_len(state: &[C64]) -> u32 {
 /// Runs `f(&mut amp0, &mut amp1)` over every amplitude pair selected by
 /// (`target`, `controls`): indices with all control bits 1, differing only
 /// in the target bit.
+///
+/// # Examples
+///
+/// ```
+/// use qcemu_linalg::C64;
+/// use qcemu_sim::kernels::for_each_pair;
+///
+/// // An X gate on qubit 0 of |00⟩, written as a raw pair swap.
+/// let mut state = vec![C64::ONE, C64::ZERO, C64::ZERO, C64::ZERO];
+/// for_each_pair(&mut state, 0, &[], |a, b| std::mem::swap(a, b));
+/// assert_eq!(state[1], C64::ONE);
+/// ```
 pub fn for_each_pair<F>(state: &mut [C64], target: usize, controls: &[usize], f: F)
 where
     F: Fn(&mut C64, &mut C64) + Sync + Send,
@@ -105,6 +132,19 @@ where
 /// Runs `f(&mut amp)` over every amplitude whose target bit is 1 and whose
 /// control bits are all 1 — the quarter-touch access pattern of the
 /// controlled phase shift.
+///
+/// # Examples
+///
+/// ```
+/// use qcemu_linalg::C64;
+/// use qcemu_sim::kernels::for_each_one;
+///
+/// // A controlled phase on (control 1, target 0) touches only |11⟩.
+/// let mut state = vec![C64::ONE; 4];
+/// for_each_one(&mut state, 0, &[1], |z| *z *= C64::cis(0.5));
+/// assert_eq!(state[0], C64::ONE);
+/// assert!(state[3].approx_eq(C64::cis(0.5), 1e-15));
+/// ```
 pub fn for_each_one<F>(state: &mut [C64], target: usize, controls: &[usize], f: F)
 where
     F: Fn(&mut C64) + Sync + Send,
@@ -204,6 +244,362 @@ pub fn apply_swap(state: &mut [C64], qa: usize, qb: usize, controls: &[usize]) {
     }
 }
 
+// --- fused (blocked) kernels --------------------------------------------
+//
+// A fused block acts on the register formed by k ascending `qubits`. The
+// state splits into 2^{n−k} groups of 2^k amplitudes (one group per
+// assignment of the free qubits); every kernel below sweeps the groups
+// once, so a block of g gates costs one memory pass instead of g.
+
+/// Scatters the bits of local value `v` onto the (ascending) global bit
+/// `positions`: bit `j` of `v` becomes bit `positions[j]` of the result.
+/// The inverse of [`expand_index`]'s bit removal, and the convention by
+/// which a fused block's local amplitude index maps into the full state.
+/// (Same semantics as `qcemu_fft::scatter_bits`, re-exposed here so the
+/// kernel layer's index conventions live next to [`expand_index`].)
+#[inline(always)]
+pub fn scatter_index(v: usize, positions: &[usize]) -> usize {
+    qcemu_fft::scatter_bits(v, positions)
+}
+
+/// Validates a fused-kernel qubit list against the state size.
+fn check_fused_qubits(n_bits: usize, qubits: &[usize]) {
+    assert!(
+        !qubits.is_empty() && qubits.len() <= MAX_FUSED_QUBITS,
+        "fused block must use 1..={MAX_FUSED_QUBITS} qubits, got {}",
+        qubits.len()
+    );
+    assert!(
+        qubits.windows(2).all(|w| w[0] < w[1]),
+        "fused qubits must be strictly ascending: {qubits:?}"
+    );
+    assert!(
+        *qubits.last().unwrap() < n_bits,
+        "fused block touches qubit {} but state has {n_bits}",
+        qubits.last().unwrap()
+    );
+}
+
+/// Runs `f(ptr, base)` for every group base index (an index with all the
+/// block's qubit bits clear), in parallel for large states.
+fn for_each_group<F>(state: &mut [C64], qubits: &[usize], f: F)
+where
+    F: Fn(StatePtr, usize) + Sync + Send,
+{
+    let n_bits = log2_len(state) as usize;
+    check_fused_qubits(n_bits, qubits);
+    let count = 1usize << (n_bits - qubits.len());
+    let ptr = StatePtr(state.as_mut_ptr());
+    if state.len() >= PAR_THRESHOLD && count > 1 && rayon::current_num_threads() > 1 {
+        // SAFETY: `expand_index` is injective in the group index and `f`
+        // only touches `base | off` with `off` confined to the block's
+        // qubit bits, so distinct groups own disjoint state indices.
+        (0..count)
+            .into_par_iter()
+            .for_each(|g| f(ptr, expand_index(g, qubits)));
+    } else {
+        for g in 0..count {
+            f(ptr, expand_index(g, qubits));
+        }
+    }
+}
+
+/// Applies a dense `2^k × 2^k` matrix to the register formed by the `k`
+/// ascending `qubits` — every amplitude group gets one gather / mat-vec /
+/// scatter, so the whole block costs a single blocked pass over the state
+/// regardless of how many gates were fused into the matrix.
+///
+/// Prefer [`crate::fusion`]'s structure-aware dispatch over calling this
+/// directly: diagonal and permutation blocks have far cheaper appliers.
+///
+/// # Panics
+///
+/// Panics if `qubits` is not strictly ascending, uses more than
+/// [`MAX_FUSED_QUBITS`] qubits, indexes past the state, or if the matrix
+/// is not `2^k × 2^k`.
+///
+/// # Examples
+///
+/// ```
+/// use qcemu_linalg::{CMatrix, C64};
+/// use qcemu_sim::kernels::apply_fused;
+///
+/// // SWAP(0, 1) as a fused 2-qubit block: |01⟩ ↦ |10⟩.
+/// let mut state = vec![C64::ZERO; 4];
+/// state[0b01] = C64::ONE;
+/// let mut swap = CMatrix::zeros(4, 4);
+/// for (row, col) in [(0, 0), (2, 1), (1, 2), (3, 3)] {
+///     swap[(row, col)] = C64::ONE;
+/// }
+/// apply_fused(&mut state, &[0, 1], &swap);
+/// assert_eq!(state[0b10], C64::ONE);
+/// ```
+pub fn apply_fused(state: &mut [C64], qubits: &[usize], m: &CMatrix) {
+    let dim = 1usize << qubits.len();
+    assert_eq!(
+        m.shape(),
+        (dim, dim),
+        "fused matrix must be 2^k x 2^k for k = {}",
+        qubits.len()
+    );
+    let offs: Vec<usize> = (0..dim).map(|v| scatter_index(v, qubits)).collect();
+    for_each_group(state, qubits, |p, base| {
+        let mut x = [C64::ZERO; MAX_FUSED_DIM];
+        // SAFETY: all indices are `base | off` with `off` confined to the
+        // block's qubit bits — disjoint across groups (see for_each_group).
+        unsafe {
+            for (v, &off) in offs.iter().enumerate() {
+                x[v] = *p.0.add(base | off);
+            }
+            for (r, &off) in offs.iter().enumerate() {
+                let row = m.row(r);
+                let mut acc = C64::ZERO;
+                for (v, &e) in row.iter().enumerate() {
+                    acc += e * x[v];
+                }
+                *p.0.add(base | off) = acc;
+            }
+        }
+    });
+}
+
+/// Applies a fused **diagonal** block `diag(factors)` over `qubits`: only
+/// amplitudes whose local factor differs from 1 are read and written, so a
+/// run of g controlled phases fused into one block costs a single partial
+/// sweep instead of g quarter-sweeps.
+///
+/// # Examples
+///
+/// ```
+/// use qcemu_linalg::{c64, C64};
+/// use qcemu_sim::kernels::apply_fused_diagonal;
+///
+/// // CZ(0, 1) as a fused diagonal block: only |11⟩ changes.
+/// let mut state = vec![C64::ONE; 4];
+/// let factors = [C64::ONE, C64::ONE, C64::ONE, c64(-1.0, 0.0)];
+/// apply_fused_diagonal(&mut state, &[0, 1], &factors);
+/// assert_eq!(state[0b11], c64(-1.0, 0.0));
+/// assert_eq!(state[0b01], C64::ONE);
+/// ```
+pub fn apply_fused_diagonal(state: &mut [C64], qubits: &[usize], factors: &[C64]) {
+    let n_bits = log2_len(state) as usize;
+    check_fused_qubits(n_bits, qubits);
+    let dim = 1usize << qubits.len();
+    assert_eq!(factors.len(), dim, "diagonal block needs 2^k factors");
+    let touched: Vec<(usize, C64)> = factors
+        .iter()
+        .enumerate()
+        .filter(|&(_, &f)| f != C64::ONE)
+        .map(|(v, &f)| (scatter_index(v, qubits), f))
+        .collect();
+    if touched.is_empty() {
+        return; // identity block
+    }
+    for_each_group(state, qubits, |p, base| {
+        // SAFETY: disjoint groups as in `for_each_group`.
+        unsafe {
+            for &(off, f) in &touched {
+                *p.0.add(base | off) *= f;
+            }
+        }
+    });
+}
+
+/// Applies a fused **monomial** (permutation-with-phases) block: column
+/// `v` of the block's matrix has its single non-zero `factor[v]` in row
+/// `target[v]`. Amplitudes move along the permutation's cycles with one
+/// temporary per cycle; fixed points with factor 1 are never touched, so
+/// e.g. a run of CNOTs sharing a control sweeps only the control-on half.
+///
+/// # Panics
+///
+/// Panics if `target` is not a permutation of `0..2^k` or the slice
+/// lengths disagree with `qubits`.
+pub fn apply_fused_permutation(
+    state: &mut [C64],
+    qubits: &[usize],
+    target: &[usize],
+    factor: &[C64],
+) {
+    let n_bits = log2_len(state) as usize;
+    check_fused_qubits(n_bits, qubits);
+    let dim = 1usize << qubits.len();
+    assert_eq!(target.len(), dim, "permutation block needs 2^k targets");
+    assert_eq!(factor.len(), dim, "permutation block needs 2^k factors");
+
+    // Cycle decomposition over the non-identity support, precomputed once:
+    // each cycle stores (state offset, factor) per element, in cycle order.
+    let mut cycles: Vec<Vec<(usize, C64)>> = Vec::new();
+    let mut seen = vec![false; dim];
+    for start in 0..dim {
+        if seen[start] {
+            continue;
+        }
+        let mut cyc = Vec::new();
+        let mut v = start;
+        loop {
+            seen[v] = true;
+            cyc.push(v);
+            v = target[v];
+            assert!(v < dim, "permutation target {v} out of range");
+            if v == start {
+                break;
+            }
+            assert!(!seen[v], "targets do not form a permutation");
+        }
+        if cyc.len() == 1 && factor[start] == C64::ONE {
+            continue; // untouched fixed point
+        }
+        cycles.push(
+            cyc.into_iter()
+                .map(|v| (scatter_index(v, qubits), factor[v]))
+                .collect(),
+        );
+    }
+    if cycles.is_empty() {
+        return; // identity block
+    }
+
+    for_each_group(state, qubits, |p, base| {
+        // SAFETY: disjoint groups as in `for_each_group`.
+        unsafe {
+            for cyc in &cycles {
+                // new[target[v]] = factor[v] · old[v]; walking the cycle
+                // backwards needs only one saved amplitude.
+                let last = cyc.len() - 1;
+                let saved = *p.0.add(base | cyc[last].0);
+                for i in (1..=last).rev() {
+                    *p.0.add(base | cyc[i].0) = cyc[i - 1].1 * *p.0.add(base | cyc[i - 1].0);
+                }
+                *p.0.add(base | cyc[0].0) = cyc[last].1 * saved;
+            }
+        }
+    });
+}
+
+/// A gate precompiled for in-cache application to a gathered block:
+/// control masks and matrix entries are resolved once at fusion time so
+/// the per-group loops do no trigonometry, dispatch, or allocation.
+#[derive(Clone, Debug)]
+pub(crate) enum LocalOp {
+    /// `diag(d0, d1)` on `tbit`, gated on all bits of `cmask`.
+    Diag {
+        cmask: usize,
+        tbit: usize,
+        d0: C64,
+        d1: C64,
+    },
+    /// X on `tbit`, gated on `cmask`.
+    Flip { cmask: usize, tbit: usize },
+    /// Dense 2×2 on `tbit`, gated on `cmask`.
+    Rot { cmask: usize, tbit: usize, m: Mat2 },
+    /// Swap of `abit`/`bbit`, gated on `cmask`.
+    Swap {
+        cmask: usize,
+        abit: usize,
+        bbit: usize,
+    },
+}
+
+impl LocalOp {
+    /// Compiles a (local-index) gate into its block form.
+    pub(crate) fn from_gate(gate: &Gate) -> LocalOp {
+        let cmask = |controls: &[usize]| controls.iter().fold(0usize, |m, &c| m | (1usize << c));
+        match gate {
+            Gate::Unary {
+                op,
+                target,
+                controls,
+            } => {
+                let cmask = cmask(controls);
+                let tbit = 1usize << *target;
+                match op.structure() {
+                    GateStructure::Diagonal(d0, d1) => LocalOp::Diag {
+                        cmask,
+                        tbit,
+                        d0,
+                        d1,
+                    },
+                    GateStructure::PermutationX => LocalOp::Flip { cmask, tbit },
+                    GateStructure::General(m) => LocalOp::Rot { cmask, tbit, m },
+                }
+            }
+            Gate::Swap { a, b, controls } => LocalOp::Swap {
+                cmask: cmask(controls),
+                abit: 1usize << *a,
+                bbit: 1usize << *b,
+            },
+        }
+    }
+
+    /// Applies the op to a gathered block (`buf.len() = 2^k`). Per-entry
+    /// control checks are fine here: the block lives in L1.
+    pub(crate) fn apply(&self, buf: &mut [C64]) {
+        match *self {
+            LocalOp::Diag {
+                cmask,
+                tbit,
+                d0,
+                d1,
+            } => {
+                for (i, z) in buf.iter_mut().enumerate() {
+                    if i & cmask == cmask {
+                        *z *= if i & tbit != 0 { d1 } else { d0 };
+                    }
+                }
+            }
+            LocalOp::Flip { cmask, tbit } => {
+                for i in 0..buf.len() {
+                    if i & cmask == cmask && i & tbit == 0 {
+                        buf.swap(i, i | tbit);
+                    }
+                }
+            }
+            LocalOp::Rot { cmask, tbit, m } => {
+                for i in 0..buf.len() {
+                    if i & cmask == cmask && i & tbit == 0 {
+                        let x = buf[i];
+                        let y = buf[i | tbit];
+                        buf[i] = m[0][0] * x + m[0][1] * y;
+                        buf[i | tbit] = m[1][0] * x + m[1][1] * y;
+                    }
+                }
+            }
+            LocalOp::Swap { cmask, abit, bbit } => {
+                for i in 0..buf.len() {
+                    if i & cmask == cmask && i & abit != 0 && i & bbit == 0 {
+                        buf.swap(i, (i & !abit) | bbit);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Applies a fused block by gathering each group into a stack buffer,
+/// running the block's precompiled ops on it in cache, and scattering the
+/// result back — one memory sweep for the whole gate run, with exactly the
+/// same per-amplitude arithmetic as unfused execution.
+pub(crate) fn apply_fused_local(state: &mut [C64], qubits: &[usize], ops: &[LocalOp]) {
+    let dim = 1usize << qubits.len();
+    let offs: Vec<usize> = (0..dim).map(|v| scatter_index(v, qubits)).collect();
+    for_each_group(state, qubits, |p, base| {
+        let mut buf = [C64::ZERO; MAX_FUSED_DIM];
+        // SAFETY: disjoint groups as in `for_each_group`.
+        unsafe {
+            for (v, &off) in offs.iter().enumerate() {
+                buf[v] = *p.0.add(base | off);
+            }
+            for op in ops {
+                op.apply(&mut buf[..dim]);
+            }
+            for (v, &off) in offs.iter().enumerate() {
+                *p.0.add(base | off) = buf[v];
+            }
+        }
+    });
+}
+
 /// Applies one [`Gate`] to a raw state slice, dispatching on structure.
 pub fn apply_gate_slice(state: &mut [C64], gate: &Gate) {
     match gate {
@@ -223,6 +619,11 @@ pub fn apply_gate_slice(state: &mut [C64], gate: &Gate) {
 /// Number of state-vector entries a gate's kernel writes, as a function of
 /// structure — the quantity behind the paper's Eq. 6 memory-traffic model.
 /// (A controlled phase on n qubits writes `2^{n−2}` entries: a quarter.)
+///
+/// This counts **unfused** gate-by-gate application. Fused blocks write a
+/// different (usually much smaller total) number of entries; use
+/// [`fused_touched_entries`] / `FusedCircuit::touched_entries` so the
+/// emulate-vs-simulate crossover heuristics stay honest under fusion.
 pub fn touched_entries(n_qubits: usize, gate: &Gate) -> usize {
     match gate {
         Gate::Unary { op, controls, .. } => {
@@ -242,6 +643,19 @@ pub fn touched_entries(n_qubits: usize, gate: &Gate) -> usize {
         }
         Gate::Swap { controls, .. } => 2usize << (n_qubits - 2 - controls.len()),
     }
+}
+
+/// Entries one fused-block pass writes: `touched_local` entries in each of
+/// the `2^{n−k}` groups. `touched_local` is the size of the block's local
+/// write set — `2^k` for a general/dense block, the non-unit factor count
+/// for a diagonal block, the moved-cycle support for a permutation block.
+/// This is the fused-block extension of [`touched_entries`]: a block of
+/// `g` gates pays this **once**, where unfused execution pays the per-gate
+/// sum — the memory-traffic gap `docs/PERFORMANCE.md` quantifies.
+pub fn fused_touched_entries(n_qubits: usize, block_qubits: usize, touched_local: usize) -> usize {
+    assert!(block_qubits <= n_qubits, "block wider than the state");
+    debug_assert!(touched_local <= 1usize << block_qubits);
+    touched_local << (n_qubits - block_qubits)
 }
 
 #[cfg(test)]
@@ -476,6 +890,189 @@ mod tests {
         assert_eq!(touched_entries(n, &Gate::toffoli(0, 1, 2)), full / 4);
         // SWAP: half.
         assert_eq!(touched_entries(n, &Gate::swap(0, 1)), full / 2);
+    }
+
+    #[test]
+    fn scatter_index_places_bits_on_positions() {
+        let qubits = [1usize, 3, 4];
+        let mask: usize = qubits.iter().map(|&q| 1usize << q).sum();
+        for v in 0..8 {
+            let x = scatter_index(v, &qubits);
+            for (j, &q) in qubits.iter().enumerate() {
+                assert_eq!((x >> q) & 1, (v >> j) & 1, "v={v}, q={q}");
+            }
+            // scatter hits only the listed positions…
+            assert_eq!(x & !mask, 0);
+            // …which are exactly the positions expand_index leaves clear.
+            assert_eq!(expand_index(v, &qubits) & mask, 0);
+        }
+    }
+
+    #[test]
+    fn apply_fused_matches_gate_application() {
+        // Fuse H(1)·CNOT(1→3)·T(3) into one dense block on qubits {1, 3}
+        // by building the 4×4 matrix column by column with the gate
+        // kernels themselves, then compare against gate-by-gate.
+        let gates = [
+            Gate::h(1),
+            Gate::cnot(1, 3),
+            Gate::t(3),
+            Gate::swap(1, 3),
+            Gate::cphase(3, 1, 0.37),
+        ];
+        let local: Vec<Gate> = [
+            Gate::h(0),
+            Gate::cnot(0, 1),
+            Gate::t(1),
+            Gate::swap(0, 1),
+            Gate::cphase(1, 0, 0.37),
+        ]
+        .to_vec();
+        let mut m = CMatrix::zeros(4, 4);
+        for v in 0..4 {
+            let mut col = vec![C64::ZERO; 4];
+            col[v] = C64::ONE;
+            for g in &local {
+                apply_gate_slice(&mut col, g);
+            }
+            for r in 0..4 {
+                m[(r, v)] = col[r];
+            }
+        }
+
+        let mut rng = StdRng::seed_from_u64(600);
+        let input = random_state(1 << 5, &mut rng);
+        let mut fused = input.clone();
+        apply_fused(&mut fused, &[1, 3], &m);
+        let mut plain = input;
+        for g in &gates {
+            apply_gate_slice(&mut plain, g);
+        }
+        assert!(max_abs_diff(&fused, &plain) < 1e-12);
+    }
+
+    #[test]
+    fn apply_fused_diagonal_matches_gates_and_skips_identity() {
+        // diag factors of CZ(0,1)·T(0) on qubits {0, 1}.
+        let t = C64::cis(std::f64::consts::FRAC_PI_4);
+        let factors = [C64::ONE, t, C64::ONE, t * c64(-1.0, 0.0)];
+        let mut rng = StdRng::seed_from_u64(601);
+        let input = random_state(1 << 4, &mut rng);
+        let mut fused = input.clone();
+        apply_fused_diagonal(&mut fused, &[0, 1], &factors);
+        let mut plain = input;
+        apply_gate_slice(&mut plain, &Gate::cz(0, 1));
+        apply_gate_slice(&mut plain, &Gate::t(0));
+        assert!(max_abs_diff(&fused, &plain) < 1e-14);
+
+        // All-identity factors must leave the state bitwise untouched.
+        let before = fused.clone();
+        apply_fused_diagonal(&mut fused, &[0, 1], &[C64::ONE; 4]);
+        assert_eq!(max_abs_diff(&fused, &before), 0.0);
+
+        // Accounting: 2 of the 4 local entries (|01⟩, |11⟩) are non-unit,
+        // so the block writes half of a 4-qubit state.
+        assert_eq!(fused_touched_entries(4, 2, 2), 8);
+    }
+
+    #[test]
+    fn apply_fused_permutation_matches_gates() {
+        // CNOT(0→1) then CNOT(0→2) as one monomial block on {0, 1, 2}:
+        // target[v] flips bits 1 and 2 when bit 0 is set.
+        let mut target = [0usize; 8];
+        for (v, slot) in target.iter_mut().enumerate() {
+            *slot = if v & 1 != 0 { v ^ 0b110 } else { v };
+        }
+        let factor = [C64::ONE; 8];
+        let mut rng = StdRng::seed_from_u64(602);
+        let input = random_state(1 << 4, &mut rng);
+        let mut fused = input.clone();
+        apply_fused_permutation(&mut fused, &[0, 1, 2], &target, &factor);
+        let mut plain = input;
+        apply_gate_slice(&mut plain, &Gate::cnot(0, 1));
+        apply_gate_slice(&mut plain, &Gate::cnot(0, 2));
+        assert_eq!(max_abs_diff(&fused, &plain), 0.0, "pure data movement");
+    }
+
+    #[test]
+    fn apply_fused_permutation_with_phases() {
+        // X(0)·S(0) on qubit {0}: |0⟩ → i|1⟩? Track: X then S gives
+        // column 0 → e_1 with factor i, column 1 → e_0 with factor 1.
+        let target = [1usize, 0];
+        let factor = [C64::I, C64::ONE];
+        let mut rng = StdRng::seed_from_u64(603);
+        let input = random_state(8, &mut rng);
+        let mut fused = input.clone();
+        apply_fused_permutation(&mut fused, &[0], &target, &factor);
+        let mut plain = input;
+        apply_gate_slice(&mut plain, &Gate::x(0));
+        apply_gate_slice(&mut plain, &Gate::s(0));
+        assert!(max_abs_diff(&fused, &plain) < 1e-15);
+    }
+
+    #[test]
+    fn local_ops_reproduce_each_gate_kernel() {
+        let mut rng = StdRng::seed_from_u64(604);
+        let gates = [
+            Gate::h(1),
+            Gate::x(2),
+            Gate::rz(0, 0.7),
+            Gate::cphase(0, 2, -0.4),
+            Gate::cnot(2, 0),
+            Gate::swap(0, 1),
+            Gate::toffoli(0, 1, 2),
+            Gate::Swap {
+                a: 1,
+                b: 2,
+                controls: vec![0],
+            },
+        ];
+        for gate in gates {
+            let input = random_state(8, &mut rng);
+            let mut via_local = input.clone();
+            LocalOp::from_gate(&gate).apply(&mut via_local);
+            let mut via_kernel = input;
+            apply_gate_slice(&mut via_kernel, &gate);
+            assert!(
+                max_abs_diff(&via_local, &via_kernel) < 1e-15,
+                "LocalOp mismatch for {gate:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn fused_kernels_parallel_path_matches_serial() {
+        // Above PAR_THRESHOLD so the rayon branch of for_each_group runs.
+        let n_qubits = 16;
+        let mut rng = StdRng::seed_from_u64(605);
+        let input = random_state(1 << n_qubits, &mut rng);
+        let local = [Gate::h(0), Gate::cnot(0, 1), Gate::rz(1, 0.3)];
+        let mut m = CMatrix::zeros(4, 4);
+        for v in 0..4 {
+            let mut col = vec![C64::ZERO; 4];
+            col[v] = C64::ONE;
+            for g in &local {
+                apply_gate_slice(&mut col, g);
+            }
+            for r in 0..4 {
+                m[(r, v)] = col[r];
+            }
+        }
+        let mut fused = input.clone();
+        apply_fused(&mut fused, &[3, 14], &m);
+        let mut plain = input;
+        let remapped = [Gate::h(3), Gate::cnot(3, 14), Gate::rz(14, 0.3)];
+        for g in &remapped {
+            apply_gate_slice(&mut plain, g);
+        }
+        assert!(max_abs_diff(&fused, &plain) < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly ascending")]
+    fn fused_qubits_must_be_sorted() {
+        let mut state = vec![C64::ZERO; 8];
+        apply_fused_diagonal(&mut state, &[2, 0], &[C64::I; 4]);
     }
 
     #[test]

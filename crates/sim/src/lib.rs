@@ -12,7 +12,11 @@
 //! * [`kernels`] — specialised amplitude kernels: a controlled phase shift
 //!   touches exactly ¼ of the state, X gates move data without arithmetic,
 //!   controls shrink the index space instead of being checked per entry;
-//!   all rayon-parallel over disjoint index sets;
+//!   all rayon-parallel over disjoint index sets; plus the fused blocked
+//!   kernels ([`kernels::apply_fused`] and friends);
+//! * [`fusion`] — the gate-fusion engine: merge runs of adjacent gates
+//!   into k-qubit blocks applied in one cache-blocked sweep, behind a
+//!   [`SimConfig`]/[`FusionPolicy`] (see `docs/PERFORMANCE.md`);
 //! * [`statevector`] — the 2ⁿ-amplitude wave function (paper Eq. 1);
 //! * [`circuit`] — gate sequences with inverse / controlled / remap
 //!   transforms (uncomputation and QPE building blocks);
@@ -29,6 +33,7 @@ pub mod circuit;
 pub mod circuits;
 pub mod decompose;
 pub mod dense;
+pub mod fusion;
 pub mod gate;
 pub mod kernels;
 pub mod measure;
@@ -41,8 +46,15 @@ pub use circuits::{
 };
 pub use decompose::{decompose_circuit, decompose_gate, is_elementary, mat2_sqrt};
 pub use dense::{apply_dense_to_register, circuit_to_dense};
+pub use fusion::{
+    fuse_circuit, FusedCircuit, FusedGate, FusedOp, FusedStructure, FusionCensus, FusionPolicy,
+    SimConfig, DEFAULT_MAX_FUSED_QUBITS,
+};
 pub use gate::{Gate, GateOp, GateStructure, Mat2};
-pub use kernels::{apply_gate_slice, touched_entries, PAR_THRESHOLD};
+pub use kernels::{
+    apply_fused, apply_fused_diagonal, apply_fused_permutation, apply_gate_slice,
+    fused_touched_entries, scatter_index, touched_entries, MAX_FUSED_QUBITS, PAR_THRESHOLD,
+};
 pub use measure::{
     expectation_z, expectation_z_sampled, expectation_z_string, measure_all, measure_qubit,
     prob_qubit_one, sample_histogram, sample_once, sample_shots,

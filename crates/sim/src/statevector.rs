@@ -2,6 +2,7 @@
 //! (paper §2, Eq. 1), with gate application and norm management.
 
 use crate::circuit::Circuit;
+use crate::fusion::{fuse_circuit, FusedCircuit, FusionPolicy, SimConfig};
 use crate::gate::Gate;
 use crate::kernels::apply_gate_slice;
 use qcemu_linalg::{inner, norm2, C64};
@@ -129,6 +130,43 @@ impl StateVector {
         for gate in circuit.gates() {
             apply_gate_slice(&mut self.amps, gate);
         }
+    }
+
+    /// Runs a circuit under an execution configuration: gate-by-gate when
+    /// fusion is disabled (bitwise identical to
+    /// [`StateVector::apply_circuit`]), fused blocked sweeps otherwise —
+    /// see [`crate::fusion`] for the policy and the performance model.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use qcemu_sim::{entangle_circuit, SimConfig, StateVector};
+    ///
+    /// let mut sv = StateVector::zero_state(4);
+    /// sv.run(&entangle_circuit(4), &SimConfig::fused(3));
+    /// // GHZ state: weight only on |0000⟩ and |1111⟩.
+    /// assert!((sv.probability(0) - 0.5).abs() < 1e-12);
+    /// assert!((sv.probability(0b1111) - 0.5).abs() < 1e-12);
+    /// ```
+    pub fn run(&mut self, circuit: &Circuit, config: &SimConfig) {
+        match config.fusion {
+            FusionPolicy::Disabled => self.apply_circuit(circuit),
+            FusionPolicy::Greedy { .. } => {
+                self.apply_fused_circuit(&fuse_circuit(circuit, &config.fusion))
+            }
+        }
+    }
+
+    /// Applies an already-fused circuit (reuse the [`FusedCircuit`] when
+    /// running the same circuit many times — fusion cost is paid once).
+    pub fn apply_fused_circuit(&mut self, fused: &FusedCircuit) {
+        assert!(
+            fused.n_qubits() <= self.n_qubits,
+            "fused circuit needs {} qubits, state has {}",
+            fused.n_qubits(),
+            self.n_qubits
+        );
+        fused.apply_slice(&mut self.amps);
     }
 
     /// Tensor product `self ⊗ other`; `other`'s qubits become the *high*

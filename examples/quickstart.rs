@@ -35,9 +35,16 @@ fn main() -> Result<(), EmuError> {
     // the QFT as an FFT; the simulator grinds through the Cuccaro network
     // and the H/controlled-phase circuit. Same state either way.
     let emulated = Emulator::new().run(&program, init.clone())?;
-    let simulated = GateLevelSimulator::new().run(&program, init)?;
+    let simulated = GateLevelSimulator::new().run(&program, init.clone())?;
     let diff = emulated.max_diff_up_to_phase(&simulated);
     println!("\nmultiply+QFT: emulator vs simulator max amplitude diff = {diff:.2e}");
+    assert!(diff < 1e-9);
+
+    // The simulator can also fuse gate runs into cache-blocked multi-qubit
+    // sweeps (docs/PERFORMANCE.md) — same state again, fewer memory passes.
+    let fused = GateLevelSimulator::fused().run(&program, init)?;
+    let diff = emulated.max_diff_up_to_phase(&fused);
+    println!("multiply+QFT: emulator vs fused simulator max amplitude diff = {diff:.2e}");
     assert!(diff < 1e-9);
 
     // --- 3. Measurement: exact statistics vs shots (paper §3.4) ---------

@@ -61,7 +61,7 @@ pub mod prelude {
         MapKind, ProgramBuilder, QpeOp, QpeStrategy, QuantumProgram, RegisterId,
     };
     pub use qcemu_linalg::{c64, CMatrix, C64};
-    pub use qcemu_sim::{measure, Circuit, Gate, GateOp, StateVector};
+    pub use qcemu_sim::{measure, Circuit, FusionPolicy, Gate, GateOp, SimConfig, StateVector};
 }
 
 #[cfg(test)]

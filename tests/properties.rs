@@ -72,6 +72,25 @@ proptest! {
     }
 
     #[test]
+    fn fused_execution_matches_unfused(circuit in random_circuit(6, 40)) {
+        // The gate zoo includes controlled (CNOT, cphase, Toffoli),
+        // diagonal (Rz, phase, cphase) and SWAP gates; fused execution
+        // must agree amplitude-for-amplitude at every window width.
+        let mut reference = StateVector::uniform_superposition(6);
+        reference.apply_circuit(&circuit);
+        for max_fused_qubits in 1..=qcemu_sim::MAX_FUSED_QUBITS {
+            let mut fused = StateVector::uniform_superposition(6);
+            fused.run(&circuit, &SimConfig { fusion: FusionPolicy::Greedy { max_fused_qubits } });
+            prop_assert!(
+                max_abs_diff(reference.amplitudes(), fused.amplitudes()) < 1e-12,
+                "k = {}: diff = {}",
+                max_fused_qubits,
+                max_abs_diff(reference.amplitudes(), fused.amplitudes())
+            );
+        }
+    }
+
+    #[test]
     fn baselines_agree_with_reference(circuit in random_circuit(5, 20)) {
         let mut reference = StateVector::uniform_superposition(5);
         reference.apply_circuit(&circuit);
