@@ -1,0 +1,126 @@
+//! **Figure 4 ablation**: per-gate exchange vs qubit remapping vs
+//! remap + fusion on the distributed QFT.
+//!
+//! The paper's simulator (§4.5) avoids communication for *diagonal*
+//! global-target gates; every non-diagonal one still pays a full-slice
+//! pairwise exchange — Eq. 6's `log₂(P)` term. The communication-avoiding
+//! planner goes further: one batched all-to-all permutation relabels the
+//! upcoming non-diagonal global qubits into local slots at `(1 − 2⁻ᵏ)` of
+//! a slice — *less* than one exchange — and the whole following run of
+//! gates (fused or not) executes with zero communication.
+//!
+//! Executed section: the same QFT on the virtual cluster under three
+//! modes; the accounted quantity is **bytes sent** (exchange counts
+//! mislead once partial slices ship). Every run is also gathered and
+//! checked against single-node execution to 1e-12. Modelled section:
+//! Eq. (6) vs its remap-aware variant at paper scale.
+//!
+//! Usage: `cargo run -p qcemu-bench --release --bin fig4_remap_ablation
+//!         [-- --n-local 10 --max-p 8 --skip-verify]`
+
+use qcemu_bench::{fmt_secs, header, Args};
+use qcemu_cluster::{
+    run, run_qft_remap, run_qft_simulation, CommPolicy, DistributedState, MachineModel,
+};
+use qcemu_sim::circuits::qft::qft_circuit;
+use qcemu_sim::{FusionPolicy, SimConfig, StateVector};
+
+/// Gathers a distributed QFT run and reports its max deviation from the
+/// single-node state vector.
+fn verify(n_qubits: usize, p: usize, mode: usize) -> f64 {
+    let circuit = qft_circuit(n_qubits);
+    let circuit = &circuit;
+    let results = run(p, MachineModel::stampede(), move |comm| {
+        let mut ds = DistributedState::zero_state(n_qubits, comm);
+        match mode {
+            0 => ds.apply_circuit(circuit, comm, CommPolicy::Specialized),
+            1 => ds.run_circuit(circuit, &FusionPolicy::Disabled, comm),
+            _ => ds.run_circuit(circuit, &FusionPolicy::greedy(), comm),
+        }
+        ds.gather(comm)
+    });
+    let gathered = results[0].0.as_ref().expect("rank 0 gathers");
+    let mut expect = StateVector::zero_state(n_qubits);
+    expect.run(circuit, &SimConfig::unfused());
+    gathered.max_diff_up_to_phase(&expect)
+}
+
+fn main() {
+    let args = Args::parse();
+    let n_local: usize = args.get("n-local").unwrap_or(10);
+    let max_p: usize = args.get("max-p").unwrap_or(8);
+    let skip_verify = args.has("skip-verify");
+    let machine = MachineModel::stampede();
+
+    header(
+        "Figure 4 ablation — per-gate exchange vs remap vs remap+fusion",
+        "accounted quantity: bytes sent; remap = batched global<->local permutation",
+    );
+
+    println!("[executed] {n_local} local qubits per rank, QFT workload");
+    println!(
+        "{:>3} {:>3} {:>10} {:>14} {:>12} {:>14} {:>8} {:>10}",
+        "n", "P", "mode", "bytes(total)", "bytes/rank", "exch/remaps", "Tcomm", "max|diff|"
+    );
+    let mut p = 2usize;
+    while p <= max_p {
+        let per_gate = run_qft_simulation(n_local, p, CommPolicy::Specialized, machine);
+        let remap = run_qft_remap(n_local, p, FusionPolicy::Disabled, machine);
+        let fused = run_qft_remap(n_local, p, FusionPolicy::greedy(), machine);
+        let rows = [
+            ("per-gate", &per_gate, 0usize),
+            ("remap", &remap, 1),
+            ("remap+fuse", &fused, 2),
+        ];
+        for (name, r, mode) in rows {
+            let diff = if skip_verify {
+                String::from("-")
+            } else {
+                format!("{:.2e}", verify(r.n_qubits, p, mode))
+            };
+            println!(
+                "{:>3} {:>3} {:>10} {:>14} {:>12} {:>11}/{:<2} {:>8} {:>10}",
+                r.n_qubits,
+                p,
+                name,
+                r.total_bytes,
+                r.max_rank_bytes,
+                r.max_exchanges,
+                r.max_remaps,
+                fmt_secs(r.max_sim_comm_s),
+                diff,
+            );
+        }
+        assert!(
+            fused.total_bytes < per_gate.total_bytes && remap.total_bytes < per_gate.total_bytes,
+            "P={p}: remap(+fusion) must send strictly fewer bytes than per-gate exchange"
+        );
+        p *= 2;
+    }
+    println!("(verification: gathered distributed state vs single-node run; 1e-12 budget)");
+
+    println!();
+    println!("[modelled] paper scale: Eq. 6 vs remap-aware variant");
+    println!(
+        "{:>3} {:>4} {:>12} {:>12} {:>9}",
+        "n", "P", "T_qft(Eq6)", "T_qft(remap)", "speedup"
+    );
+    for n in 28u32..=36 {
+        let p = 1usize << (n - 28);
+        let eq6 = machine.t_qft(n, p);
+        let rm = machine.t_qft_remap(n, p);
+        println!(
+            "{:>3} {:>4} {:>12} {:>12} {:>8.2}x",
+            n,
+            p,
+            fmt_secs(eq6),
+            fmt_secs(rm),
+            eq6 / rm
+        );
+    }
+    println!();
+    println!("note: the executed advantage exceeds the modelled one because Eq. 6");
+    println!("      ignores the QFT's final SWAP network, which the per-gate path");
+    println!("      pays in exchanges and the planner absorbs as free qubit");
+    println!("      relabels (zero bytes, zero sweeps).");
+}

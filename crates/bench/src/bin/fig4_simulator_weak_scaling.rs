@@ -125,5 +125,7 @@ fn main() {
     println!("note: the generic simulator pays an exchange for every conditional phase");
     println!("      shift targeting a distributed qubit; ours pays only for Hadamards");
     println!("      and swaps. The advantage therefore grows with P — the paper's");
-    println!("      Fig. 4 observation.");
+    println!("      Fig. 4 observation. The communication-avoiding planner goes");
+    println!("      further still (qubit remapping + distributed fusion): see the");
+    println!("      fig4_remap_ablation bench.");
 }

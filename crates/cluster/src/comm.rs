@@ -107,6 +107,40 @@ impl Comm {
         self.recv(partner)
     }
 
+    /// Batched pairwise exchange — the building block of an all-to-all
+    /// *permutation*: every `(partner, payload)` chunk is sent first (the
+    /// channels are unbounded, so no ordering can deadlock), then one
+    /// payload is received from each of the same partners. The caller must
+    /// be part of a symmetric pattern — each listed partner is itself
+    /// sending this rank exactly one chunk in the same collective — which
+    /// is what a qubit-remap permutation guarantees: rank `r` exchanges
+    /// with exactly the ranks in its XOR-coset over the remapped global
+    /// bits. Returns the received payloads keyed by source rank.
+    ///
+    /// Unlike [`Comm::all_to_all`], uninvolved ranks cost nothing: no
+    /// empty messages, no latency charge.
+    pub fn exchange_all(&mut self, outgoing: Vec<(usize, Vec<C64>)>) -> Vec<(usize, Vec<C64>)> {
+        let partners: Vec<usize> = outgoing.iter().map(|&(to, _)| to).collect();
+        debug_assert!(
+            {
+                let mut p = partners.clone();
+                p.sort_unstable();
+                p.windows(2).all(|w| w[0] != w[1])
+            },
+            "exchange_all partners must be distinct"
+        );
+        for (to, payload) in outgoing {
+            self.send(to, payload);
+        }
+        partners
+            .into_iter()
+            .map(|from| {
+                let payload = self.recv(from);
+                (from, payload)
+            })
+            .collect()
+    }
+
     /// All-to-all: `chunks[i]` goes to rank `i`; returns what every rank
     /// sent to us (index by source rank). `chunks[self]` is moved through
     /// untouched at zero modelled cost.
@@ -264,6 +298,33 @@ mod tests {
             for (src, &v) in vals.iter().enumerate() {
                 assert_eq!(v, 10 * src + rank, "rank {rank} from {src}");
             }
+        }
+    }
+
+    #[test]
+    fn exchange_all_routes_cosets() {
+        // Every rank exchanges one chunk with each member of its XOR coset
+        // {rank^1, rank^2, rank^3} — the pattern a 2-slot remap generates.
+        let results = run(4, machine(), |comm| {
+            let me = comm.rank();
+            let outgoing: Vec<(usize, Vec<C64>)> = (1..4)
+                .map(|x| (me ^ x, vec![c64((10 * me + (me ^ x)) as f64, 0.0)]))
+                .collect();
+            let received = comm.exchange_all(outgoing);
+            let mut got: Vec<(usize, usize)> = received
+                .into_iter()
+                .map(|(from, payload)| (from, payload[0].re as usize))
+                .collect();
+            got.sort_unstable();
+            got
+        });
+        for (rank, (got, stats)) in results.iter().enumerate() {
+            for &(from, v) in got {
+                assert_eq!(v, 10 * from + rank, "rank {rank} from {from}");
+            }
+            assert_eq!(got.len(), 3);
+            assert_eq!(stats.messages_sent, 3);
+            assert_eq!(stats.bytes_sent, 3 * 16);
         }
     }
 

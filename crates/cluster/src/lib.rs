@@ -9,8 +9,12 @@
 //!   interconnect;
 //! * [`dist_state`] — state vectors sliced over ranks by the top qubits,
 //!   with the paper's communication-avoidance for diagonal gates
-//!   ([`dist_state::CommPolicy::Specialized`]) and a qHiPSTER-like generic
-//!   mode for the Fig. 4 comparison;
+//!   ([`dist_state::CommPolicy::Specialized`]), a qHiPSTER-like generic
+//!   mode for the Fig. 4 comparison, and the communication-avoiding
+//!   planned path ([`dist_state::DistributedState::run`]) that executes
+//!   fused circuits with qubit remapping;
+//! * [`plan`] — the global↔local qubit-remapping planner ([`plan::DistPlan`])
+//!   and the [`plan::QubitMap`] tracking where each logical qubit lives;
 //! * [`dist_fft`] — the distributed four-step FFT with exactly three
 //!   all-to-all transposes (Eq. 5's communication term);
 //! * [`model`] — Eq. (5) and Eq. (6) implemented verbatim over a
@@ -24,9 +28,11 @@ pub mod dist_fft;
 pub mod dist_state;
 pub mod drivers;
 pub mod model;
+pub mod plan;
 
 pub use comm::{run, Comm, RankStats};
 pub use dist_fft::{distributed_fft, distributed_transpose, FFT_ALL_TO_ALL_PHASES};
 pub use dist_state::{CommPolicy, DistributedState};
-pub use drivers::{run_qft_emulation, run_qft_simulation, DistRunReport};
-pub use model::{MachineModel, BYTES_PER_AMP};
+pub use drivers::{run_qft_emulation, run_qft_remap, run_qft_simulation, DistRunReport};
+pub use model::{exchange_bytes_per_rank, remap_bytes_per_rank, MachineModel, BYTES_PER_AMP};
+pub use plan::{DistPlan, PlanStep, QubitMap};

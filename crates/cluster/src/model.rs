@@ -19,6 +19,22 @@
 /// Bytes per complex-double amplitude.
 pub const BYTES_PER_AMP: f64 = 16.0;
 
+/// Bytes **one rank** sends for a full-slice pairwise exchange — the cost
+/// of every non-diagonal gate on a global qubit under per-gate execution:
+/// `16·N/P`.
+pub fn exchange_bytes_per_rank(n: u32, p: usize) -> f64 {
+    BYTES_PER_AMP * (2f64).powi(n as i32) / p as f64
+}
+
+/// Bytes **one rank** sends for one batched `k`-slot remap permutation
+/// (global↔local qubit relabelling): the `2⁻ᵏ` of the slice whose
+/// swapped bits already match the rank stays home, the rest ships —
+/// `(1 − 2⁻ᵏ)·16·N/P`, strictly *less* than one pairwise exchange, after
+/// which an arbitrarily long run of gates on the remapped qubits is free.
+pub fn remap_bytes_per_rank(n: u32, p: usize, k: u32) -> f64 {
+    (1.0 - (2f64).powi(-(k as i32))) * BYTES_PER_AMP * (2f64).powi(n as i32) / p as f64
+}
+
 /// Hardware constants of one node plus the interconnect.
 #[derive(Clone, Copy, Debug)]
 pub struct MachineModel {
@@ -76,6 +92,30 @@ impl MachineModel {
         let compute = 4.0 * big_n * (n as f64) * (n as f64) / (self.mem_bw_per_node * p as f64);
         let comm = if p > 1 {
             (p as f64).log2() * BYTES_PER_AMP * big_n / (self.net_bw_per_node * p as f64)
+        } else {
+            0.0
+        };
+        compute + comm
+    }
+
+    /// Remap-aware variant of **Eq. (6)**: the compute term is unchanged,
+    /// but instead of `log₂(P)` full-slice exchanges (one per global
+    /// Hadamard), the communication term is **two** batched
+    /// `log₂(P)`-slot remap permutations — one bringing all global qubits
+    /// local before their non-diagonal run, one re-localising the
+    /// evicted victims for their own Hadamards later (the QFT touches
+    /// every qubit non-diagonally; the final SWAP network costs nothing,
+    /// it is absorbed as qubit relabels) — at `(1 − 1/P)·16·N/P` bytes
+    /// per rank each ([`remap_bytes_per_rank`]). For `P ≥ 4` this is
+    /// strictly cheaper than Eq. 6's term; at `P = 2` the model breaks
+    /// even (the *measured* advantage at `P = 2` comes from the
+    /// SWAP-network exchanges Eq. 6 ignores — see the
+    /// `fig4_remap_ablation` bench).
+    pub fn t_qft_remap(&self, n: u32, p: usize) -> f64 {
+        let big_n = (2f64).powi(n as i32);
+        let compute = 4.0 * big_n * (n as f64) * (n as f64) / (self.mem_bw_per_node * p as f64);
+        let comm = if p > 1 {
+            2.0 * remap_bytes_per_rank(n, p, p.trailing_zeros()) / self.net_bw_per_node
         } else {
             0.0
         };
@@ -262,5 +302,34 @@ mod tests {
         let m = MachineModel::stampede();
         assert!(m.t_general_gate(30, 1) > m.t_general_gate(30, 2));
         assert!(m.t_exchange(30, 2) > 0.0);
+    }
+
+    #[test]
+    fn remap_bytes_undercut_exchange_bytes() {
+        for (p, k) in [(2usize, 1u32), (4, 2), (8, 3), (256, 8)] {
+            let n = 30;
+            let remap = remap_bytes_per_rank(n, p, k);
+            let exch = exchange_bytes_per_rank(n, p);
+            assert!(
+                remap < exch,
+                "one remap ({remap}) must cost less than one exchange ({exch})"
+            );
+            assert!((remap / exch - (1.0 - 1.0 / (1u64 << k) as f64)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn remap_aware_model_beats_eq6_at_scale() {
+        let m = MachineModel::stampede();
+        for (n, p) in [(30u32, 4usize), (32, 16), (34, 64), (36, 256)] {
+            assert!(
+                m.t_qft_remap(n, p) < m.t_qft(n, p),
+                "n={n}, P={p}: remap model must undercut Eq. 6"
+            );
+        }
+        // P = 2 breaks even: 2·(1 − 1/2) = 1 = log₂(2) slice-equivalents.
+        assert!((m.t_qft_remap(30, 2) - m.t_qft(30, 2)).abs() < 1e-12);
+        // P = 1: no communication either way.
+        assert_eq!(m.t_qft_remap(28, 1), m.t_qft(28, 1));
     }
 }

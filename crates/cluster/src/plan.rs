@@ -1,0 +1,484 @@
+//! Communication-avoiding execution planning: global↔local qubit remapping.
+//!
+//! The paper's distributed simulator (§4.5) already avoids communication
+//! for *diagonal* gates on global qubits; every **non-diagonal** gate on a
+//! global qubit still costs a full pairwise slice exchange (Eq. 6's
+//! `log₂P` term counts exactly those). HPQEA-style scalable emulators
+//! (arXiv:2510.07110) close that gap with *qubit remapping*: relabel the
+//! qubits about to be used non-diagonally into node-local slots with one
+//! batched all-to-all permutation, then execute the whole upcoming run of
+//! gates with **zero** communication.
+//!
+//! This module is the planning half. A [`QubitMap`] tracks where each
+//! *logical* (program) qubit currently lives among the *physical* slots —
+//! slots `0..n_local` are intra-rank, the top `log₂P` slots select the
+//! rank. [`DistPlan::new`] walks a [`FusedCircuit`] once and interleaves
+//! [`PlanStep::Remap`] instructions (which slot pairs to swap) with the
+//! ops, so that by the time a non-diagonal gate or fused block executes,
+//! all of its qubits sit in local slots. Victim slots are chosen
+//! Bélády-style: evict the local qubit whose next *locality-requiring*
+//! use is furthest away (diagonal uses don't count — a diagonal gate on a
+//! global qubit is free).
+//!
+//! One remap of `k` slot pairs moves `(1 − 2⁻ᵏ)` of each rank's slice —
+//! *less* than one full-slice exchange — and pays for an arbitrarily long
+//! run of subsequent gates, which is why remap + fusion sends strictly
+//! fewer bytes than per-gate exchange on the Fig. 4 QFT workload (see the
+//! `fig4_remap_ablation` bench and `docs/PERFORMANCE.md`).
+
+use qcemu_sim::{FusedCircuit, FusedOp, FusedStructure, Gate};
+
+/// How far ahead the planner scans when batching future remap wants into
+/// the current permutation. Capacity (free local slots) usually saturates
+/// long before this; the cap just bounds planning to O(ops · horizon).
+const LOOKAHEAD_HORIZON: usize = 256;
+
+/// A bijection between logical (program) qubits and physical slots.
+///
+/// Slot `s < n_local` is node-local; slot `s ≥ n_local` is global (bit
+/// `s − n_local` of the rank id). The distributed state starts with the
+/// identity map and permutes it as remaps execute; every rank holds the
+/// same map (remaps are collective).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct QubitMap {
+    /// `slot_of[q]` = physical slot of logical qubit `q`.
+    slot_of: Vec<usize>,
+    /// `qubit_at[s]` = logical qubit living in physical slot `s`.
+    qubit_at: Vec<usize>,
+}
+
+impl QubitMap {
+    /// The identity map on `n` qubits.
+    pub fn identity(n: usize) -> QubitMap {
+        QubitMap {
+            slot_of: (0..n).collect(),
+            qubit_at: (0..n).collect(),
+        }
+    }
+
+    /// Number of qubits.
+    pub fn len(&self) -> usize {
+        self.slot_of.len()
+    }
+
+    /// `true` iff the map is empty (zero qubits).
+    pub fn is_empty(&self) -> bool {
+        self.slot_of.is_empty()
+    }
+
+    /// Physical slot of logical qubit `q`.
+    #[inline]
+    pub fn slot(&self, q: usize) -> usize {
+        self.slot_of[q]
+    }
+
+    /// Logical qubit living in physical slot `s`.
+    #[inline]
+    pub fn qubit_at(&self, s: usize) -> usize {
+        self.qubit_at[s]
+    }
+
+    /// `true` iff every logical qubit sits in its own slot.
+    pub fn is_identity(&self) -> bool {
+        self.slot_of.iter().enumerate().all(|(q, &s)| q == s)
+    }
+
+    /// Swaps the logical qubits living in slots `a` and `b`.
+    pub fn swap_slots(&mut self, a: usize, b: usize) {
+        let (qa, qb) = (self.qubit_at[a], self.qubit_at[b]);
+        self.qubit_at.swap(a, b);
+        self.slot_of[qa] = b;
+        self.slot_of[qb] = a;
+    }
+
+    /// Translates a physical basis index to the logical basis index it
+    /// stores the amplitude of: bit `q` of the result is bit `slot_of[q]`
+    /// of `phys`. Used by `gather` to undo the remap permutation.
+    pub fn logical_index(&self, phys: usize) -> usize {
+        self.slot_of
+            .iter()
+            .enumerate()
+            .fold(0usize, |acc, (q, &s)| acc | (((phys >> s) & 1) << q))
+    }
+
+    /// Inverse of [`QubitMap::logical_index`]: where the amplitude of
+    /// logical basis state `logical` physically lives.
+    pub fn physical_index(&self, logical: usize) -> usize {
+        self.slot_of
+            .iter()
+            .enumerate()
+            .fold(0usize, |acc, (q, &s)| acc | (((logical >> q) & 1) << s))
+    }
+}
+
+/// One step of a planned distributed execution.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum PlanStep {
+    /// Swap each `(local_slot, global_slot)` pair — executed as one
+    /// batched all-to-all permutation ([`crate::Comm::exchange_all`]).
+    Remap(Vec<(usize, usize)>),
+    /// Execute op `ops()[i]` of the planned [`FusedCircuit`].
+    Op(usize),
+}
+
+/// A communication-avoiding schedule for one [`FusedCircuit`] on a given
+/// slice geometry. Produced once (deterministically — every rank computes
+/// the identical plan) and executed by
+/// [`DistributedState::run`](crate::DistributedState::run).
+#[derive(Clone, Debug)]
+pub struct DistPlan {
+    n_qubits: usize,
+    n_local: usize,
+    n_ops: usize,
+    steps: Vec<PlanStep>,
+    initial_map: QubitMap,
+    final_map: QubitMap,
+}
+
+/// The logical qubits `op` must have in local slots to execute without
+/// communication, given the current `map`. Diagonal action — single
+/// diagonal gates, fused diagonal blocks, and *controls* of any gate — is
+/// free on global qubits and contributes nothing.
+fn locality_wants(op: &FusedOp, map: &QubitMap, n_local: usize) -> Vec<usize> {
+    locality_relevant(op)
+        .into_iter()
+        .filter(|&q| map.slot(q) >= n_local)
+        .collect()
+}
+
+/// The logical qubits whose placement matters for `op` regardless of the
+/// current map: the set `locality_wants` filters by slot, and the set the
+/// Bélády eviction treats as a "use".
+fn locality_relevant(op: &FusedOp) -> Vec<usize> {
+    match op {
+        FusedOp::Gate(g) => match g {
+            Gate::Unary { op, target, .. } => {
+                if op.is_diagonal() {
+                    Vec::new()
+                } else {
+                    vec![*target]
+                }
+            }
+            // An *uncontrolled* SWAP is a pure qubit relabel: the planned
+            // executor absorbs it into the map for free, wherever the two
+            // qubits live (see `relabel_swap`). Controlled SWAPs change
+            // amplitudes conditionally and need their qubits local.
+            Gate::Swap { a, b, controls } => {
+                if controls.is_empty() {
+                    Vec::new()
+                } else {
+                    vec![*a, *b]
+                }
+            }
+        },
+        FusedOp::Block(b) => {
+            if b.structure() == FusedStructure::Diagonal {
+                Vec::new()
+            } else {
+                b.qubits().to_vec()
+            }
+        }
+    }
+}
+
+/// If `op` is an uncontrolled SWAP, the logical qubit pair it relabels.
+/// Both the planner and the executor apply this as a free
+/// [`QubitMap::swap_slots`] update — zero bytes, zero sweeps — which is
+/// why the QFT's final SWAP network costs nothing on the planned path.
+pub(crate) fn relabel_swap(op: &FusedOp) -> Option<(usize, usize)> {
+    match op {
+        FusedOp::Gate(Gate::Swap { a, b, controls }) if controls.is_empty() => Some((*a, *b)),
+        _ => None,
+    }
+}
+
+/// All logical qubits `op` touches (controls included) — these may not be
+/// evicted by a remap scheduled immediately before `op`.
+fn op_qubits(op: &FusedOp) -> Vec<usize> {
+    match op {
+        FusedOp::Gate(g) => g.qubits(),
+        FusedOp::Block(b) => b.qubits().to_vec(),
+    }
+}
+
+impl DistPlan {
+    /// Plans `fused` for slices of `n_local` local qubits out of
+    /// `n_qubits` total, starting from the identity map. With
+    /// `n_local == n_qubits` (P = 1) the plan is a straight pass-through
+    /// with zero remaps.
+    pub fn new(fused: &FusedCircuit, n_qubits: usize, n_local: usize) -> DistPlan {
+        DistPlan::from_map(fused, n_qubits, n_local, QubitMap::identity(n_qubits))
+    }
+
+    /// Plans `fused` starting from an arbitrary qubit map — required when
+    /// the executing [`DistributedState`](crate::DistributedState) has
+    /// already been remapped by a previous run: planning from the
+    /// identity would mistake evicted qubits for local ones.
+    pub fn from_map(
+        fused: &FusedCircuit,
+        n_qubits: usize,
+        n_local: usize,
+        start: QubitMap,
+    ) -> DistPlan {
+        assert!(n_local <= n_qubits);
+        assert_eq!(start.len(), n_qubits, "map size must match qubit count");
+        let ops = fused.ops();
+
+        // Occurrence lists: for each logical qubit, the (ascending) op
+        // indices where locality matters — the planner's reuse-distance
+        // oracle for both lookahead batching and victim selection.
+        let mut uses: Vec<Vec<usize>> = vec![Vec::new(); n_qubits];
+        for (i, op) in ops.iter().enumerate() {
+            for q in locality_relevant(op) {
+                uses[q].push(i);
+            }
+        }
+        // `cursor[q]` indexes the first entry of `uses[q]` not yet passed.
+        let mut cursor: Vec<usize> = vec![0; n_qubits];
+        let next_use = |q: usize, cursor: &[usize], from: usize| -> usize {
+            uses[q][cursor[q]..]
+                .iter()
+                .copied()
+                .find(|&i| i >= from)
+                .unwrap_or(usize::MAX)
+        };
+
+        let initial_map = start.clone();
+        let mut map = start;
+        let mut steps = Vec::with_capacity(ops.len());
+
+        for (i, op) in ops.iter().enumerate() {
+            // Advance the reuse cursors past op i − 1.
+            for q in op_qubits(op) {
+                while cursor[q] < uses[q].len() && uses[q][cursor[q]] < i {
+                    cursor[q] += 1;
+                }
+            }
+
+            // Uncontrolled SWAPs relabel the map for free — mirror what
+            // the executor will do and move on.
+            if let Some((a, b)) = relabel_swap(op) {
+                map.swap_slots(map.slot(a), map.slot(b));
+                steps.push(PlanStep::Op(i));
+                continue;
+            }
+
+            let need = locality_wants(op, &map, n_local);
+            if !need.is_empty() {
+                // Pinned: every qubit of this op — the ones already local
+                // must stay local, the ones being brought in are in
+                // `wanted` anyway.
+                let pinned: Vec<usize> = op_qubits(op);
+                let is_pinned = |q: usize| pinned.contains(&q);
+
+                // Candidate victims: local slots whose tenant is not
+                // pinned, furthest next locality-relevant use first.
+                let mut victims: Vec<(usize, usize)> = (0..n_local)
+                    .filter(|&s| !is_pinned(map.qubit_at(s)))
+                    .map(|s| (next_use(map.qubit_at(s), &cursor, i + 1), s))
+                    .collect();
+                victims.sort_by(|a, b| b.cmp(a)); // furthest use first
+
+                // Batch: the op's own needs, then lookahead wants, capped
+                // by victim capacity.
+                let mut wanted = need;
+                'scan: for future in ops.iter().skip(i + 1).take(LOOKAHEAD_HORIZON) {
+                    if wanted.len() >= victims.len() {
+                        break 'scan;
+                    }
+                    for q in locality_wants(future, &map, n_local) {
+                        if !wanted.contains(&q) {
+                            wanted.push(q);
+                            if wanted.len() >= victims.len() {
+                                break 'scan;
+                            }
+                        }
+                    }
+                }
+                wanted.truncate(victims.len());
+
+                // A lookahead want must never evict a slot the batch
+                // itself needs — victims exclude pinned qubits, and
+                // `wanted` qubits are global, so no conflict is possible.
+                let pairs: Vec<(usize, usize)> = wanted
+                    .iter()
+                    .zip(victims.iter())
+                    .map(|(&q, &(_, slot))| (slot, map.slot(q)))
+                    .collect();
+                if !pairs.is_empty() {
+                    for &(l, g) in &pairs {
+                        map.swap_slots(l, g);
+                    }
+                    steps.push(PlanStep::Remap(pairs));
+                }
+                // If capacity ran out (tiny n_local), the op simply stays
+                // (partially) global: the executor's exchange fallback
+                // handles single gates, and blocks are rejected there
+                // with a clear message.
+            }
+            steps.push(PlanStep::Op(i));
+        }
+
+        DistPlan {
+            n_qubits,
+            n_local,
+            n_ops: ops.len(),
+            steps,
+            initial_map,
+            final_map: map,
+        }
+    }
+
+    /// The qubit map this plan assumes at step 0 (checked at execution).
+    pub fn initial_map(&self) -> &QubitMap {
+        &self.initial_map
+    }
+
+    /// The planned steps in execution order.
+    pub fn steps(&self) -> &[PlanStep] {
+        &self.steps
+    }
+
+    /// Number of ops in the circuit this plan was built for (sanity-checked
+    /// at execution time).
+    pub fn op_count(&self) -> usize {
+        self.n_ops
+    }
+
+    /// Total qubits / local qubits of the slice geometry planned for.
+    pub fn geometry(&self) -> (usize, usize) {
+        (self.n_qubits, self.n_local)
+    }
+
+    /// Number of remap steps scheduled.
+    pub fn remap_count(&self) -> usize {
+        self.steps
+            .iter()
+            .filter(|s| matches!(s, PlanStep::Remap(_)))
+            .count()
+    }
+
+    /// Total slot pairs swapped across all remaps.
+    pub fn remapped_pairs(&self) -> usize {
+        self.steps
+            .iter()
+            .map(|s| match s {
+                PlanStep::Remap(pairs) => pairs.len(),
+                PlanStep::Op(_) => 0,
+            })
+            .sum()
+    }
+
+    /// The qubit map after the full plan has executed (what `gather` must
+    /// undo).
+    pub fn final_map(&self) -> &QubitMap {
+        &self.final_map
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qcemu_sim::circuits::qft_circuit;
+    use qcemu_sim::{Circuit, FusionPolicy};
+
+    #[test]
+    fn qubit_map_swap_and_index_translation() {
+        let mut m = QubitMap::identity(4);
+        assert!(m.is_identity());
+        m.swap_slots(1, 3);
+        assert_eq!(m.slot(1), 3);
+        assert_eq!(m.slot(3), 1);
+        assert_eq!(m.qubit_at(3), 1);
+        assert!(!m.is_identity());
+        // Logical bit 1 now lives in slot 3 (and bit 3 in slot 1).
+        assert_eq!(m.physical_index(0b0010), 0b1000);
+        assert_eq!(m.physical_index(0b1000), 0b0010);
+        for x in 0..16 {
+            assert_eq!(m.logical_index(m.physical_index(x)), x);
+        }
+        m.swap_slots(1, 3);
+        assert!(m.is_identity());
+    }
+
+    #[test]
+    fn all_local_circuits_plan_zero_remaps() {
+        let mut c = Circuit::new(6);
+        c.h(0).cnot(0, 1).rz(2, 0.3);
+        let fused = c.fuse(&FusionPolicy::Disabled);
+        let plan = DistPlan::new(&fused, 6, 3);
+        assert_eq!(plan.remap_count(), 0);
+        assert_eq!(plan.steps().len(), fused.ops().len());
+        assert!(plan.final_map().is_identity());
+    }
+
+    #[test]
+    fn uncontrolled_swaps_relabel_instead_of_remapping() {
+        // A SWAP between a local and a *global* qubit plans zero remaps:
+        // it becomes a map relabel, leaving a non-identity final map.
+        let mut c = Circuit::new(6);
+        c.swap(0, 5);
+        let fused = c.fuse(&FusionPolicy::Disabled);
+        let plan = DistPlan::new(&fused, 6, 3);
+        assert_eq!(plan.remap_count(), 0);
+        assert!(!plan.final_map().is_identity());
+        assert_eq!(plan.final_map().slot(0), 5);
+        assert_eq!(plan.final_map().slot(5), 0);
+        // A *controlled* SWAP still wants locality.
+        let mut c = Circuit::new(6);
+        c.push(Gate::Swap {
+            a: 0,
+            b: 5,
+            controls: vec![1],
+        });
+        let fused = c.fuse(&FusionPolicy::Disabled);
+        let plan = DistPlan::new(&fused, 6, 3);
+        assert_eq!(plan.remap_count(), 1);
+    }
+
+    #[test]
+    fn diagonal_gates_on_global_qubits_need_no_remap() {
+        let mut c = Circuit::new(6);
+        c.rz(5, 0.3).cphase(4, 5, 0.7).z(4).cphase(0, 5, 0.2);
+        let fused = c.fuse(&FusionPolicy::Disabled);
+        let plan = DistPlan::new(&fused, 6, 4);
+        assert_eq!(plan.remap_count(), 0);
+    }
+
+    #[test]
+    fn global_hadamards_batch_into_one_remap() {
+        // H on both global qubits: lookahead batches them into a single
+        // 2-pair permutation instead of two separate remaps.
+        let mut c = Circuit::new(6);
+        c.h(4).h(5);
+        let fused = c.fuse(&FusionPolicy::Disabled);
+        let plan = DistPlan::new(&fused, 6, 4);
+        assert_eq!(plan.remap_count(), 1);
+        assert_eq!(plan.remapped_pairs(), 2);
+    }
+
+    #[test]
+    fn qft_plans_far_fewer_remaps_than_global_exchanges() {
+        // Per-gate execution of QFT(10) on P = 8 exchanges for each of the
+        // 3 global Hadamards and each global-SWAP CNOT; the plan needs
+        // only a handful of remaps.
+        let n = 10;
+        let fused = qft_circuit(n).fuse(&FusionPolicy::Disabled);
+        let plan = DistPlan::new(&fused, n, 7);
+        assert!(plan.remap_count() >= 1);
+        assert!(
+            plan.remap_count() <= 4,
+            "QFT(10)/P=8 should need ≤ 4 remaps, planned {}",
+            plan.remap_count()
+        );
+    }
+
+    #[test]
+    fn plan_is_passthrough_on_single_rank() {
+        let fused = qft_circuit(6).fuse(&FusionPolicy::greedy());
+        let plan = DistPlan::new(&fused, 6, 6);
+        assert_eq!(plan.remap_count(), 0);
+        // Standalone SWAPs may relabel the map, but nothing ships.
+        assert!(plan.initial_map().is_identity());
+    }
+}

@@ -1,0 +1,120 @@
+//! Property tests: distributed execution must match single-node
+//! `StateVector::run` amplitude-for-amplitude, across every execution
+//! mode — per-gate exchange under both [`CommPolicy`] variants, the
+//! communication-avoiding remap path, and remap + fusion — at P ∈
+//! {1, 2, 4, 8}.
+
+use proptest::prelude::*;
+use qcemu_cluster::{run, CommPolicy, DistributedState, MachineModel};
+use qcemu_linalg::random_state;
+use qcemu_sim::{Circuit, FusionPolicy, Gate, SimConfig, StateVector};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const N: usize = 6;
+
+/// Strategy: a random circuit on `n` qubits from the full gate zoo —
+/// diagonal, permutation, general, controlled, and SWAP gates, so every
+/// distributed code path (diagonal shortcut, slice swap, subset-send
+/// exchange, remap, fused blocks) gets exercised.
+fn random_circuit(n: usize, max_gates: usize) -> impl Strategy<Value = Circuit> {
+    let gate =
+        (0..8usize, 0..n, 0..n, 0..n, -3.0f64..3.0).prop_map(move |(kind, q1, q2, q3, theta)| {
+            let distinct2 = |a: usize, b: usize| if a == b { (a, (b + 1) % n) } else { (a, b) };
+            let (a, b) = distinct2(q1, q2);
+            match kind {
+                0 => Gate::h(a),
+                1 => Gate::x(a),
+                2 => Gate::rz(a, theta),
+                3 => Gate::phase(a, theta),
+                4 => Gate::cnot(a, b),
+                5 => Gate::cphase(a, b, theta),
+                6 => Gate::swap(a, b),
+                _ => {
+                    let c = if q3 == a || q3 == b { (b + 1) % n } else { q3 };
+                    if c != a && c != b {
+                        Gate::toffoli(a, c, b)
+                    } else {
+                        Gate::ry(a, theta)
+                    }
+                }
+            }
+        });
+    proptest::collection::vec(gate, 1..max_gates).prop_map(move |gates| {
+        let mut c = Circuit::new(n);
+        for g in gates {
+            c.push(g);
+        }
+        c
+    })
+}
+
+/// Single-node reference through the same entry point the ISSUE names.
+fn reference(circuit: &Circuit, input: &StateVector) -> StateVector {
+    let mut sv = input.clone();
+    sv.run(circuit, &SimConfig::unfused());
+    sv
+}
+
+fn check_mode<F>(circuit: &Circuit, input: &StateVector, p: usize, label: &str, exec: F)
+where
+    F: Fn(&mut DistributedState, &mut qcemu_cluster::Comm) + Sync,
+{
+    let expect = reference(circuit, input);
+    let results = run(p, MachineModel::stampede(), |comm| {
+        let mut ds = DistributedState::from_full(input, comm);
+        exec(&mut ds, comm);
+        ds.gather(comm)
+    });
+    let gathered = results[0].0.as_ref().expect("rank 0 gathers");
+    let diff = gathered.max_diff_up_to_phase(&expect);
+    assert!(
+        diff < 1e-12,
+        "{label} (P = {p}) diverged from single-node run: {diff}"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    #[test]
+    fn per_gate_execution_matches_single_node(circuit in random_circuit(N, 25), seed in 0u64..1000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let input = StateVector::from_amplitudes(random_state(1 << N, &mut rng));
+        for p in [1usize, 2, 4, 8] {
+            for policy in [CommPolicy::Specialized, CommPolicy::Generic] {
+                check_mode(&circuit, &input, p, "per-gate", |ds, comm| {
+                    ds.apply_circuit(&circuit, comm, policy);
+                });
+            }
+        }
+    }
+
+    #[test]
+    fn remap_execution_matches_single_node(circuit in random_circuit(N, 25), seed in 0u64..1000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let input = StateVector::from_amplitudes(random_state(1 << N, &mut rng));
+        for p in [1usize, 2, 4, 8] {
+            check_mode(&circuit, &input, p, "remap", |ds, comm| {
+                ds.run_circuit(&circuit, &FusionPolicy::Disabled, comm);
+            });
+        }
+    }
+
+    #[test]
+    fn remap_with_fusion_matches_single_node(circuit in random_circuit(N, 25), seed in 0u64..1000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let input = StateVector::from_amplitudes(random_state(1 << N, &mut rng));
+        for p in [1usize, 2, 4, 8] {
+            for k in [2usize, 4] {
+                check_mode(&circuit, &input, p, "remap+fusion", |ds, comm| {
+                    ds.run_circuit(
+                        &circuit,
+                        &FusionPolicy::Greedy { max_fused_qubits: k },
+                        comm,
+                    );
+                });
+            }
+        }
+    }
+}

@@ -55,6 +55,19 @@ impl Circuit {
         self.gates.extend(other.gates.iter().cloned());
     }
 
+    /// Fuses this circuit under `policy` with the greedy window clamped to
+    /// `max_block_qubits` — the entry point for executors whose blocks
+    /// must fit inside a sub-register, e.g. the distributed simulator,
+    /// where a non-diagonal block can only execute communication-free if
+    /// all of its qubits fit among the `n_local` node-local slots.
+    pub fn fuse_within(
+        &self,
+        policy: &crate::fusion::FusionPolicy,
+        max_block_qubits: usize,
+    ) -> crate::fusion::FusedCircuit {
+        crate::fusion::fuse_circuit(self, &policy.clamped(max_block_qubits))
+    }
+
     // --- fluent builder helpers -----------------------------------------
 
     /// Hadamard on `q`.

@@ -74,6 +74,17 @@ impl FusionPolicy {
             max_fused_qubits: DEFAULT_MAX_FUSED_QUBITS,
         }
     }
+
+    /// This policy with any greedy window clamped to `max_block_qubits`
+    /// (floored at 1); `Disabled` stays `Disabled`.
+    pub fn clamped(self, max_block_qubits: usize) -> FusionPolicy {
+        match self {
+            FusionPolicy::Disabled => FusionPolicy::Disabled,
+            FusionPolicy::Greedy { max_fused_qubits } => FusionPolicy::Greedy {
+                max_fused_qubits: max_fused_qubits.min(max_block_qubits).max(1),
+            },
+        }
+    }
 }
 
 /// State-vector execution configuration, threaded through
@@ -228,6 +239,68 @@ impl FusedGate {
             }
             BlockKind::General => apply_fused_local(state, &self.qubits, &self.local_ops),
             BlockKind::Dense => apply_fused(state, &self.qubits, &self.matrix),
+        }
+    }
+
+    /// Applies the block to **one gathered group buffer** of `2^k`
+    /// amplitudes, where local bit `j` of the buffer index is block qubit
+    /// `qubits[j]`. This is the block's action with the state-sweep
+    /// factored out: callers that own their own gather/scatter loop — the
+    /// distributed executor applying blocks to node-local slices at
+    /// remapped (possibly non-ascending) physical positions — drive this
+    /// per group instead of [`FusedGate::apply_slice`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `buf.len() != 2^k`.
+    pub fn apply_buffer(&self, buf: &mut [C64]) {
+        let dim = 1usize << self.qubits.len();
+        assert_eq!(buf.len(), dim, "group buffer must hold 2^k amplitudes");
+        match &self.kind {
+            BlockKind::Diagonal { factors } => {
+                for (z, &f) in buf.iter_mut().zip(factors.iter()) {
+                    *z *= f;
+                }
+            }
+            BlockKind::Permutation { target, factor } => {
+                // Stack scratch: callers invoke this once per amplitude
+                // group, so a heap Vec here would allocate in the hot
+                // loop (dim ≤ 2^MAX_FUSED_QUBITS is guaranteed above).
+                let mut old = [C64::ZERO; 1 << MAX_FUSED_QUBITS];
+                old[..dim].copy_from_slice(buf);
+                for (v, (&t, &f)) in target.iter().zip(factor.iter()).enumerate() {
+                    buf[t] = f * old[v];
+                }
+            }
+            BlockKind::General => {
+                for op in &self.local_ops {
+                    op.apply(buf);
+                }
+            }
+            BlockKind::Dense => {
+                let mut out = [C64::ZERO; 1 << MAX_FUSED_QUBITS];
+                for (r, slot) in out[..dim].iter_mut().enumerate() {
+                    let row = self.matrix.row(r);
+                    let mut acc = C64::ZERO;
+                    for (v, &e) in row.iter().enumerate() {
+                        acc += e * buf[v];
+                    }
+                    *slot = acc;
+                }
+                buf.copy_from_slice(&out[..dim]);
+            }
+        }
+    }
+
+    /// The block's `2^k` diagonal factors, if it classified as diagonal.
+    /// Diagonal blocks commute with the basis, which is what lets the
+    /// distributed executor apply them on *global* qubits with zero
+    /// communication: each rank indexes the factors with its own fixed
+    /// global bits.
+    pub fn diagonal_factors(&self) -> Option<&[C64]> {
+        match &self.kind {
+            BlockKind::Diagonal { factors } => Some(factors),
+            _ => None,
         }
     }
 
@@ -425,11 +498,27 @@ impl FusionCensus {
 /// per-gate structural kernels, so fusion never loses the paper's §4.5
 /// fast paths.
 pub fn fuse_circuit(circuit: &Circuit, policy: &FusionPolicy) -> FusedCircuit {
+    fuse_circuit_with_barriers(circuit, policy, |_| false)
+}
+
+/// Fuses like [`fuse_circuit`], but gates matching `barrier` are never
+/// absorbed into blocks — they flush any pending run and stay standalone
+/// [`FusedOp::Gate`]s. The distributed executor uses this to keep
+/// uncontrolled SWAPs out of blocks: standalone, they execute as free
+/// qubit-map relabels, while inside a block they would force the block's
+/// qubits local (communication the relabel avoids entirely).
+pub fn fuse_circuit_with_barriers(
+    circuit: &Circuit,
+    policy: &FusionPolicy,
+    barrier: impl Fn(&Gate) -> bool,
+) -> FusedCircuit {
     let ops = match *policy {
         FusionPolicy::Disabled => circuit.gates().iter().cloned().map(FusedOp::Gate).collect(),
-        FusionPolicy::Greedy { max_fused_qubits } => {
-            greedy_fuse(circuit, max_fused_qubits.clamp(1, MAX_FUSED_QUBITS))
-        }
+        FusionPolicy::Greedy { max_fused_qubits } => greedy_fuse(
+            circuit,
+            max_fused_qubits.clamp(1, MAX_FUSED_QUBITS),
+            &barrier,
+        ),
     };
     FusedCircuit {
         n_qubits: circuit.n_qubits(),
@@ -451,11 +540,16 @@ fn flush(ops: &mut Vec<FusedOp>, pending: &mut Vec<Gate>, pending_qubits: &mut V
     pending_qubits.clear();
 }
 
-fn greedy_fuse(circuit: &Circuit, kmax: usize) -> Vec<FusedOp> {
+fn greedy_fuse(circuit: &Circuit, kmax: usize, barrier: &impl Fn(&Gate) -> bool) -> Vec<FusedOp> {
     let mut ops = Vec::new();
     let mut pending: Vec<Gate> = Vec::new();
     let mut pending_qubits: Vec<usize> = Vec::new(); // ascending
     for gate in circuit.gates() {
+        if barrier(gate) {
+            flush(&mut ops, &mut pending, &mut pending_qubits);
+            ops.push(FusedOp::Gate(gate.clone()));
+            continue;
+        }
         let mut gq = gate.qubits();
         gq.sort_unstable();
         let union = merge_sorted(&pending_qubits, &gq);
@@ -687,6 +781,91 @@ mod tests {
             panic!("expected one block");
         }
         check_fused_equals_unfused(&c, 2, 731);
+    }
+
+    #[test]
+    fn apply_buffer_matches_apply_slice_per_group() {
+        // For a block on qubits 0..k of a 2^k state, one "group" is the
+        // whole state: apply_buffer must reproduce apply_slice for every
+        // structural class (diagonal, permutation, general, dense).
+        let blocks: Vec<Circuit> = vec![
+            {
+                let mut c = Circuit::new(3);
+                c.cphase(0, 1, 0.3).rz(2, 0.4);
+                c.push(Gate::cz(0, 2));
+                c
+            },
+            {
+                let mut c = Circuit::new(3);
+                c.cnot(0, 1).swap(1, 2).x(0);
+                c
+            },
+            {
+                let mut c = Circuit::new(3);
+                c.h(0).cnot(0, 1).rz(2, 0.7);
+                c
+            },
+            {
+                let mut c = Circuit::new(2);
+                for _ in 0..3 {
+                    c.h(0).ry(1, 0.2);
+                }
+                c
+            },
+        ];
+        for (i, c) in blocks.iter().enumerate() {
+            let fused = c.fuse(&FusionPolicy::Greedy {
+                max_fused_qubits: c.n_qubits(),
+            });
+            assert_eq!(fused.ops().len(), 1);
+            let FusedOp::Block(b) = &fused.ops()[0] else {
+                panic!("expected a block");
+            };
+            let mut rng = StdRng::seed_from_u64(760 + i as u64);
+            let input = random_state(1usize << c.n_qubits(), &mut rng);
+            let mut via_buffer = input.clone();
+            b.apply_buffer(&mut via_buffer);
+            let mut via_slice = input;
+            b.apply_slice(&mut via_slice);
+            assert!(
+                max_abs_diff(&via_buffer, &via_slice) < 1e-13,
+                "block {i}: buffer/slice mismatch"
+            );
+        }
+    }
+
+    #[test]
+    fn diagonal_factors_exposed_only_for_diagonal_blocks() {
+        let mut c = Circuit::new(3);
+        c.cphase(0, 1, 0.3).rz(2, 0.4);
+        let fused = c.fuse(&FusionPolicy::Greedy {
+            max_fused_qubits: 3,
+        });
+        let FusedOp::Block(b) = &fused.ops()[0] else {
+            panic!("expected a block");
+        };
+        let factors = b.diagonal_factors().expect("diagonal block");
+        assert_eq!(factors.len(), 8);
+
+        let mut c = Circuit::new(2);
+        c.h(0).cnot(0, 1);
+        let fused = c.fuse(&FusionPolicy::Greedy {
+            max_fused_qubits: 2,
+        });
+        let FusedOp::Block(b) = &fused.ops()[0] else {
+            panic!("expected a block");
+        };
+        assert!(b.diagonal_factors().is_none());
+    }
+
+    #[test]
+    fn fuse_within_clamps_the_window() {
+        let c = qft_circuit(8);
+        let fused = c.fuse_within(&FusionPolicy::greedy(), 2);
+        assert!(fused.census().max_block_qubits <= 2);
+        // Disabled stays disabled.
+        let fused = c.fuse_within(&FusionPolicy::Disabled, 2);
+        assert!(fused.ops().iter().all(|op| matches!(op, FusedOp::Gate(_))));
     }
 
     #[test]

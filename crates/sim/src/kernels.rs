@@ -251,10 +251,13 @@ pub fn apply_swap(state: &mut [C64], qa: usize, qb: usize, controls: &[usize]) {
 // assignment of the free qubits); every kernel below sweeps the groups
 // once, so a block of g gates costs one memory pass instead of g.
 
-/// Scatters the bits of local value `v` onto the (ascending) global bit
-/// `positions`: bit `j` of `v` becomes bit `positions[j]` of the result.
-/// The inverse of [`expand_index`]'s bit removal, and the convention by
-/// which a fused block's local amplitude index maps into the full state.
+/// Scatters the bits of local value `v` onto the global bit `positions`:
+/// bit `j` of `v` becomes bit `positions[j]` of the result. Unlike
+/// [`expand_index`], `positions` need not be ascending — the distributed
+/// executor uses this with remapped (arbitrary-order) physical slots.
+/// With ascending positions it is the inverse of [`expand_index`]'s bit
+/// removal, and the convention by which a fused block's local amplitude
+/// index maps into the full state.
 /// (Same semantics as `qcemu_fft::scatter_bits`, re-exposed here so the
 /// kernel layer's index conventions live next to [`expand_index`].)
 #[inline(always)]

@@ -47,8 +47,8 @@ pub use circuits::{
 pub use decompose::{decompose_circuit, decompose_gate, is_elementary, mat2_sqrt};
 pub use dense::{apply_dense_to_register, circuit_to_dense};
 pub use fusion::{
-    fuse_circuit, FusedCircuit, FusedGate, FusedOp, FusedStructure, FusionCensus, FusionPolicy,
-    SimConfig, DEFAULT_MAX_FUSED_QUBITS,
+    fuse_circuit, fuse_circuit_with_barriers, FusedCircuit, FusedGate, FusedOp, FusedStructure,
+    FusionCensus, FusionPolicy, SimConfig, DEFAULT_MAX_FUSED_QUBITS,
 };
 pub use gate::{Gate, GateOp, GateStructure, Mat2};
 pub use kernels::{

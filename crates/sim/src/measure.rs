@@ -10,37 +10,63 @@
 use crate::statevector::StateVector;
 use rand::Rng;
 
-/// Samples a basis state index from `|α_i|²` **without** collapsing.
+/// Samples a basis state index from `|α_i|² / ‖ψ‖²` **without** collapsing.
+///
+/// The draw is scaled by the summed `norm_sqr`, so a slightly (or grossly)
+/// unnormalized state still samples from the exact relative distribution —
+/// previously `r ∈ [0, 1)` was compared against an unscaled running sum,
+/// biasing samples toward the `amps.len() - 1` fallback whenever
+/// `‖ψ‖² < 1`. On any state with at least one non-zero amplitude, a
+/// zero-amplitude basis state is never returned: the strict `r < acc`
+/// test cannot fire on an entry that adds nothing to `acc`, and the
+/// numerical-slack fallback lands on the last *non-zero* entry. (A null
+/// state — all amplitudes zero — is not a quantum state; both samplers
+/// then fall back to `amps.len() − 1`.)
 pub fn sample_once(sv: &StateVector, rng: &mut impl Rng) -> usize {
-    let r: f64 = rng.gen();
-    let mut acc = 0.0;
     let amps = sv.amplitudes();
+    let total: f64 = amps.iter().map(|a| a.norm_sqr()).sum();
+    let r: f64 = rng.gen::<f64>() * total;
+    let mut acc = 0.0;
+    let mut last_nonzero = amps.len() - 1;
     for (i, a) in amps.iter().enumerate() {
-        acc += a.norm_sqr();
+        let p = a.norm_sqr();
+        if p > 0.0 {
+            last_nonzero = i;
+        }
+        acc += p;
         if r < acc {
             return i;
         }
     }
-    amps.len() - 1 // numerical slack: r ≈ 1
+    last_nonzero // numerical slack: r ≈ ‖ψ‖²
 }
 
 /// Draws `shots` independent samples (the quantum computer's workflow).
 /// Uses a cumulative table + binary search: O(2ⁿ + shots·n).
+///
+/// The lookup uses "first index with `cdf > r`" (partition-point)
+/// semantics: duplicate CDF entries — the plateau a zero-probability basis
+/// state produces — can never be selected, even on an exact hit `r ==
+/// cdf[i]`, where a plain `binary_search` may return an arbitrary index
+/// inside the plateau. The null-state caveat of [`sample_once`] applies.
 pub fn sample_shots(sv: &StateVector, shots: usize, rng: &mut impl Rng) -> Vec<usize> {
     let amps = sv.amplitudes();
     let mut cdf = Vec::with_capacity(amps.len());
     let mut acc = 0.0;
-    for a in amps {
-        acc += a.norm_sqr();
+    let mut last_nonzero = amps.len() - 1;
+    for (i, a) in amps.iter().enumerate() {
+        let p = a.norm_sqr();
+        if p > 0.0 {
+            last_nonzero = i;
+        }
+        acc += p;
         cdf.push(acc);
     }
-    let total = acc.max(f64::MIN_POSITIVE);
+    let total = acc;
     (0..shots)
         .map(|_| {
             let r: f64 = rng.gen::<f64>() * total;
-            match cdf.binary_search_by(|p| p.partial_cmp(&r).unwrap()) {
-                Ok(i) | Err(i) => i.min(amps.len() - 1),
-            }
+            cdf.partition_point(|&p| p <= r).min(last_nonzero)
         })
         .collect()
 }
@@ -82,12 +108,17 @@ pub fn prob_qubit_one(sv: &StateVector, q: usize) -> f64 {
 }
 
 /// Projective measurement of one qubit: samples 0/1, collapses, renormalises.
+///
+/// Like [`sample_once`], the draw is scaled by the total `‖ψ‖²`, so the
+/// outcome odds are exact on unnormalized states (and the collapsed state
+/// comes out normalised either way).
 pub fn measure_qubit(sv: &mut StateVector, q: usize, rng: &mut impl Rng) -> bool {
     let p1 = prob_qubit_one(sv, q);
-    let outcome = rng.gen::<f64>() < p1;
+    let total: f64 = sv.amplitudes().iter().map(|a| a.norm_sqr()).sum();
+    let outcome = rng.gen::<f64>() * total < p1;
     let keep_bit = if outcome { 1usize } else { 0usize };
     let bit = 1usize << q;
-    let renorm = 1.0 / if outcome { p1 } else { 1.0 - p1 }.sqrt();
+    let renorm = 1.0 / if outcome { p1 } else { total - p1 }.sqrt();
     for (i, a) in sv.amplitudes_mut().iter_mut().enumerate() {
         if ((i & bit != 0) as usize) == keep_bit {
             *a = a.scale(renorm);
@@ -166,6 +197,98 @@ mod tests {
                 "index {i} frequency {freq} too far from 1/8"
             );
         }
+    }
+
+    #[test]
+    fn samplers_are_exact_on_unnormalized_states() {
+        use qcemu_linalg::{c64, C64};
+        // 0.5·(0.6|01⟩ + 0.8|11⟩): ‖ψ‖² = 0.25, exact relative distribution
+        // P(1) = 0.36, P(3) = 0.64. Before the total-norm fix, sample_once
+        // drew r ∈ [0, 1) against the unscaled running sum and fell through
+        // to the `amps.len() - 1` fallback ~75% of the time.
+        let sv =
+            StateVector::from_amplitudes(vec![C64::ZERO, c64(0.3, 0.0), C64::ZERO, c64(0.0, 0.4)]);
+        let shots = 20_000;
+        let mut rng = StdRng::seed_from_u64(96);
+        let mut hist_once = [0usize; 4];
+        for _ in 0..shots {
+            hist_once[sample_once(&sv, &mut rng)] += 1;
+        }
+        let mut hist_shots = [0usize; 4];
+        for s in sample_shots(&sv, shots, &mut rng) {
+            hist_shots[s] += 1;
+        }
+        for hist in [hist_once, hist_shots] {
+            assert_eq!(hist[0], 0, "zero-amplitude state sampled");
+            assert_eq!(hist[2], 0, "zero-amplitude state sampled");
+            let f1 = hist[1] as f64 / shots as f64;
+            let f3 = hist[3] as f64 / shots as f64;
+            assert!((f1 - 0.36).abs() < 0.02, "P(1) ≈ 0.36, got {f1}");
+            assert!((f3 - 0.64).abs() < 0.02, "P(3) ≈ 0.64, got {f3}");
+        }
+    }
+
+    #[test]
+    fn zero_probability_plateaus_are_never_sampled() {
+        use qcemu_linalg::{c64, C64};
+        // Long zero plateaus around sparse support, on an unnormalized
+        // state: every sample must land on the support, never inside a
+        // duplicate-CDF plateau (the exact-hit failure mode of plain
+        // binary_search) and never on the trailing zeros via the fallback.
+        let mut amps = vec![C64::ZERO; 32];
+        amps[5] = c64(1.5, 0.0);
+        amps[17] = c64(0.0, -2.0);
+        let sv = StateVector::from_amplitudes(amps);
+        let mut rng = StdRng::seed_from_u64(97);
+        for s in sample_shots(&sv, 5_000, &mut rng) {
+            assert!(s == 5 || s == 17, "sampled zero-probability state {s}");
+        }
+        for _ in 0..2_000 {
+            let s = sample_once(&sv, &mut rng);
+            assert!(s == 5 || s == 17, "sampled zero-probability state {s}");
+        }
+    }
+
+    #[test]
+    fn measure_all_inherits_total_norm_scaling() {
+        use qcemu_linalg::{c64, C64};
+        // measure_all samples via sample_once: on an unnormalized state it
+        // must still collapse onto support states with the right odds.
+        let mut rng = StdRng::seed_from_u64(98);
+        let mut ones = 0usize;
+        let trials = 4_000;
+        for _ in 0..trials {
+            let mut sv = StateVector::from_amplitudes(vec![
+                c64(0.2, 0.0),
+                c64(0.0, 0.1),
+                C64::ZERO,
+                C64::ZERO,
+            ]);
+            let outcome = measure_all(&mut sv, &mut rng);
+            assert!(outcome < 2, "collapsed onto zero-probability state");
+            ones += outcome;
+        }
+        // P(1) = 0.01/0.05 = 0.2.
+        let f = ones as f64 / trials as f64;
+        assert!((f - 0.2).abs() < 0.03, "P(1) ≈ 0.2, got {f}");
+    }
+
+    #[test]
+    fn measure_qubit_is_exact_on_unnormalized_states() {
+        use qcemu_linalg::c64;
+        // 0.5·(0.6|0⟩ + 0.8|1⟩): P(1) must be 0.64, not the unscaled 0.16.
+        let mut rng = StdRng::seed_from_u64(99);
+        let trials = 4_000;
+        let mut ones = 0usize;
+        for _ in 0..trials {
+            let mut sv = StateVector::from_amplitudes(vec![c64(0.3, 0.0), c64(0.0, 0.4)]);
+            if measure_qubit(&mut sv, 0, &mut rng) {
+                ones += 1;
+            }
+            assert!((sv.norm() - 1.0).abs() < 1e-12, "collapse must renormalise");
+        }
+        let f = ones as f64 / trials as f64;
+        assert!((f - 0.64).abs() < 0.03, "P(1) ≈ 0.64, got {f}");
     }
 
     #[test]

@@ -96,6 +96,53 @@ fn specialized_policy_sends_strictly_less_on_phase_heavy_circuits() {
 }
 
 #[test]
+fn remapped_execution_matches_serial_and_sends_fewer_bytes() {
+    // The communication-avoiding path on a mixed workload (TFIM + GHZ +
+    // QFT): planned remap + fusion must agree with single-node execution
+    // and undercut the per-gate exchange baseline on bytes sent.
+    let n = 8;
+    let mut big = qcemu_sim::Circuit::new(n);
+    big.extend(&tfim_trotter_step(n, TfimParams::default()));
+    big.extend(&entangle_circuit(n));
+    big.extend(&qft_circuit(n));
+
+    let mut rng = StdRng::seed_from_u64(3);
+    let input = StateVector::from_amplitudes(random_state(1 << n, &mut rng));
+    let mut expect = input.clone();
+    expect.apply_circuit(&big);
+
+    for p in [2usize, 4, 8] {
+        let circuit = &big;
+        let input_ref = &input;
+        let run_mode = |remap: bool| {
+            let results = run(p, MachineModel::stampede(), move |comm| {
+                let mut ds = DistributedState::from_full(input_ref, comm);
+                if remap {
+                    ds.run_circuit(circuit, &qcemu_sim::FusionPolicy::greedy(), comm);
+                } else {
+                    ds.apply_circuit(circuit, comm, CommPolicy::Specialized);
+                }
+                (ds.gather(comm), comm.bytes_sent())
+            });
+            let state = results[0].0 .0.clone().unwrap();
+            let bytes: u64 = results.iter().map(|r| r.0 .1).sum();
+            (state, bytes)
+        };
+        let (planned, planned_bytes) = run_mode(true);
+        let (per_gate, per_gate_bytes) = run_mode(false);
+        assert!(
+            planned.max_diff_up_to_phase(&expect) < 1e-12,
+            "p = {p}: planned path diverges"
+        );
+        assert!(per_gate.max_diff_up_to_phase(&expect) < 1e-9);
+        assert!(
+            planned_bytes < per_gate_bytes,
+            "p = {p}: remap+fusion must send fewer bytes ({planned_bytes} vs {per_gate_bytes})"
+        );
+    }
+}
+
+#[test]
 fn eq5_eq6_models_reproduce_paper_headline_numbers() {
     let m = MachineModel::stampede();
     // §4.3: single-node speedup estimate 28·20/40 = 14.
