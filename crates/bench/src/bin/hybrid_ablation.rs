@@ -1,0 +1,158 @@
+//! **Hybrid ablation**: fixed-backend execution (emulator, fused
+//! gate-level simulator) versus the cost-model-driven `HybridExecutor`
+//! on a mixed Shor-style workload — modular arithmetic, a raw entangling
+//! gate run, a Grover-style check oracle, an amplitude-encoding rotation,
+//! and the final (inverse) QFT before exact measurement readout.
+//!
+//! Usage: `cargo run -p qcemu-bench --release --bin hybrid_ablation
+//!         [-- --m 6 --reps 3]`
+//!
+//! No paper counterpart: the paper (§3.3, §4.4, Table 2) shows *neither*
+//! backend wins everywhere and publishes per-workload crossovers; this
+//! harness shows the planner turning that observation into per-op
+//! dispatch. Expected shape: the hybrid wall time tracks
+//! min(emulator, fused simulator) within noise — it emulates the
+//! classical map, oracle, rotation and wide QFT (where the simulator
+//! pays 2^ancilla memory and exponential expansions) while fusing the
+//! raw gate run (where the emulator has no shortcut and pays one sweep
+//! per gate). The per-op `PlanReport` (predicted vs measured) is printed
+//! so every dispatch decision can be audited; see docs/PERFORMANCE.md
+//! ("Choosing a backend") for reference numbers.
+
+use qcemu_bench::{fmt_secs, header, time_median, Args};
+use qcemu_core::{
+    stdops, Emulator, Executor, GateLevelSimulator, HybridExecutor, ProgramBuilder, QuantumProgram,
+    RotationOp,
+};
+use qcemu_sim::{Gate, StateVector};
+use std::sync::Arc;
+
+/// Mixed Shor-style program on 3m+1 qubits: counting register `x`,
+/// constant multiplicand `y`, product `z`, rotation target `t`.
+fn workload(m: usize) -> QuantumProgram {
+    let mut pb = ProgramBuilder::new();
+    let x = pb.register("x", m);
+    let y = pb.register("y", m);
+    let z = pb.register("z", m);
+    let t = pb.register("t", 1);
+    // Superposed counting register, constant multiplicand.
+    pb.hadamard_all(x);
+    pb.set_constant(y, 3);
+    // Modular arithmetic: z ← x·y mod 2^m (the §3.1 shortcut's home turf;
+    // the simulator runs the shift-and-add Toffoli network + 1 ancilla).
+    pb.classical(stdops::multiply(x, y, z, m));
+    // A raw entangling pass over the product and target — no shortcut
+    // exists, so every executor pays gate-level cost; fusion decides how
+    // many sweeps.
+    pb.gates(|c| {
+        let n = 3 * m + 1;
+        for round in 0..3 {
+            for q in 0..n - 1 {
+                c.push(Gate::h(q));
+                c.push(Gate::cnot(q, q + 1));
+                c.push(Gate::phase(q + 1, 0.37 + 0.11 * round as f64));
+            }
+        }
+    });
+    // Grover-style check oracle on the product register.
+    pb.phase_oracle(stdops::mark_value(z, 3, std::f64::consts::PI));
+    // Amplitude-encoding rotation driven by the product value (quantum
+    // Monte-Carlo flavour): per-value multi-controlled-Ry expansion on
+    // the gate path, one sweep on the emulation path.
+    pb.rotation(RotationOp {
+        name: "encode".into(),
+        x: z,
+        target: t,
+        angle: Arc::new(move |v| {
+            let denom = (1u64 << m) as f64;
+            2.0 * ((v as f64 / denom).sqrt()).asin()
+        }),
+        gate_impl: None,
+    });
+    // Shor's readout: inverse QFT on the counting register (wide → FFT
+    // territory), then a narrow QFT+undo on y to give the planner a case
+    // where fused gates beat the FFT.
+    pb.inverse_qft(x);
+    pb.qft(y);
+    pb.inverse_qft(y);
+    pb.build().unwrap()
+}
+
+fn main() {
+    let args = Args::parse();
+    let m: usize = args.get("m").unwrap_or(6);
+    let reps: usize = args.get("reps").unwrap_or(3);
+    let program = workload(m);
+    let n = program.n_qubits();
+
+    header(
+        "Hybrid ablation — fixed backends vs cost-model per-op dispatch",
+        "mixed Shor-style workload: modular multiply + gate run + oracle + rotation + QFTs",
+    );
+    println!(
+        "m = {m} ({n} qubits, {} ops; simulator pays +{} ancilla qubit(s))\n",
+        program.ops().len(),
+        program.max_gate_ancillas()
+    );
+
+    let initial = StateVector::zero_state(n);
+    let emulator = Emulator::new();
+    let fused_sim = GateLevelSimulator::fused();
+    let hybrid = HybridExecutor::new();
+
+    // Correctness first: all three must produce the same state, and the
+    // exact §3.4 measurement readout over x must agree.
+    let ref_state = emulator.run(&program, initial.clone()).unwrap();
+    let sim_state = fused_sim.run(&program, initial.clone()).unwrap();
+    let (hyb_state, report) = hybrid.run_with_report(&program, initial.clone()).unwrap();
+    let x_bits: Vec<usize> = (0..m).collect();
+    let ref_dist = ref_state.register_distribution(&x_bits);
+    for (name, state) in [("fused sim", &sim_state), ("hybrid", &hyb_state)] {
+        let diff = ref_state.max_diff_up_to_phase(state);
+        assert!(diff < 1e-9, "{name} deviates by {diff:.3e}");
+        let dist = state.register_distribution(&x_bits);
+        let tv: f64 = ref_dist
+            .iter()
+            .zip(&dist)
+            .map(|(a, b)| (a - b).abs())
+            .sum::<f64>()
+            / 2.0;
+        assert!(tv < 1e-10, "{name} measurement statistics deviate");
+    }
+    println!("all executors agree (≤1e-9); measurement statistics identical\n");
+
+    println!("{:<22} {:>12} {:>9}", "executor", "wall time", "vs best");
+    let mut rows = Vec::new();
+    for (name, exec) in [
+        ("emulator", &emulator as &dyn Executor),
+        ("fused simulator", &fused_sim),
+        ("hybrid", &hybrid),
+    ] {
+        let t = time_median(reps, || {
+            let out = exec.run(&program, initial.clone()).unwrap();
+            std::hint::black_box(out.amplitudes()[0]);
+        });
+        rows.push((name, t));
+    }
+    let best_fixed = rows[0].1.min(rows[1].1);
+    for (name, t) in &rows {
+        println!("{:<22} {:>12} {:>8.2}x", name, fmt_secs(*t), t / best_fixed);
+    }
+    let hybrid_t = rows[2].1;
+    println!(
+        "\nhybrid vs min(fixed) = {:.2}x  ({} vs {})\n",
+        hybrid_t / best_fixed,
+        fmt_secs(hybrid_t),
+        fmt_secs(best_fixed)
+    );
+
+    println!("hybrid plan report (per-op backend, predicted vs measured):");
+    println!("{report}");
+    println!();
+    println!("note: predictions are model seconds on the CostModel's synthetic");
+    println!("      machine — compare their *ordering* per op, not the scale.");
+    println!("      The emulator runs the raw gate run unfused (one sweep per");
+    println!("      gate); the fused simulator pays the multiply's Toffoli");
+    println!("      network, the rotation's per-value expansion, and 2^ancilla");
+    println!("      memory. The hybrid takes the cheaper side of each.");
+}

@@ -17,7 +17,7 @@ use rayon::prelude::*;
 
 /// Above this many involved bits the permutation table (2^k entries) is
 /// considered too large to materialise; the map is then applied on the fly.
-const TABLE_MAX_BITS: usize = 24;
+pub(crate) const TABLE_MAX_BITS: usize = 24;
 
 /// Applies a classical map to the state (the §3.1 emulation shortcut).
 pub fn apply_classical_map(

@@ -51,6 +51,12 @@ pub enum EmuError {
     },
     /// Eigendecomposition failure (propagated from the linear algebra).
     Eigensolver(String),
+    /// An execution plan was run against a program it was not lowered
+    /// from (op count or op identity disagrees).
+    PlanMismatch {
+        /// Explanation.
+        reason: String,
+    },
 }
 
 impl fmt::Display for EmuError {
@@ -89,6 +95,9 @@ impl fmt::Display for EmuError {
                 )
             }
             EmuError::Eigensolver(msg) => write!(f, "eigensolver: {msg}"),
+            EmuError::PlanMismatch { reason } => {
+                write!(f, "plan does not match program: {reason}")
+            }
         }
     }
 }

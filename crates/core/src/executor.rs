@@ -1,22 +1,28 @@
-//! Program executors: the gate-level simulator and the emulator.
+//! Program executors: thin front-ends over the execution planner.
 //!
-//! Both take a [`QuantumProgram`] and an initial state over the program's
-//! architectural qubits and return the final state. The **simulator**
-//! lowers every op to elementary gates — including the ancilla-laden
-//! reversible circuits of classical maps, paying 2^ancilla extra memory —
-//! while the **emulator** executes each high-level op with its classical
-//! shortcut (paper §3).
+//! All three executors lower a [`QuantumProgram`] to an
+//! [`ExecutionPlan`] and hand it to the
+//! **single** plan interpreter ([`crate::planner::PlanInterpreter`]):
+//!
+//! * [`GateLevelSimulator`] — a fixed all-gates plan: every op becomes
+//!   elementary gates, ancillas and all (the paper's baseline);
+//! * [`Emulator`] — a fixed all-shortcuts plan: each op runs at its
+//!   mathematical level (paper §3);
+//! * [`HybridExecutor`] — a cost-model-driven plan: each op runs on
+//!   whichever backend the generalized [`CostModel`] predicts is
+//!   cheapest, and [`HybridExecutor::run_with_report`] returns the
+//!   per-op audit trail.
 
-use crate::classical::apply_classical_map;
+use crate::crossover::{CostModel, QpeTimings};
 use crate::error::EmuError;
-use crate::program::{HighLevelOp, QuantumProgram};
-use crate::qpe::{apply_qpe, QpeStrategy};
-use qcemu_fft::{inverse_qft_subspace, qft_subspace};
-use qcemu_linalg::C64;
-use qcemu_sim::circuits::qft::{inverse_qft_circuit, qft_circuit};
+use crate::planner::{
+    plan_emulated, plan_hybrid, plan_simulated, ExecutionPlan, PlanInterpreter, PlanReport,
+};
+use crate::program::QuantumProgram;
+use crate::qpe::QpeStrategy;
 use qcemu_sim::{SimConfig, StateVector};
 
-/// Common interface of both execution back-ends.
+/// Common interface of the execution back-ends.
 pub trait Executor {
     /// Runs the program on an initial state of `program.n_qubits()` qubits.
     fn run(&self, program: &QuantumProgram, initial: StateVector) -> Result<StateVector, EmuError>;
@@ -68,105 +74,24 @@ impl GateLevelSimulator {
         self
     }
 
-    fn lower<'c>(&self, c: &'c qcemu_sim::Circuit) -> std::borrow::Cow<'c, qcemu_sim::Circuit> {
-        if self.elementary_gates {
-            std::borrow::Cow::Owned(qcemu_sim::decompose_circuit(c))
-        } else {
-            std::borrow::Cow::Borrowed(c)
+    /// The fixed all-gates plan this executor runs.
+    pub fn plan(&self, program: &QuantumProgram) -> ExecutionPlan {
+        plan_simulated(program, &CostModel::default(), &self.config)
+    }
+
+    fn interpreter(&self) -> PlanInterpreter {
+        PlanInterpreter {
+            config: self.config,
+            elementary: self.elementary_gates,
         }
     }
 }
 
 impl Executor for GateLevelSimulator {
     fn run(&self, program: &QuantumProgram, initial: StateVector) -> Result<StateVector, EmuError> {
-        if initial.n_qubits() != program.n_qubits() {
-            return Err(EmuError::DimensionMismatch {
-                expected: program.n_qubits(),
-                got: initial.n_qubits(),
-            });
-        }
-        let n = program.n_qubits();
-        let n_anc = program.max_gate_ancillas();
-
-        // Extend the state with |0⟩ ancillas above the program space — the
-        // memory the paper's Fig. 2 is about: the simulator pays 2^anc ×.
-        let mut amps = vec![C64::ZERO; 1usize << (n + n_anc)];
-        amps[..1 << n].copy_from_slice(initial.amplitudes());
-        let mut state = StateVector::from_amplitudes(amps);
-
-        for op in program.ops() {
-            match op {
-                HighLevelOp::Gates(c) => state.run(&self.lower(c), &self.config),
-                HighLevelOp::Classical(cm) => {
-                    let gi =
-                        cm.gate_impl
-                            .as_ref()
-                            .ok_or_else(|| EmuError::NoGateImplementation {
-                                op: cm.name.clone(),
-                            })?;
-                    let circuit = (gi.build)(program);
-                    state.run(&self.lower(&circuit), &self.config);
-                }
-                HighLevelOp::Phase(po) => {
-                    let gi =
-                        po.gate_impl
-                            .as_ref()
-                            .ok_or_else(|| EmuError::NoGateImplementation {
-                                op: po.name.clone(),
-                            })?;
-                    let circuit = (gi.build)(program);
-                    state.run(&self.lower(&circuit), &self.config);
-                }
-                HighLevelOp::Rotation(ro) => {
-                    // Generic gate path: one multi-controlled Ry per
-                    // register value, X-conjugated onto the value pattern —
-                    // 2^m multi-controlled rotations (the exponential the
-                    // emulator avoids).
-                    let circuit = match &ro.gate_impl {
-                        Some(gi) => (gi.build)(program),
-                        None => rotation_expansion_circuit(program, ro),
-                    };
-                    state.run(&self.lower(&circuit), &self.config);
-                }
-                HighLevelOp::Qft(r) => {
-                    let bits = program.register(*r).bits();
-                    let c = qft_circuit(bits.len()).remap_qubits(state.n_qubits(), |q| bits[q]);
-                    state.run(&self.lower(&c), &self.config);
-                }
-                HighLevelOp::InverseQft(r) => {
-                    let bits = program.register(*r).bits();
-                    let c =
-                        inverse_qft_circuit(bits.len()).remap_qubits(state.n_qubits(), |q| bits[q]);
-                    state.run(&self.lower(&c), &self.config);
-                }
-                HighLevelOp::Qpe(qpe) => {
-                    let target_bits = program.register(qpe.target).bits();
-                    let phase_bits = program.register(qpe.phase).bits();
-                    apply_qpe(
-                        &mut state,
-                        qpe,
-                        &target_bits,
-                        &phase_bits,
-                        QpeStrategy::GateLevel,
-                    )?;
-                }
-            }
-        }
-
-        // Ancillas must be |0⟩: truncate back to the program space.
-        if n_anc > 0 {
-            let keep = 1usize << n;
-            let leaked: f64 = state.amplitudes()[keep..]
-                .iter()
-                .map(|z| z.norm_sqr())
-                .sum();
-            if leaked > 1e-9 {
-                return Err(EmuError::AncillaNotClean { leaked });
-            }
-            let amps = state.into_amplitudes();
-            return Ok(StateVector::from_amplitudes(amps[..keep].to_vec()));
-        }
-        Ok(state)
+        self.interpreter()
+            .execute(program, &self.plan(program), initial)
+            .map(|(state, _)| state)
     }
 
     fn name(&self) -> &'static str {
@@ -174,54 +99,25 @@ impl Executor for GateLevelSimulator {
     }
 }
 
-/// Builds the generic per-value expansion of a register-controlled
-/// rotation: for each x value, X-conjugate the zero bits and apply a
-/// multi-controlled Ry.
-fn rotation_expansion_circuit(
-    program: &QuantumProgram,
-    ro: &crate::program::RotationOp,
-) -> qcemu_sim::Circuit {
-    use qcemu_sim::{Gate, GateOp};
-    let x = program.register(ro.x);
-    let target = program.register(ro.target).offset;
-    let bits = x.bits();
-    let mut c = qcemu_sim::Circuit::new(program.n_qubits());
-    for value in 0..(1u64 << x.len) {
-        let theta = (ro.angle)(value);
-        if theta.abs() < 1e-15 {
-            continue;
-        }
-        for (j, &q) in bits.iter().enumerate() {
-            if (value >> j) & 1 == 0 {
-                c.push(Gate::x(q));
-            }
-        }
-        c.push(Gate::Unary {
-            op: GateOp::Ry(theta),
-            target,
-            controls: bits.clone(),
-        });
-        for (j, &q) in bits.iter().enumerate().rev() {
-            if (value >> j) & 1 == 0 {
-                c.push(Gate::x(q));
-            }
-        }
-    }
-    c
-}
-
 /// The emulator: each op runs at its mathematical level (paper §3).
 #[derive(Clone, Copy, Debug, Default)]
 pub struct Emulator {
-    /// QPE strategy; `None` = decide per op via the crossover advisor
-    /// heuristic (cheap static rule: eigendecomposition for `b > 2n`,
-    /// repeated squaring otherwise — see [`crate::crossover`] for the
-    /// measured version).
+    /// QPE strategy; `None` = decide per op via the crossover advisor:
+    /// measured [`QpeTimings`] when provided through
+    /// [`Emulator::with_timings`], the cheap static rule otherwise
+    /// (eigendecomposition for `b > 2n`, repeated squaring below —
+    /// paper §3.3).
     pub qpe_strategy: Option<QpeStrategy>,
+    /// Measured (or modelled) QPE primitive timings; when set, automatic
+    /// strategy selection routes through
+    /// [`QpeTimings::best_strategy`] instead of the static rule — the
+    /// Table 2 advisor actually driving execution.
+    pub qpe_timings: Option<QpeTimings>,
     /// Execution configuration for the gate-level residue
-    /// ([`HighLevelOp::Gates`] sequences, which have no shortcut): with
-    /// fusion enabled, emulation shortcuts and fused simulation compose —
-    /// each op runs at whichever level is cheapest.
+    /// ([`HighLevelOp`](crate::program::HighLevelOp)`::Gates` sequences,
+    /// which have no shortcut): with fusion enabled, emulation shortcuts
+    /// and fused simulation compose — each op runs at whichever level is
+    /// cheapest.
     pub config: SimConfig,
 }
 
@@ -239,6 +135,15 @@ impl Emulator {
         }
     }
 
+    /// Routes automatic QPE strategy selection through measured timings
+    /// (see [`crate::crossover`]): `best_strategy(b)` replaces the static
+    /// `b > 2n` rule. A fixed [`Emulator::with_qpe_strategy`] choice
+    /// still wins over both.
+    pub fn with_timings(mut self, timings: QpeTimings) -> Emulator {
+        self.qpe_timings = Some(timings);
+        self
+    }
+
     /// Replaces the gate-level execution configuration.
     pub fn with_config(mut self, config: SimConfig) -> Emulator {
         self.config = config;
@@ -246,60 +151,120 @@ impl Emulator {
     }
 
     fn choose_qpe_strategy(&self, target_len: usize, phase_len: usize) -> QpeStrategy {
-        self.qpe_strategy.unwrap_or({
-            // Paper §3.3: eigendecomposition pays off for b ≳ 2n (one-shot
-            // O(2^{3n}) versus b GEMMs).
-            if phase_len > 2 * target_len {
-                QpeStrategy::Eigendecomposition
-            } else {
-                QpeStrategy::RepeatedSquaring
-            }
+        if let Some(strategy) = self.qpe_strategy {
+            return strategy;
+        }
+        if let Some(timings) = &self.qpe_timings {
+            return timings.best_strategy(phase_len as u32);
+        }
+        // Paper §3.3: eigendecomposition pays off for b ≳ 2n (one-shot
+        // O(2^{3n}) versus b GEMMs).
+        if phase_len > 2 * target_len {
+            QpeStrategy::Eigendecomposition
+        } else {
+            QpeStrategy::RepeatedSquaring
+        }
+    }
+
+    /// The fixed all-shortcuts plan this executor runs.
+    pub fn plan(&self, program: &QuantumProgram) -> ExecutionPlan {
+        plan_emulated(program, &CostModel::default(), &self.config, |t, p| {
+            self.choose_qpe_strategy(t, p)
         })
     }
 }
 
 impl Executor for Emulator {
     fn run(&self, program: &QuantumProgram, initial: StateVector) -> Result<StateVector, EmuError> {
-        if initial.n_qubits() != program.n_qubits() {
-            return Err(EmuError::DimensionMismatch {
-                expected: program.n_qubits(),
-                got: initial.n_qubits(),
-            });
-        }
-        let n = program.n_qubits();
-        let mut state = initial;
-
-        for op in program.ops() {
-            match op {
-                HighLevelOp::Gates(c) => state.run(c, &self.config),
-                HighLevelOp::Classical(cm) => apply_classical_map(&mut state, program, cm)?,
-                HighLevelOp::Phase(po) => {
-                    crate::classical::apply_phase_oracle(&mut state, program, po)
-                }
-                HighLevelOp::Rotation(ro) => {
-                    crate::classical::apply_controlled_rotation(&mut state, program, ro)
-                }
-                HighLevelOp::Qft(r) => {
-                    let bits = program.register(*r).bits();
-                    qft_subspace(state.amplitudes_mut(), n, &bits);
-                }
-                HighLevelOp::InverseQft(r) => {
-                    let bits = program.register(*r).bits();
-                    inverse_qft_subspace(state.amplitudes_mut(), n, &bits);
-                }
-                HighLevelOp::Qpe(qpe) => {
-                    let target_bits = program.register(qpe.target).bits();
-                    let phase_bits = program.register(qpe.phase).bits();
-                    let strategy = self.choose_qpe_strategy(target_bits.len(), phase_bits.len());
-                    apply_qpe(&mut state, qpe, &target_bits, &phase_bits, strategy)?;
-                }
-            }
-        }
-        Ok(state)
+        PlanInterpreter::new(self.config)
+            .execute(program, &self.plan(program), initial)
+            .map(|(state, _)| state)
     }
 
     fn name(&self) -> &'static str {
         "emulator"
+    }
+}
+
+/// Per-op hybrid dispatch: plans with the generalized [`CostModel`], then
+/// executes each op on whichever backend the model predicts is cheapest —
+/// emulation shortcut, FFT, dense QPE path, fused or plain gate-level
+/// simulation. [`HybridExecutor::run_with_report`] additionally returns
+/// the [`PlanReport`] (per-op backend, predicted vs measured cost) so the
+/// dispatch is auditable; the `hybrid_ablation` bench exercises it on a
+/// mixed Shor-style workload.
+#[derive(Clone, Copy, Debug)]
+pub struct HybridExecutor {
+    /// The cost model driving backend choice.
+    pub model: CostModel,
+    /// Gate-level configuration for simulated steps; defaults to greedy
+    /// fusion at the default window.
+    pub config: SimConfig,
+}
+
+impl Default for HybridExecutor {
+    fn default() -> HybridExecutor {
+        HybridExecutor {
+            model: CostModel::default(),
+            config: SimConfig::fused(qcemu_sim::DEFAULT_MAX_FUSED_QUBITS),
+        }
+    }
+}
+
+impl HybridExecutor {
+    /// Hybrid executor with the default cost model and fused gate path.
+    pub fn new() -> HybridExecutor {
+        HybridExecutor::default()
+    }
+
+    /// Replaces the cost model (e.g. with measured machine rates).
+    pub fn with_model(mut self, model: CostModel) -> HybridExecutor {
+        self.model = model;
+        self
+    }
+
+    /// Replaces the gate-level execution configuration.
+    pub fn with_config(mut self, config: SimConfig) -> HybridExecutor {
+        self.config = config;
+        self
+    }
+
+    /// The cost-model-driven plan for `program` — inspect (or `{}`-print)
+    /// it to see the per-op dispatch before running anything.
+    pub fn plan(&self, program: &QuantumProgram) -> ExecutionPlan {
+        plan_hybrid(program, &self.model, &self.config)
+    }
+
+    /// Runs the program and returns the final state together with the
+    /// per-op audit report (backend, predicted and measured cost).
+    pub fn run_with_report(
+        &self,
+        program: &QuantumProgram,
+        initial: StateVector,
+    ) -> Result<(StateVector, PlanReport), EmuError> {
+        self.run_plan(program, &self.plan(program), initial)
+    }
+
+    /// Executes an already-computed plan (e.g. one obtained from
+    /// [`HybridExecutor::plan`] for inspection) without re-planning.
+    pub fn run_plan(
+        &self,
+        program: &QuantumProgram,
+        plan: &ExecutionPlan,
+        initial: StateVector,
+    ) -> Result<(StateVector, PlanReport), EmuError> {
+        PlanInterpreter::new(self.config).execute(program, plan, initial)
+    }
+}
+
+impl Executor for HybridExecutor {
+    fn run(&self, program: &QuantumProgram, initial: StateVector) -> Result<StateVector, EmuError> {
+        self.run_with_report(program, initial)
+            .map(|(state, _)| state)
+    }
+
+    fn name(&self) -> &'static str {
+        "hybrid"
     }
 }
 
@@ -376,6 +341,79 @@ mod tests {
     }
 
     #[test]
+    fn hybrid_matches_both_legacy_executors() {
+        // m = 4 (12 qubits): large enough that the cost model, like the
+        // paper, favours the emulated table pass over the Toffoli
+        // network; at toy sizes simulation may legitimately win.
+        let prog = multiplication_program(4);
+        let initial = StateVector::zero_state(prog.n_qubits());
+        let emu = Emulator::new().run(&prog, initial.clone()).unwrap();
+        let sim = GateLevelSimulator::fused()
+            .run(&prog, initial.clone())
+            .unwrap();
+        let (hyb, report) = HybridExecutor::new()
+            .run_with_report(&prog, initial)
+            .unwrap();
+        assert!(hyb.max_diff_up_to_phase(&emu) < 1e-10);
+        assert!(hyb.max_diff_up_to_phase(&sim) < 1e-10);
+        // The report audits every op with a finite prediction.
+        assert_eq!(report.steps.len(), prog.ops().len());
+        assert!(report.steps.iter().all(|s| s.predicted_s.is_finite()));
+        assert!(report
+            .steps
+            .iter()
+            .any(|s| s.backend == crate::planner::Backend::EmulateClassical));
+    }
+
+    #[test]
+    fn hybrid_runs_emulation_only_programs() {
+        // No gate impl anywhere: the hybrid plan must fall back to
+        // emulation instead of failing like the simulator.
+        let mut pb = ProgramBuilder::new();
+        let a = pb.register("a", 3);
+        pb.classical(stdops::apply_classical_fn("xor3", vec![a], |v| v[0] ^= 3));
+        let prog = pb.build().unwrap();
+        let out = HybridExecutor::new()
+            .run(&prog, StateVector::zero_state(3))
+            .unwrap();
+        assert_eq!(out.probability(3), 1.0);
+    }
+
+    #[test]
+    fn emulator_with_timings_uses_the_advisor() {
+        // Timings where simulation is essentially free: the advisor must
+        // choose gate-level QPE, overriding the static b > 2n rule.
+        let timings = QpeTimings {
+            n: 2,
+            g: 4,
+            t_apply_u: 1e-12,
+            t_build_dense: 10.0,
+            t_gemm: 10.0,
+            t_eig: 10.0,
+        };
+        let emu = Emulator::new().with_timings(timings);
+        assert_eq!(emu.choose_qpe_strategy(2, 6), QpeStrategy::GateLevel);
+        // And the opposite machine: gates cost hours, dense paths are free.
+        let timings = QpeTimings {
+            n: 2,
+            g: 4,
+            t_apply_u: 10.0,
+            t_build_dense: 1e-12,
+            t_gemm: 1e-12,
+            t_eig: 1e-9,
+        };
+        let emu = Emulator::new().with_timings(timings);
+        assert_ne!(emu.choose_qpe_strategy(2, 3), QpeStrategy::GateLevel);
+        // A fixed strategy still wins over timings.
+        let emu =
+            Emulator::with_qpe_strategy(QpeStrategy::Eigendecomposition).with_timings(timings);
+        assert_eq!(
+            emu.choose_qpe_strategy(2, 3),
+            QpeStrategy::Eigendecomposition
+        );
+    }
+
+    #[test]
     fn qft_paths_agree() {
         let mut pb = ProgramBuilder::new();
         let a = pb.register("a", 4);
@@ -391,7 +429,7 @@ mod tests {
     }
 
     #[test]
-    fn qft_then_inverse_roundtrips_via_both_paths() {
+    fn qft_then_inverse_roundtrips_via_all_paths() {
         let mut pb = ProgramBuilder::new();
         let a = pb.register("a", 3);
         let b = pb.register("b", 2);
@@ -404,6 +442,7 @@ mod tests {
         for exec in [
             &GateLevelSimulator::new() as &dyn Executor,
             &Emulator::new(),
+            &HybridExecutor::new(),
         ] {
             let out = exec.run(&prog, initial.clone()).unwrap();
             let dist = out.register_distribution(&prog.register(a).bits());
@@ -422,7 +461,11 @@ mod tests {
             Err(EmuError::DimensionMismatch { .. })
         ));
         assert!(matches!(
-            GateLevelSimulator::new().run(&prog, bad),
+            GateLevelSimulator::new().run(&prog, bad.clone()),
+            Err(EmuError::DimensionMismatch { .. })
+        ));
+        assert!(matches!(
+            HybridExecutor::new().run(&prog, bad),
             Err(EmuError::DimensionMismatch { .. })
         ));
     }

@@ -44,17 +44,22 @@ pub mod crossover;
 pub mod error;
 pub mod executor;
 pub mod measurement;
+pub mod planner;
 pub mod program;
 pub mod qpe;
 pub mod stdops;
 
 pub use classical::{apply_classical_map, apply_controlled_rotation, apply_phase_oracle};
-pub use crossover::{QpeCostModel, QpeTimings};
+pub use crossover::{CostModel, QpeCostModel, QpeTimings};
 pub use error::EmuError;
-pub use executor::{Emulator, Executor, GateLevelSimulator};
+pub use executor::{Emulator, Executor, GateLevelSimulator, HybridExecutor};
 pub use measurement::{
     compare_expectation_z, exact_register_distribution, sampled_register_distribution,
     total_variation, ExpectationComparison,
+};
+pub use planner::{
+    plan_emulated, plan_hybrid, plan_simulated, Backend, ExecutionPlan, PlanInterpreter,
+    PlanReport, PlanStep, StepReport,
 };
 pub use program::{
     ClassicalMap, GateImpl, HighLevelOp, MapKind, PhaseOracle, ProgramBuilder, ProgramRegister,

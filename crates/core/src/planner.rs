@@ -1,0 +1,1227 @@
+//! Cost-model-driven execution planning: one plan IR, three backends.
+//!
+//! The paper's central tension (§3.3, §4.4, Table 2) is that *neither*
+//! backend wins everywhere: emulation shortcuts win asymptotically, while
+//! gate-level simulation wins at small operator sizes and on raw gate
+//! runs. This module makes the choice explicit, per-op, and auditable:
+//!
+//! 1. every [`HighLevelOp`] **lowers** to a [`PlanStep`] naming a
+//!    [`Backend`] plus a predicted cost from the generalized
+//!    [`CostModel`] (which extends the Table 2 QPE crossover analysis to
+//!    classical maps, QFTs, rotations, and raw gate runs via the
+//!    memory-traffic estimators `Circuit::touched_entries` /
+//!    `FusedCircuit::touched_entries`);
+//! 2. a single [`PlanInterpreter`] executes any plan — the legacy
+//!    [`Emulator`](crate::executor::Emulator) and
+//!    [`GateLevelSimulator`](crate::executor::GateLevelSimulator) are
+//!    thin wrappers over the fixed plans of [`plan_emulated`] /
+//!    [`plan_simulated`], and
+//!    [`HybridExecutor`](crate::executor::HybridExecutor) runs
+//!    [`plan_hybrid`], which picks the cheapest backend per op;
+//! 3. execution emits a [`PlanReport`] with per-op backend, predicted and
+//!    measured cost, so every dispatch decision can be audited against
+//!    the clock (see the `hybrid_ablation` bench).
+
+use crate::classical::{apply_classical_map, apply_phase_oracle};
+use crate::crossover::CostModel;
+use crate::error::EmuError;
+use crate::program::{HighLevelOp, QuantumProgram, RotationOp};
+use crate::qpe::{apply_qpe, QpeStrategy};
+use qcemu_fft::{inverse_qft_subspace, qft_subspace};
+use qcemu_linalg::C64;
+use qcemu_sim::circuits::qft::{inverse_qft_circuit, qft_circuit};
+use qcemu_sim::{
+    Circuit, FusedCircuit, FusionPolicy, Gate, GateOp, SimConfig, StateVector,
+    DEFAULT_MAX_FUSED_QUBITS,
+};
+use std::fmt;
+use std::time::Instant;
+
+/// Probability mass tolerated on non-|0⟩ ancilla values after a run.
+const ANCILLA_LEAK_TOL: f64 = 1e-9;
+
+/// Execution backend of one plan step.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Backend {
+    /// Emulation shortcut for classical structure: permutation-table pass
+    /// (classical maps), conditional phase scan (oracles), or the per-pair
+    /// rotation sweep (paper §3.1).
+    EmulateClassical,
+    /// QFT via the classical FFT on the register subspace (paper §3.2).
+    EmulateFft,
+    /// Phase estimation with an explicit strategy (paper §3.3);
+    /// `QpeStrategy::GateLevel` is the simulated variant.
+    EmulateQpe {
+        /// How the QPE is carried out.
+        strategy: QpeStrategy,
+    },
+    /// Gate-level simulation through the fusion engine (cache-blocked
+    /// multi-qubit sweeps).
+    SimulateFused,
+    /// Plain gate-by-gate simulation through the structural kernels.
+    SimulateGateLevel,
+}
+
+impl Backend {
+    /// `true` if this backend lowers the op to elementary-gate execution.
+    pub fn is_simulate(&self) -> bool {
+        matches!(self, Backend::SimulateFused | Backend::SimulateGateLevel)
+    }
+}
+
+impl fmt::Display for Backend {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Backend::EmulateClassical => write!(f, "emulate:classical"),
+            Backend::EmulateFft => write!(f, "emulate:fft"),
+            Backend::EmulateQpe { strategy } => match strategy {
+                QpeStrategy::GateLevel => write!(f, "qpe:gate-level"),
+                QpeStrategy::RepeatedSquaring => write!(f, "qpe:squaring"),
+                QpeStrategy::Eigendecomposition => write!(f, "qpe:eigen"),
+            },
+            Backend::SimulateFused => write!(f, "simulate:fused"),
+            Backend::SimulateGateLevel => write!(f, "simulate:gates"),
+        }
+    }
+}
+
+/// One lowered op: which backend runs it and what the model predicts it
+/// costs (seconds on the cost model's synthetic machine).
+#[derive(Clone, Debug)]
+pub struct PlanStep {
+    /// Index into `program.ops()`.
+    pub op_index: usize,
+    /// Human-readable op label (for reports).
+    pub op: String,
+    /// Chosen backend.
+    pub backend: Backend,
+    /// Predicted cost in model seconds (`f64::INFINITY` when the chosen
+    /// backend cannot run the op, e.g. simulating an emulation-only map —
+    /// execution then fails with the same error the legacy executor
+    /// raised).
+    pub predicted_s: f64,
+    /// Work qubits this step needs above the program space (simulation
+    /// backends only).
+    pub n_ancilla: usize,
+    /// Deferred-build circuit (classical/phase/rotation gate impls)
+    /// materialised during costing — carried so execution does not
+    /// rebuild it.
+    pub(crate) circuit: Option<Circuit>,
+    /// Fused block stream priced by the cost model — reused directly by
+    /// fused execution (fusion is semantics-preserving at any window, so
+    /// a cached stream is always state-correct).
+    pub(crate) fused: Option<FusedCircuit>,
+}
+
+/// A fully lowered program: an ordered list of [`PlanStep`]s plus the
+/// ancilla head-room their union requires.
+#[derive(Clone, Debug)]
+pub struct ExecutionPlan {
+    steps: Vec<PlanStep>,
+    n_ancilla: usize,
+    /// `instance_id` of the program this plan was lowered from; execution
+    /// refuses any other program (steps index its op list and may carry
+    /// circuits built from its closures).
+    program_id: u64,
+}
+
+impl ExecutionPlan {
+    /// The lowered steps in program order.
+    pub fn steps(&self) -> &[PlanStep] {
+        &self.steps
+    }
+
+    /// Ancilla qubits the interpreter must append above the program space
+    /// (the `2^anc` memory factor of paper Fig. 2) — the maximum over the
+    /// plan's *simulated* steps, zero for all-emulated plans.
+    pub fn n_ancilla(&self) -> usize {
+        self.n_ancilla
+    }
+
+    /// Sum of the per-step cost predictions (model seconds).
+    pub fn total_predicted_s(&self) -> f64 {
+        self.steps.iter().map(|s| s.predicted_s).sum()
+    }
+
+    fn from_steps(program: &QuantumProgram, steps: Vec<PlanStep>) -> ExecutionPlan {
+        let n_ancilla = steps
+            .iter()
+            .filter(|s| s.backend.is_simulate())
+            .map(|s| s.n_ancilla)
+            .max()
+            .unwrap_or(0);
+        ExecutionPlan {
+            steps,
+            n_ancilla,
+            program_id: program.instance_id(),
+        }
+    }
+}
+
+impl fmt::Display for ExecutionPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{:>3} {:<26} {:>17} {:>12}",
+            "#", "op", "backend", "predicted"
+        )?;
+        for step in &self.steps {
+            writeln!(
+                f,
+                "{:>3} {:<26} {:>17} {:>12}",
+                step.op_index,
+                step.op,
+                step.backend.to_string(),
+                fmt_model_secs(step.predicted_s),
+            )?;
+        }
+        write!(f, "ancillas: {}", self.n_ancilla)
+    }
+}
+
+/// Per-step entry of a [`PlanReport`]: the plan's choice plus the
+/// measured wall time of the step.
+#[derive(Clone, Debug)]
+pub struct StepReport {
+    /// Op label.
+    pub op: String,
+    /// Backend that ran the op.
+    pub backend: Backend,
+    /// Model-predicted cost (seconds).
+    pub predicted_s: f64,
+    /// Measured wall time (seconds).
+    pub measured_s: f64,
+}
+
+/// Audit trail of one plan execution: per-op backend, predicted vs
+/// measured cost. Render with `{}` for an aligned table.
+#[derive(Clone, Debug)]
+pub struct PlanReport {
+    /// One entry per executed step, in program order.
+    pub steps: Vec<StepReport>,
+}
+
+impl PlanReport {
+    /// Total measured wall time across all steps.
+    pub fn total_measured_s(&self) -> f64 {
+        self.steps.iter().map(|s| s.measured_s).sum()
+    }
+
+    /// Total predicted cost across all steps.
+    pub fn total_predicted_s(&self) -> f64 {
+        self.steps.iter().map(|s| s.predicted_s).sum()
+    }
+}
+
+impl fmt::Display for PlanReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{:<26} {:>17} {:>12} {:>12}",
+            "op", "backend", "predicted", "measured"
+        )?;
+        for s in &self.steps {
+            writeln!(
+                f,
+                "{:<26} {:>17} {:>12} {:>12}",
+                s.op,
+                s.backend.to_string(),
+                fmt_model_secs(s.predicted_s),
+                fmt_model_secs(s.measured_s),
+            )?;
+        }
+        write!(
+            f,
+            "{:<26} {:>17} {:>12} {:>12}",
+            "total",
+            "",
+            fmt_model_secs(self.total_predicted_s()),
+            fmt_model_secs(self.total_measured_s())
+        )
+    }
+}
+
+fn fmt_model_secs(s: f64) -> String {
+    if s.is_infinite() {
+        "∞".into()
+    } else if s >= 1.0 {
+        format!("{s:.2} s")
+    } else if s >= 1e-3 {
+        format!("{:.2} ms", s * 1e3)
+    } else {
+        format!("{:.2} µs", s * 1e6)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Ancilla head-room (shared by every plan execution — the logic that used to
+// live inline in `GateLevelSimulator::run`).
+// ---------------------------------------------------------------------------
+
+/// Extends a state with `n_anc` |0⟩ ancilla qubits above its own — the
+/// memory the paper's Fig. 2 is about: the gate-level path pays `2^anc ×`.
+pub fn extend_with_ancillas(initial: StateVector, n_anc: usize) -> StateVector {
+    if n_anc == 0 {
+        return initial;
+    }
+    let n = initial.n_qubits();
+    let mut amps = vec![C64::ZERO; 1usize << (n + n_anc)];
+    amps[..1 << n].copy_from_slice(initial.amplitudes());
+    StateVector::from_amplitudes(amps)
+}
+
+/// Validates that all ancillas above the `n_program`-qubit space returned
+/// to |0⟩ and truncates the state back down; a leak indicates a broken
+/// reversible circuit.
+pub fn truncate_ancillas(state: StateVector, n_program: usize) -> Result<StateVector, EmuError> {
+    if state.n_qubits() == n_program {
+        return Ok(state);
+    }
+    let keep = 1usize << n_program;
+    let leaked: f64 = state.amplitudes()[keep..]
+        .iter()
+        .map(|z| z.norm_sqr())
+        .sum();
+    if leaked > ANCILLA_LEAK_TOL {
+        return Err(EmuError::AncillaNotClean { leaked });
+    }
+    let amps = state.into_amplitudes();
+    Ok(StateVector::from_amplitudes(amps[..keep].to_vec()))
+}
+
+// ---------------------------------------------------------------------------
+// Lowering: per-op candidate costs.
+// ---------------------------------------------------------------------------
+
+/// Candidate backends for one op, with model costs. `None` marks a path
+/// the op does not have (no gate-level implementation, or no emulation
+/// shortcut for raw gate runs). The circuits the costing had to build
+/// (deferred gate impls, fused block streams) ride along so the plan can
+/// carry them to execution instead of rebuilding them.
+struct SimCosts {
+    unfused: Option<f64>,
+    fused: Option<f64>,
+    n_ancilla: usize,
+    circuit: Option<Circuit>,
+    fused_circuit: Option<FusedCircuit>,
+}
+
+impl SimCosts {
+    fn none_built(unfused: Option<f64>, fused: Option<f64>) -> SimCosts {
+        SimCosts {
+            unfused,
+            fused,
+            n_ancilla: 0,
+            circuit: None,
+            fused_circuit: None,
+        }
+    }
+}
+
+fn op_label(program: &QuantumProgram, op: &HighLevelOp) -> String {
+    match op {
+        HighLevelOp::Gates(c) => format!("gates[{}]", c.gate_count()),
+        HighLevelOp::Classical(cm) => format!("classical '{}'", cm.name),
+        HighLevelOp::Phase(po) => format!("oracle '{}'", po.name),
+        HighLevelOp::Rotation(ro) => format!("rotation '{}'", ro.name),
+        HighLevelOp::Qft(r) => format!("qft '{}'", program.register(*r).name),
+        HighLevelOp::InverseQft(r) => format!("iqft '{}'", program.register(*r).name),
+        HighLevelOp::Qpe(q) => format!(
+            "qpe[n={},b={}]",
+            program.register(q.target).len,
+            program.register(q.phase).len
+        ),
+    }
+}
+
+/// The fusion window candidate plans cost fused execution with: the
+/// interpreter's own greedy window if it has one, the default otherwise.
+fn plan_window(config: &SimConfig) -> usize {
+    match config.fusion {
+        FusionPolicy::Greedy { max_fused_qubits } => max_fused_qubits,
+        FusionPolicy::Disabled => DEFAULT_MAX_FUSED_QUBITS,
+    }
+}
+
+/// Gate-path costs of a concrete circuit on a `2^n_state` state.
+/// Each flavour is computed only when requested: the unfused estimate is
+/// an O(G) count, but the fused one actually runs the fusion engine
+/// (matrix compose + classify per block) — a plan that can never pick a
+/// fused candidate must not pay for it.
+fn circuit_costs(
+    model: &CostModel,
+    c: &Circuit,
+    n_state: usize,
+    window: usize,
+    want_unfused: bool,
+    want_fused: bool,
+) -> SimCosts {
+    let unfused = want_unfused.then(|| model.t_gates(c.touched_entries(n_state)));
+    let (fused, fused_circuit) = if want_fused {
+        let fc = c.fuse(&FusionPolicy::Greedy {
+            max_fused_qubits: window,
+        });
+        let t = model.t_gates_fused(fc.touched_entries(n_state), c.gate_count());
+        (Some(t), Some(fc))
+    } else {
+        (None, None)
+    };
+    SimCosts {
+        unfused,
+        fused,
+        n_ancilla: 0,
+        circuit: None,
+        fused_circuit,
+    }
+}
+
+/// Costs of one op's gate-level implementation (shared by the Classical,
+/// Phase, and Rotation arms of [`sim_costs`]): builds the deferred
+/// circuit and prices it at the width the op itself forces —
+/// `n + max(n_anc_plan, its own ancillas)`.
+fn gate_impl_sim_costs(
+    model: &CostModel,
+    program: &QuantumProgram,
+    gi: &crate::program::GateImpl,
+    n_anc_plan: usize,
+    window: usize,
+    want_unfused: bool,
+    want_fused: bool,
+) -> SimCosts {
+    let c = (gi.build)(program);
+    let n_sim = program.n_qubits() + n_anc_plan.max(gi.n_ancilla);
+    let costs = circuit_costs(model, &c, n_sim, window, want_unfused, want_fused);
+    SimCosts {
+        n_ancilla: gi.n_ancilla,
+        circuit: Some(c),
+        ..costs
+    }
+}
+
+/// Predicted cost of the op's emulation shortcut, or `None` for raw gate
+/// runs (which have none). Pure formula evaluation — never builds a
+/// circuit. For QPE, returns the cheaper of the two dense strategies.
+fn emulate_candidate(
+    model: &CostModel,
+    program: &QuantumProgram,
+    op: &HighLevelOp,
+    n_state: usize,
+) -> Option<(Backend, f64)> {
+    match op {
+        HighLevelOp::Gates(_) => None,
+        HighLevelOp::Classical(cm) => {
+            let k: usize = cm.regs.iter().map(|&r| program.register(r).len).sum();
+            Some((
+                Backend::EmulateClassical,
+                model.t_classical_emulated(n_state, k),
+            ))
+        }
+        HighLevelOp::Phase(_) => {
+            Some((Backend::EmulateClassical, model.t_oracle_emulated(n_state)))
+        }
+        HighLevelOp::Rotation(_) => Some((
+            Backend::EmulateClassical,
+            model.t_rotation_emulated(n_state),
+        )),
+        HighLevelOp::Qft(r) | HighLevelOp::InverseQft(r) => Some((
+            Backend::EmulateFft,
+            model.t_qft_emulated(n_state, program.register(*r).len),
+        )),
+        HighLevelOp::Qpe(qpe) => {
+            let m = program.register(qpe.target).len;
+            let b = program.register(qpe.phase).len;
+            let g = qpe.unitary.gate_count().max(1);
+            let (strategy, cost) = [
+                QpeStrategy::RepeatedSquaring,
+                QpeStrategy::Eigendecomposition,
+            ]
+            .into_iter()
+            .map(|s| (s, model.t_qpe(n_state, m, g, b, s)))
+            .min_by(|a, b| a.1.total_cmp(&b.1))
+            .expect("two candidates");
+            Some((Backend::EmulateQpe { strategy }, cost))
+        }
+    }
+}
+
+/// Predicted costs of the op's gate-level path(s), or `None` when it has
+/// no gate-level implementation. Only the requested flavours are
+/// computed (see [`circuit_costs`]).
+///
+/// `n_anc_plan` is the ancilla head-room the rest of the plan already
+/// commits to: every sweep in this run pays `2^{n + n_anc_plan}` entries,
+/// and an op whose own gate path needs more ancillas than that is costed
+/// at its own (larger) width.
+fn sim_costs(
+    model: &CostModel,
+    program: &QuantumProgram,
+    op: &HighLevelOp,
+    window: usize,
+    n_anc_plan: usize,
+    want_unfused: bool,
+    want_fused: bool,
+) -> Option<SimCosts> {
+    let n = program.n_qubits();
+    let n_state = n + n_anc_plan;
+    match op {
+        HighLevelOp::Gates(c) => Some(circuit_costs(
+            model,
+            c,
+            n_state,
+            window,
+            want_unfused,
+            want_fused,
+        )),
+        HighLevelOp::Classical(cm) => cm.gate_impl.as_ref().map(|gi| {
+            gate_impl_sim_costs(
+                model,
+                program,
+                gi,
+                n_anc_plan,
+                window,
+                want_unfused,
+                want_fused,
+            )
+        }),
+        HighLevelOp::Phase(po) => po.gate_impl.as_ref().map(|gi| {
+            gate_impl_sim_costs(
+                model,
+                program,
+                gi,
+                n_anc_plan,
+                window,
+                want_unfused,
+                want_fused,
+            )
+        }),
+        HighLevelOp::Rotation(ro) => Some(match &ro.gate_impl {
+            Some(gi) => gate_impl_sim_costs(
+                model,
+                program,
+                gi,
+                n_anc_plan,
+                window,
+                want_unfused,
+                want_fused,
+            ),
+            None => {
+                // The generic per-value expansion is exponential in the
+                // control register; cost it analytically instead of
+                // materialising it just to reject it.
+                let t = model.t_rotation_simulated(n_state, program.register(ro.x).len);
+                SimCosts::none_built(Some(t), Some(t))
+            }
+        }),
+        HighLevelOp::Qft(r) | HighLevelOp::InverseQft(r) => {
+            let bits = program.register(*r).len;
+            let costs = circuit_costs(
+                model,
+                &qft_circuit(bits),
+                n_state,
+                window,
+                want_unfused,
+                want_fused,
+            );
+            // The costed circuit addresses the register's *relative*
+            // qubits; execution remaps it onto the program — don't carry
+            // the unremapped artifacts.
+            Some(SimCosts::none_built(costs.unfused, costs.fused))
+        }
+        HighLevelOp::Qpe(qpe) => {
+            // QPE's gate-level path runs through `apply_qpe`, not the
+            // fusion engine — one candidate, same cost either way.
+            let m = program.register(qpe.target).len;
+            let b = program.register(qpe.phase).len;
+            let g = qpe.unitary.gate_count().max(1);
+            let t = model.t_qpe(n_state, m, g, b, QpeStrategy::GateLevel);
+            Some(SimCosts::none_built(Some(t), Some(t)))
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Planners: the two legacy fixed-backend lowerings and the hybrid one.
+// ---------------------------------------------------------------------------
+
+/// Backend a `config`-driven simulation step uses for raw circuits.
+fn sim_backend(config: &SimConfig) -> Backend {
+    match config.fusion {
+        FusionPolicy::Disabled => Backend::SimulateGateLevel,
+        FusionPolicy::Greedy { .. } => Backend::SimulateFused,
+    }
+}
+
+/// Lowers every op onto its emulation shortcut (raw gate runs, which have
+/// no shortcut, use the configured gate path) — the
+/// [`Emulator`](crate::executor::Emulator)'s fixed plan. `choose_qpe`
+/// picks the QPE strategy from `(target_len, phase_len)`.
+pub fn plan_emulated(
+    program: &QuantumProgram,
+    model: &CostModel,
+    config: &SimConfig,
+    choose_qpe: impl Fn(usize, usize) -> QpeStrategy,
+) -> ExecutionPlan {
+    let n = program.n_qubits();
+    let window = plan_window(config);
+    let steps = program
+        .ops()
+        .iter()
+        .enumerate()
+        .map(|(i, op)| {
+            let (backend, predicted_s, fused_circuit) = match op {
+                HighLevelOp::Gates(_) => {
+                    let backend = sim_backend(config);
+                    let fused = backend == Backend::SimulateFused;
+                    let costs = sim_costs(model, program, op, window, 0, !fused, fused)
+                        .expect("raw gates always have a gate path");
+                    let cost = if fused { costs.fused } else { costs.unfused };
+                    (backend, cost.unwrap_or(f64::INFINITY), costs.fused_circuit)
+                }
+                HighLevelOp::Qpe(qpe) => {
+                    let m = program.register(qpe.target).len;
+                    let b = program.register(qpe.phase).len;
+                    let strategy = choose_qpe(m, b);
+                    let g = qpe.unitary.gate_count().max(1);
+                    (
+                        Backend::EmulateQpe { strategy },
+                        model.t_qpe(n, m, g, b, strategy),
+                        None,
+                    )
+                }
+                _ => {
+                    let (backend, cost) = emulate_candidate(model, program, op, n)
+                        .expect("every non-gate op has a shortcut");
+                    (backend, cost, None)
+                }
+            };
+            PlanStep {
+                op_index: i,
+                op: op_label(program, op),
+                backend,
+                predicted_s,
+                n_ancilla: 0,
+                circuit: None,
+                fused: fused_circuit,
+            }
+        })
+        .collect();
+    ExecutionPlan::from_steps(program, steps)
+}
+
+/// Lowers every op to elementary-gate execution — the
+/// [`GateLevelSimulator`](crate::executor::GateLevelSimulator)'s fixed
+/// plan. Ops without a gate-level implementation are kept (predicted cost
+/// `∞`) and fail at execution with
+/// [`EmuError::NoGateImplementation`], matching the legacy executor.
+pub fn plan_simulated(
+    program: &QuantumProgram,
+    model: &CostModel,
+    config: &SimConfig,
+) -> ExecutionPlan {
+    let n_anc_all = program.max_gate_ancillas();
+    let backend = sim_backend(config);
+    let fused = backend == Backend::SimulateFused;
+    let window = plan_window(config);
+    let steps = program
+        .ops()
+        .iter()
+        .enumerate()
+        .map(|(i, op)| {
+            let costs = sim_costs(model, program, op, window, n_anc_all, !fused, fused);
+            let (cost, n_ancilla, circuit, fused_circuit) = match costs {
+                Some(c) => (
+                    if fused { c.fused } else { c.unfused }.unwrap_or(f64::INFINITY),
+                    c.n_ancilla,
+                    c.circuit,
+                    c.fused_circuit,
+                ),
+                None => (f64::INFINITY, 0, None, None),
+            };
+            let backend = match op {
+                // QPE's gate-level strategy is explicit in the IR.
+                HighLevelOp::Qpe(_) => Backend::EmulateQpe {
+                    strategy: QpeStrategy::GateLevel,
+                },
+                _ => backend,
+            };
+            PlanStep {
+                op_index: i,
+                op: op_label(program, op),
+                backend,
+                predicted_s: cost,
+                n_ancilla,
+                circuit,
+                fused: fused_circuit,
+            }
+        })
+        .collect();
+    // The legacy simulator reserves head-room for every op up front,
+    // whether or not a cheaper plan could avoid it.
+    let mut plan = ExecutionPlan::from_steps(program, steps);
+    plan.n_ancilla = n_anc_all;
+    plan
+}
+
+/// Lowers each op onto its cheapest backend under `model` — the
+/// [`HybridExecutor`](crate::executor::HybridExecutor)'s plan.
+///
+/// Backend choices couple through ancilla head-room: once any step
+/// simulates an op that needs `a` work qubits, *every* sweep in the run
+/// pays `2^{n+a}` entries. The planner resolves the coupling by fixed
+/// point: plan with the current head-room, recompute the head-room the
+/// chosen steps actually need, re-plan until stable. Choices near a
+/// break-even can oscillate with the head-room (an op may simulate at
+/// width `n` but emulate at `n+1`), so iteration is capped; if no fixed
+/// point is reached, the last plan's choices are committed and its
+/// predictions are re-costed at the head-room it will *actually* execute
+/// with, keeping the [`PlanReport`] audit consistent.
+pub fn plan_hybrid(
+    program: &QuantumProgram,
+    model: &CostModel,
+    config: &SimConfig,
+) -> ExecutionPlan {
+    let mut n_anc = 0usize;
+    for _ in 0..4 {
+        let plan = plan_hybrid_once(program, model, config, n_anc);
+        if plan.n_ancilla == n_anc {
+            return plan;
+        }
+        n_anc = plan.n_ancilla;
+    }
+    let mut plan = plan_hybrid_once(program, model, config, n_anc);
+    if plan.n_ancilla != n_anc {
+        let window = plan_window(config);
+        for step in &mut plan.steps {
+            let op = &program.ops()[step.op_index];
+            step.predicted_s =
+                recost_step(model, program, op, step.backend, window, plan.n_ancilla);
+        }
+    }
+    plan
+}
+
+/// Predicted cost of `op` on an already-chosen backend at execution
+/// head-room `n_anc_exec` (the unconverged-fixed-point repair path of
+/// [`plan_hybrid`]).
+fn recost_step(
+    model: &CostModel,
+    program: &QuantumProgram,
+    op: &HighLevelOp,
+    backend: Backend,
+    window: usize,
+    n_anc_exec: usize,
+) -> f64 {
+    let n_state = program.n_qubits() + n_anc_exec;
+    match backend {
+        Backend::EmulateClassical | Backend::EmulateFft => {
+            emulate_candidate(model, program, op, n_state)
+                .map(|(_, c)| c)
+                .unwrap_or(f64::INFINITY)
+        }
+        Backend::EmulateQpe { strategy } => match op {
+            HighLevelOp::Qpe(qpe) => model.t_qpe(
+                n_state,
+                program.register(qpe.target).len,
+                qpe.unitary.gate_count().max(1),
+                program.register(qpe.phase).len,
+                strategy,
+            ),
+            _ => f64::INFINITY,
+        },
+        Backend::SimulateFused => sim_costs(model, program, op, window, n_anc_exec, false, true)
+            .and_then(|c| c.fused)
+            .unwrap_or(f64::INFINITY),
+        Backend::SimulateGateLevel => {
+            sim_costs(model, program, op, window, n_anc_exec, true, false)
+                .and_then(|c| c.unfused)
+                .unwrap_or(f64::INFINITY)
+        }
+    }
+}
+
+fn plan_hybrid_once(
+    program: &QuantumProgram,
+    model: &CostModel,
+    config: &SimConfig,
+    n_anc_plan: usize,
+) -> ExecutionPlan {
+    let steps = program
+        .ops()
+        .iter()
+        .enumerate()
+        .map(|(i, op)| {
+            let n_state = program.n_qubits() + n_anc_plan;
+            let window = plan_window(config);
+            let mut candidates: Vec<(Backend, f64, usize)> = Vec::with_capacity(3);
+            if let Some((backend, cost)) = emulate_candidate(model, program, op, n_state) {
+                candidates.push((backend, cost, 0));
+            }
+            let sim = sim_costs(model, program, op, window, n_anc_plan, true, true);
+            if let Some(costs) = &sim {
+                if let Some(cost) = costs.fused {
+                    candidates.push((Backend::SimulateFused, cost, costs.n_ancilla));
+                }
+                if let Some(cost) = costs.unfused {
+                    candidates.push((Backend::SimulateGateLevel, cost, costs.n_ancilla));
+                }
+            }
+            let (backend, predicted_s, n_ancilla) = candidates
+                .into_iter()
+                .min_by(|a, b| a.1.total_cmp(&b.1))
+                .expect("every op has at least one backend");
+            // Only a simulated winner gets the costing's built artifacts.
+            let (circuit, fused_circuit) = match (backend.is_simulate(), sim) {
+                (true, Some(costs)) => (costs.circuit, costs.fused_circuit),
+                _ => (None, None),
+            };
+            // QPE always runs through `apply_qpe`; express the simulated
+            // winner as the explicit gate-level strategy.
+            let backend = if matches!(op, HighLevelOp::Qpe(_)) && backend.is_simulate() {
+                Backend::EmulateQpe {
+                    strategy: QpeStrategy::GateLevel,
+                }
+            } else {
+                backend
+            };
+            PlanStep {
+                op_index: i,
+                op: op_label(program, op),
+                backend,
+                predicted_s,
+                n_ancilla,
+                circuit,
+                fused: fused_circuit,
+            }
+        })
+        .collect();
+    ExecutionPlan::from_steps(program, steps)
+}
+
+// ---------------------------------------------------------------------------
+// The one interpreter.
+// ---------------------------------------------------------------------------
+
+/// Executes [`ExecutionPlan`]s: the single interpreter loop behind all
+/// three executors. Holds the knobs that are properties of the *runner*
+/// rather than the plan: the gate-level [`SimConfig`] and whether
+/// circuits are first decomposed to one- and two-qubit gates.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct PlanInterpreter {
+    /// Gate-level execution configuration (fusion policy) for
+    /// [`Backend::SimulateFused`] steps.
+    pub config: SimConfig,
+    /// Decompose circuits into elementary one-/two-qubit gates before
+    /// applying them (the paper-faithful cost model of Figs. 1–2).
+    pub elementary: bool,
+}
+
+impl PlanInterpreter {
+    /// Interpreter with a gate-level configuration.
+    pub fn new(config: SimConfig) -> PlanInterpreter {
+        PlanInterpreter {
+            config,
+            elementary: false,
+        }
+    }
+
+    /// Runs `plan` over `program` from `initial`, returning the final
+    /// state and the per-step audit report.
+    pub fn execute(
+        &self,
+        program: &QuantumProgram,
+        plan: &ExecutionPlan,
+        initial: StateVector,
+    ) -> Result<(StateVector, PlanReport), EmuError> {
+        if initial.n_qubits() != program.n_qubits() {
+            return Err(EmuError::DimensionMismatch {
+                expected: program.n_qubits(),
+                got: initial.n_qubits(),
+            });
+        }
+        // A plan is only valid for the exact program instance it was
+        // lowered from (clones included): it indexes the op list and may
+        // carry circuits built from the program's closures, so even a
+        // structurally identical rebuild must be re-planned.
+        if plan.program_id != program.instance_id() {
+            return Err(EmuError::PlanMismatch {
+                reason: format!(
+                    "plan was lowered from program instance {}, got {}",
+                    plan.program_id,
+                    program.instance_id()
+                ),
+            });
+        }
+        let n = program.n_qubits();
+        let mut state = extend_with_ancillas(initial, plan.n_ancilla);
+        let mut steps = Vec::with_capacity(plan.steps.len());
+        for step in &plan.steps {
+            let op = &program.ops()[step.op_index];
+            let t0 = Instant::now();
+            self.execute_step(&mut state, program, op, step)?;
+            steps.push(StepReport {
+                op: step.op.clone(),
+                backend: step.backend,
+                predicted_s: step.predicted_s,
+                measured_s: t0.elapsed().as_secs_f64(),
+            });
+        }
+        let state = truncate_ancillas(state, n)?;
+        Ok((state, PlanReport { steps }))
+    }
+
+    /// `SimConfig` a simulation step runs under: `SimulateFused` uses the
+    /// interpreter's own fused config (or the default window if the
+    /// interpreter is unfused); `SimulateGateLevel` is always unfused.
+    fn step_config(&self, backend: Backend) -> SimConfig {
+        match backend {
+            Backend::SimulateFused => match self.config.fusion {
+                FusionPolicy::Greedy { .. } => self.config,
+                FusionPolicy::Disabled => SimConfig::fused(DEFAULT_MAX_FUSED_QUBITS),
+            },
+            Backend::SimulateGateLevel => SimConfig::unfused(),
+            // Raw-gate steps on an emulated plan inherit the config.
+            _ => self.config,
+        }
+    }
+
+    fn lower<'c>(&self, c: &'c Circuit) -> std::borrow::Cow<'c, Circuit> {
+        if self.elementary {
+            std::borrow::Cow::Owned(qcemu_sim::decompose_circuit(c))
+        } else {
+            std::borrow::Cow::Borrowed(c)
+        }
+    }
+
+    fn run_circuit(&self, state: &mut StateVector, c: &Circuit, backend: Backend) {
+        state.run(&self.lower(c), &self.step_config(backend));
+    }
+
+    /// Applies the fused block stream the planner priced, if the step
+    /// carries one and this interpreter can use it (fused backend, no
+    /// elementary lowering). Returns `true` when the step was handled.
+    fn try_cached_fused(&self, state: &mut StateVector, step: &PlanStep) -> bool {
+        if !self.elementary && step.backend == Backend::SimulateFused {
+            if let Some(fused) = &step.fused {
+                state.apply_fused_circuit(fused);
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Runs a simulation step, reusing the artifacts the planner built
+    /// during costing: the fused block stream (applied directly — fusion
+    /// is semantics-preserving, so a cached stream is always
+    /// state-correct), or the deferred-build circuit, falling back to
+    /// `build` when the plan carries neither. Elementary lowering always
+    /// goes through the raw circuit.
+    fn run_sim_step(
+        &self,
+        state: &mut StateVector,
+        step: &PlanStep,
+        build: impl FnOnce() -> Circuit,
+    ) {
+        if self.try_cached_fused(state, step) {
+            return;
+        }
+        match &step.circuit {
+            Some(c) => self.run_circuit(state, c, step.backend),
+            None => self.run_circuit(state, &build(), step.backend),
+        }
+    }
+
+    fn execute_step(
+        &self,
+        state: &mut StateVector,
+        program: &QuantumProgram,
+        op: &HighLevelOp,
+        step: &PlanStep,
+    ) -> Result<(), EmuError> {
+        let simulate = step.backend.is_simulate();
+        match op {
+            HighLevelOp::Gates(c) => {
+                if !self.try_cached_fused(state, step) {
+                    self.run_circuit(state, c, step.backend);
+                }
+            }
+            HighLevelOp::Classical(cm) => {
+                if simulate {
+                    let gi =
+                        cm.gate_impl
+                            .as_ref()
+                            .ok_or_else(|| EmuError::NoGateImplementation {
+                                op: cm.name.clone(),
+                            })?;
+                    self.run_sim_step(state, step, || (gi.build)(program));
+                } else {
+                    apply_classical_map(state, program, cm)?;
+                }
+            }
+            HighLevelOp::Phase(po) => {
+                if simulate {
+                    let gi =
+                        po.gate_impl
+                            .as_ref()
+                            .ok_or_else(|| EmuError::NoGateImplementation {
+                                op: po.name.clone(),
+                            })?;
+                    self.run_sim_step(state, step, || (gi.build)(program));
+                } else {
+                    apply_phase_oracle(state, program, po);
+                }
+            }
+            HighLevelOp::Rotation(ro) => {
+                if simulate {
+                    self.run_sim_step(state, step, || match &ro.gate_impl {
+                        Some(gi) => (gi.build)(program),
+                        None => rotation_expansion_circuit(program, ro),
+                    });
+                } else {
+                    crate::classical::apply_controlled_rotation(state, program, ro);
+                }
+            }
+            HighLevelOp::Qft(r) => {
+                let bits = program.register(*r).bits();
+                if simulate {
+                    let c = qft_circuit(bits.len()).remap_qubits(state.n_qubits(), |q| bits[q]);
+                    self.run_circuit(state, &c, step.backend);
+                } else {
+                    let n_state = state.n_qubits();
+                    qft_subspace(state.amplitudes_mut(), n_state, &bits);
+                }
+            }
+            HighLevelOp::InverseQft(r) => {
+                let bits = program.register(*r).bits();
+                if simulate {
+                    let c =
+                        inverse_qft_circuit(bits.len()).remap_qubits(state.n_qubits(), |q| bits[q]);
+                    self.run_circuit(state, &c, step.backend);
+                } else {
+                    let n_state = state.n_qubits();
+                    inverse_qft_subspace(state.amplitudes_mut(), n_state, &bits);
+                }
+            }
+            HighLevelOp::Qpe(qpe) => {
+                let strategy = match step.backend {
+                    Backend::EmulateQpe { strategy } => strategy,
+                    _ => QpeStrategy::GateLevel,
+                };
+                let target_bits = program.register(qpe.target).bits();
+                let phase_bits = program.register(qpe.phase).bits();
+                apply_qpe(state, qpe, &target_bits, &phase_bits, strategy)?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Builds the generic per-value expansion of a register-controlled
+/// rotation: for each x value, X-conjugate the zero bits and apply a
+/// multi-controlled Ry — the exponential network the emulator avoids.
+pub(crate) fn rotation_expansion_circuit(program: &QuantumProgram, ro: &RotationOp) -> Circuit {
+    let x = program.register(ro.x);
+    let target = program.register(ro.target).offset;
+    let bits = x.bits();
+    let mut c = Circuit::new(program.n_qubits());
+    for value in 0..(1u64 << x.len) {
+        let theta = (ro.angle)(value);
+        if theta.abs() < 1e-15 {
+            continue;
+        }
+        for (j, &q) in bits.iter().enumerate() {
+            if (value >> j) & 1 == 0 {
+                c.push(Gate::x(q));
+            }
+        }
+        c.push(Gate::Unary {
+            op: GateOp::Ry(theta),
+            target,
+            controls: bits.clone(),
+        });
+        for (j, &q) in bits.iter().enumerate().rev() {
+            if (value >> j) & 1 == 0 {
+                c.push(Gate::x(q));
+            }
+        }
+    }
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::ProgramBuilder;
+    use crate::stdops;
+
+    fn model() -> CostModel {
+        CostModel::default()
+    }
+
+    /// Mixed program: superposed multiply, a raw gate run, a QFT.
+    fn mixed_program(m: usize) -> QuantumProgram {
+        let mut pb = ProgramBuilder::new();
+        let a = pb.register("a", m);
+        let b = pb.register("b", m);
+        let c = pb.register("c", m);
+        pb.hadamard_all(a);
+        pb.set_constant(b, 3);
+        pb.classical(stdops::multiply(a, b, c, m));
+        pb.qft(c);
+        pb.build().unwrap()
+    }
+
+    #[test]
+    fn emulated_plan_uses_shortcuts_everywhere() {
+        let prog = mixed_program(3);
+        let plan = plan_emulated(&prog, &model(), &SimConfig::unfused(), |_, _| {
+            QpeStrategy::RepeatedSquaring
+        });
+        assert_eq!(plan.steps().len(), prog.ops().len());
+        assert_eq!(plan.n_ancilla(), 0);
+        assert_eq!(plan.steps()[2].backend, Backend::EmulateClassical);
+        assert_eq!(plan.steps()[3].backend, Backend::EmulateFft);
+        // Raw gate preludes stay on the gate path.
+        assert!(plan.steps()[0].backend.is_simulate());
+    }
+
+    #[test]
+    fn simulated_plan_reserves_ancillas_and_uses_gates() {
+        let prog = mixed_program(3);
+        let plan = plan_simulated(&prog, &model(), &SimConfig::unfused());
+        assert_eq!(plan.n_ancilla(), 1); // multiplier ancilla
+        assert!(plan.steps().iter().all(|s| s.backend.is_simulate()));
+        let fused = plan_simulated(&prog, &model(), &SimConfig::fused(4));
+        assert!(fused
+            .steps()
+            .iter()
+            .all(|s| s.backend == Backend::SimulateFused));
+    }
+
+    #[test]
+    fn hybrid_plan_dispatches_per_op() {
+        let prog = mixed_program(3);
+        let plan = plan_hybrid(&prog, &model(), &SimConfig::fused(4));
+        // The classical map always beats its Toffoli network.
+        assert_eq!(plan.steps()[2].backend, Backend::EmulateClassical);
+        // Raw gates have no shortcut.
+        assert!(plan.steps()[0].backend.is_simulate());
+        // Costs are finite and the report machinery sums them.
+        assert!(plan.total_predicted_s().is_finite());
+    }
+
+    #[test]
+    fn hybrid_avoids_ancilla_headroom_when_emulation_wins() {
+        // The only ancilla-bearing op is the multiply; the hybrid plan
+        // emulates it, so no head-room is reserved and the whole run
+        // stays in the 2^n program space.
+        let prog = mixed_program(3);
+        let plan = plan_hybrid(&prog, &model(), &SimConfig::fused(4));
+        assert_eq!(plan.n_ancilla(), 0);
+    }
+
+    #[test]
+    fn hybrid_prefers_fft_for_wide_qft_and_gates_for_narrow() {
+        let mut pb = ProgramBuilder::new();
+        let wide = pb.register("wide", 16);
+        pb.qft(wide);
+        let prog = pb.build().unwrap();
+        let plan = plan_hybrid(&prog, &model(), &SimConfig::fused(4));
+        assert_eq!(
+            plan.steps()[0].backend,
+            Backend::EmulateFft,
+            "16 FFT passes beat ~16²/2 gate sweeps"
+        );
+
+        let mut pb = ProgramBuilder::new();
+        let narrow = pb.register("narrow", 2);
+        let _pad = pb.register("pad", 14);
+        pb.qft(narrow);
+        let prog = pb.build().unwrap();
+        let plan = plan_hybrid(&prog, &model(), &SimConfig::fused(4));
+        assert!(
+            plan.steps()[0].backend.is_simulate(),
+            "a 2-bit QFT is 3 gates — cheaper than 2 full FFT passes, got {}",
+            plan.steps()[0].backend
+        );
+    }
+
+    #[test]
+    fn emulation_only_ops_plan_to_emulation_with_infinite_sim_cost() {
+        let mut pb = ProgramBuilder::new();
+        let a = pb.register("a", 3);
+        pb.classical(stdops::apply_classical_fn("xor3", vec![a], |v| v[0] ^= 3));
+        let prog = pb.build().unwrap();
+        let hybrid = plan_hybrid(&prog, &model(), &SimConfig::fused(4));
+        assert_eq!(hybrid.steps()[0].backend, Backend::EmulateClassical);
+        let sim = plan_simulated(&prog, &model(), &SimConfig::unfused());
+        assert!(sim.steps()[0].predicted_s.is_infinite());
+    }
+
+    #[test]
+    fn interpreter_matches_legacy_paths_on_mixed_program() {
+        let prog = mixed_program(2);
+        let initial = StateVector::zero_state(prog.n_qubits());
+        let m = model();
+        let emu_plan = plan_emulated(&prog, &m, &SimConfig::unfused(), |t, p| {
+            if p > 2 * t {
+                QpeStrategy::Eigendecomposition
+            } else {
+                QpeStrategy::RepeatedSquaring
+            }
+        });
+        let sim_plan = plan_simulated(&prog, &m, &SimConfig::unfused());
+        let hyb_plan = plan_hybrid(&prog, &m, &SimConfig::fused(4));
+        let interp = PlanInterpreter::default();
+        let (emu, _) = interp.execute(&prog, &emu_plan, initial.clone()).unwrap();
+        let (sim, _) = interp.execute(&prog, &sim_plan, initial.clone()).unwrap();
+        let (hyb, report) = interp.execute(&prog, &hyb_plan, initial).unwrap();
+        assert!(emu.max_diff_up_to_phase(&sim) < 1e-10);
+        assert!(emu.max_diff_up_to_phase(&hyb) < 1e-10);
+        assert_eq!(report.steps.len(), prog.ops().len());
+        assert!(report.total_measured_s() > 0.0);
+        // The report renders.
+        let table = report.to_string();
+        assert!(table.contains("backend"), "{table}");
+    }
+
+    #[test]
+    fn ancilla_helpers_roundtrip_and_catch_leaks() {
+        let sv = StateVector::basis_state(2, 0b10);
+        let extended = extend_with_ancillas(sv.clone(), 2);
+        assert_eq!(extended.n_qubits(), 4);
+        assert_eq!(extended.probability(0b10), 1.0);
+        let back = truncate_ancillas(extended, 2).unwrap();
+        assert!(back.max_diff_up_to_phase(&sv) < 1e-15);
+
+        // A state with weight on an ancilla must be rejected.
+        let dirty = StateVector::basis_state(3, 0b100);
+        assert!(matches!(
+            truncate_ancillas(dirty, 2),
+            Err(EmuError::AncillaNotClean { .. })
+        ));
+    }
+
+    #[test]
+    fn mismatched_plan_and_program_are_rejected() {
+        let prog_a = mixed_program(2);
+        let mut pb = ProgramBuilder::new();
+        let a = pb.register("a", prog_a.n_qubits());
+        pb.qft(a);
+        let prog_b = pb.build().unwrap();
+        let plan = plan_hybrid(&prog_a, &model(), &SimConfig::fused(4));
+        let err = PlanInterpreter::default()
+            .execute(&prog_b, &plan, StateVector::zero_state(prog_b.n_qubits()))
+            .unwrap_err();
+        assert!(matches!(err, EmuError::PlanMismatch { .. }), "{err}");
+    }
+
+    #[test]
+    fn plan_display_lists_every_step() {
+        let prog = mixed_program(2);
+        let plan = plan_hybrid(&prog, &model(), &SimConfig::fused(4));
+        let rendered = plan.to_string();
+        for step in plan.steps() {
+            assert!(rendered.contains(&step.op), "missing {}", step.op);
+        }
+    }
+}

@@ -222,9 +222,19 @@ pub struct QuantumProgram {
     registers: Vec<ProgramRegister>,
     n_qubits: usize,
     ops: Vec<HighLevelOp>,
+    /// Unique per `ProgramBuilder::build` call (clones share it); lets an
+    /// execution plan prove it was lowered from this exact program.
+    instance_id: u64,
 }
 
 impl QuantumProgram {
+    /// Identity of this program instance: assigned once at build time and
+    /// shared by clones. Execution plans record it so a plan cannot be
+    /// run against a different program (ops are identified by index, and
+    /// plans may carry circuits built from the original's closures).
+    pub fn instance_id(&self) -> u64 {
+        self.instance_id
+    }
     /// Total architectural qubits (ancillas used by gate-level lowering of
     /// classical maps are *not* counted — they exist only on the simulator
     /// path).
@@ -257,6 +267,9 @@ impl QuantumProgram {
                     cm.gate_impl.as_ref().map(|g| g.n_ancilla).unwrap_or(0)
                 }
                 HighLevelOp::Phase(po) => po.gate_impl.as_ref().map(|g| g.n_ancilla).unwrap_or(0),
+                HighLevelOp::Rotation(ro) => {
+                    ro.gate_impl.as_ref().map(|g| g.n_ancilla).unwrap_or(0)
+                }
                 _ => 0,
             })
             .max()
@@ -379,10 +392,13 @@ impl ProgramBuilder {
 
     /// Finalises the program, validating register/op consistency.
     pub fn build(self) -> Result<QuantumProgram, EmuError> {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        static NEXT_ID: AtomicU64 = AtomicU64::new(0);
         let program = QuantumProgram {
             registers: self.registers,
             n_qubits: self.next_qubit,
             ops: self.ops,
+            instance_id: NEXT_ID.fetch_add(1, Ordering::Relaxed),
         };
         program.validate()?;
         Ok(program)

@@ -55,6 +55,23 @@ impl Circuit {
         self.gates.extend(other.gates.iter().cloned());
     }
 
+    /// Total state-vector entries written by one unfused, gate-by-gate
+    /// execution on an `n_qubits` state (`n_qubits` may exceed the
+    /// circuit's own width, e.g. when ancillas are appended above it) —
+    /// the per-gate sum of [`crate::kernels::touched_entries`], and the
+    /// unfused counterpart of
+    /// [`FusedCircuit::touched_entries`](crate::fusion::FusedCircuit::touched_entries).
+    /// This is the memory-traffic estimate the execution planner's cost
+    /// model consumes: at ≥20 qubits gate application is memory-bound, so
+    /// predicted runtime is proportional to entries written, not flops.
+    pub fn touched_entries(&self, n_qubits: usize) -> usize {
+        assert!(n_qubits >= self.n_qubits, "state narrower than the circuit");
+        self.gates
+            .iter()
+            .map(|g| crate::kernels::touched_entries(n_qubits, g))
+            .sum()
+    }
+
     /// Fuses this circuit under `policy` with the greedy window clamped to
     /// `max_block_qubits` — the entry point for executors whose blocks
     /// must fit inside a sub-register, e.g. the distributed simulator,

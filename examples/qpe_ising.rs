@@ -140,5 +140,26 @@ fn main() -> Result<(), EmuError> {
         "best strategy at b = {b}: {:?}",
         timings.best_strategy(b as u32)
     );
+
+    // Close the loop: hand the measured timings to the emulator, so the
+    // advisor's verdict — not the static b > 2n rule — picks the strategy
+    // at execution time.
+    let (program, _) = build(None)?;
+    let advised = Emulator::new().with_timings(timings);
+    let out = advised.run(&program, StateVector::zero_state(program.n_qubits()))?;
+    let r = reference.as_ref().expect("reference state");
+    println!(
+        "emulator.with_timings(measured): same state as the reference ✓ (diff {:.1e})",
+        r.max_diff_up_to_phase(&out)
+    );
+
+    // And the planner's view: the hybrid executor lowers the QPE to a
+    // plan step with a cost-model-chosen strategy and reports predicted
+    // vs measured cost per op.
+    let hybrid = HybridExecutor::new();
+    let (out, report) =
+        hybrid.run_with_report(&program, StateVector::zero_state(program.n_qubits()))?;
+    assert!(r.max_diff_up_to_phase(&out) < 1e-6);
+    println!("\nhybrid executor plan report:\n{report}");
     Ok(())
 }

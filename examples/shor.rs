@@ -53,7 +53,16 @@ fn main() -> Result<(), EmuError> {
     pb.inverse_qft(x);
     let program = pb.build()?;
 
-    let out = Emulator::new().run(&program, StateVector::zero_state(program.n_qubits()))?;
+    // The hybrid executor plans per op: the modular exponentiation has no
+    // gate-level implementation, so the planner routes it to the §3.1
+    // shortcut; the inverse QFT goes to whichever of FFT / fused gates
+    // the cost model predicts is cheaper at this register width.
+    let exec = HybridExecutor::new();
+    let plan = exec.plan(&program);
+    println!("\nexecution plan:\n{plan}\n");
+    let (out, report) =
+        exec.run_plan(&program, &plan, StateVector::zero_state(program.n_qubits()))?;
+    println!("plan report (predicted vs measured):\n{report}\n");
 
     // §3.4: read the EXACT outcome distribution over x, no sampling.
     let x_bits: Vec<usize> = (0..count_bits).collect();

@@ -1,0 +1,194 @@
+//! Cross-executor equivalence on randomized mixed programs (proptest):
+//! classical maps, QFTs, phase oracles, register-controlled rotations and
+//! raw gate runs, in random order, must produce identical final states
+//! (≤ 1e-10 up to global phase) under all four execution paths —
+//! `Emulator`, `GateLevelSimulator`, `GateLevelSimulator::fused`, and the
+//! cost-model-driven `HybridExecutor`. This is the contract that makes
+//! per-op hybrid dispatch safe: whatever the planner chooses, the state
+//! is the same.
+
+use proptest::prelude::*;
+use qcemu::prelude::*;
+use std::sync::Arc;
+
+/// One randomly chosen high-level op, lowered onto a fixed register
+/// layout: a (2 qubits), b (2 qubits), t (1 qubit) — 5 qubits total.
+/// Every variant carries a gate-level implementation (or a generic
+/// expansion), so all four executors can run every sampled program.
+#[derive(Clone, Debug)]
+enum OpChoice {
+    /// `b ← a + b (mod 4)` — Cuccaro adder vs word addition.
+    Add,
+    /// Grover-style phase mark of one 2-bit value on register `a`.
+    Mark { value: u64, phase_millis: u64 },
+    /// QFT / inverse QFT on `a` or `b`.
+    Qft { on_b: bool, inverse: bool },
+    /// Register-controlled rotation `|x⟩|t⟩ ↦ |x⟩ Ry(θ(x))|t⟩` with
+    /// θ(x) = base/1000 + x·step/1000 — per-value expansion vs sweep.
+    Rotate {
+        on_b: bool,
+        base_millis: u64,
+        step_millis: u64,
+    },
+    /// A short raw gate run drawn from the gate zoo.
+    Gates { seed: u64, len: usize },
+}
+
+fn op_choice() -> impl Strategy<Value = OpChoice> {
+    (0..5usize, 0..4u64, 1..1500u64, 0..8u64, 1..6usize).prop_map(
+        |(kind, value, millis, seed, len)| match kind {
+            0 => OpChoice::Add,
+            1 => OpChoice::Mark {
+                value,
+                phase_millis: millis,
+            },
+            2 => OpChoice::Qft {
+                on_b: value % 2 == 0,
+                inverse: value / 2 == 0,
+            },
+            3 => OpChoice::Rotate {
+                on_b: value % 2 == 0,
+                base_millis: millis,
+                step_millis: 100 + value * 37,
+            },
+            _ => OpChoice::Gates { seed, len },
+        },
+    )
+}
+
+/// Deterministic small gate run over the 5 program qubits.
+fn gate_run(c: &mut Circuit, seed: u64, len: usize) {
+    let mut s = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1);
+    for _ in 0..len {
+        s = s
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        let q = ((s >> 33) % 5) as usize;
+        let p = ((s >> 13) % 5) as usize;
+        let theta = ((s >> 3) % 1000) as f64 / 500.0;
+        match (s >> 60) % 5 {
+            0 => {
+                c.push(Gate::h(q));
+            }
+            1 => {
+                c.push(Gate::x(q));
+            }
+            2 => {
+                c.push(Gate::phase(q, theta));
+            }
+            3 if p != q => {
+                c.push(Gate::cnot(q, p));
+            }
+            _ => {
+                c.push(Gate::ry(q, theta));
+            }
+        }
+    }
+}
+
+fn build_program(ops: &[OpChoice]) -> QuantumProgram {
+    let mut pb = ProgramBuilder::new();
+    let a = pb.register("a", 2);
+    let b = pb.register("b", 2);
+    let t = pb.register("t", 1);
+    // Non-trivial input: superpose everything so every branch of every
+    // permutation carries weight.
+    pb.hadamard_all(a);
+    pb.hadamard_all(b);
+    for (i, op) in ops.iter().enumerate() {
+        match op {
+            OpChoice::Add => {
+                pb.classical(stdops::add(a, b, 2));
+            }
+            OpChoice::Mark {
+                value,
+                phase_millis,
+            } => {
+                pb.phase_oracle(stdops::mark_value(a, *value, *phase_millis as f64 / 500.0));
+            }
+            OpChoice::Qft { on_b, inverse } => {
+                let reg = if *on_b { b } else { a };
+                if *inverse {
+                    pb.inverse_qft(reg);
+                } else {
+                    pb.qft(reg);
+                }
+            }
+            OpChoice::Rotate {
+                on_b,
+                base_millis,
+                step_millis,
+            } => {
+                let base = *base_millis as f64 / 1000.0;
+                let step = *step_millis as f64 / 1000.0;
+                pb.rotation(qcemu_core::RotationOp {
+                    name: format!("rot{i}"),
+                    x: if *on_b { b } else { a },
+                    target: t,
+                    angle: Arc::new(move |v| base + step * v as f64),
+                    gate_impl: None,
+                });
+            }
+            OpChoice::Gates { seed, len } => {
+                let (seed, len) = (*seed, *len);
+                pb.gates(|c| gate_run(c, seed, len));
+            }
+        }
+    }
+    pb.build().unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(20))]
+
+    /// The headline invariant: four executors, one state.
+    #[test]
+    fn all_executors_agree_on_random_mixed_programs(
+        ops in proptest::collection::vec(op_choice(), 1..7)
+    ) {
+        let program = build_program(&ops);
+        let initial = StateVector::zero_state(program.n_qubits());
+        let reference = Emulator::new().run(&program, initial.clone()).unwrap();
+        let executors: [(&str, Box<dyn Executor>); 3] = [
+            ("simulator", Box::new(GateLevelSimulator::new())),
+            ("fused simulator", Box::new(GateLevelSimulator::fused())),
+            ("hybrid", Box::new(HybridExecutor::new())),
+        ];
+        for (name, exec) in executors {
+            let out = exec.run(&program, initial.clone()).unwrap();
+            let diff = reference.max_diff_up_to_phase(&out);
+            prop_assert!(
+                diff < 1e-10,
+                "{name} deviates from emulator by {diff:.3e} on {ops:?}"
+            );
+        }
+        // Norm stays exact through every path.
+        prop_assert!((reference.norm() - 1.0).abs() < 1e-9);
+    }
+
+    /// The hybrid plan itself is well-formed on arbitrary programs: every
+    /// op gets exactly one step, predictions are finite (everything here
+    /// is simulable), and ancilla head-room is only reserved when some
+    /// step actually simulates an ancilla-bearing op.
+    #[test]
+    fn hybrid_plans_are_well_formed(
+        ops in proptest::collection::vec(op_choice(), 1..7)
+    ) {
+        let program = build_program(&ops);
+        let exec = HybridExecutor::new();
+        let plan = exec.plan(&program);
+        prop_assert_eq!(plan.steps().len(), program.ops().len());
+        for (i, step) in plan.steps().iter().enumerate() {
+            prop_assert_eq!(step.op_index, i);
+            prop_assert!(step.predicted_s.is_finite(), "step {i} has ∞ cost");
+        }
+        let needed = plan
+            .steps()
+            .iter()
+            .filter(|s| s.backend.is_simulate())
+            .map(|s| s.n_ancilla)
+            .max()
+            .unwrap_or(0);
+        prop_assert_eq!(plan.n_ancilla(), needed);
+    }
+}
