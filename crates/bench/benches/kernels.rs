@@ -5,9 +5,9 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use qcemu_baselines::{LiquidSim, QhipsterSim};
 use qcemu_fft::qft_convention;
-use qcemu_linalg::{gemm, random_matrix, strassen_with_cutoff};
+use qcemu_linalg::{gemm, random_matrix, simd, strassen_with_cutoff};
 use qcemu_sim::circuits::qft::qft_circuit;
-use qcemu_sim::{Gate, StateVector};
+use qcemu_sim::{Circuit, FusedCircuit, FusionPolicy, Gate, StateVector};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -98,5 +98,199 @@ fn bench_matmul(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_gate_kernels, bench_qft_paths, bench_matmul);
+/// A dense fused block: enough general gates inside a k-qubit window to
+/// trip the Dense classification (one 2^k×2^k mat-vec per group — the
+/// FLOP-dense loop where SIMD pays most).
+fn dense_block(n: usize, lo: usize, k: usize) -> FusedCircuit {
+    let mut c = Circuit::new(n);
+    let reps = (1usize << k) / k + 1;
+    for _ in 0..reps {
+        for q in lo..lo + k {
+            c.h(q);
+            c.ry(q, 0.37);
+        }
+    }
+    let fused = c.fuse(&FusionPolicy::Greedy {
+        max_fused_qubits: k,
+    });
+    assert_eq!(fused.ops().len(), 1, "workload must fuse to one block");
+    fused
+}
+
+/// The vectorised kernels, scalar vs SIMD at 2^20: the contiguous-target
+/// butterfly, a low-target butterfly (short runs — stays scalar either
+/// way, pinning the fallback cost), the diagonal/phase sweep, the fused
+/// dense block, and the FFT butterfly. Parameterised over the dispatch
+/// via `simd::force_scalar`, so one binary produces both columns.
+fn bench_simd_kernels(c: &mut Criterion) {
+    let n = 20usize;
+    let mut group = c.benchmark_group(format!("simd_2^20 [{}]", simd::backend_name()));
+    group.sample_size(10);
+    let fused = dense_block(n, 10, 5);
+    for (mode, forced) in [("scalar", true), ("simd", false)] {
+        simd::force_scalar(forced);
+        group.bench_function(BenchmarkId::new("butterfly_contig_h10", mode), |b| {
+            let mut sv = StateVector::uniform_superposition(n);
+            let gate = Gate::h(10);
+            b.iter(|| {
+                sv.apply(&gate);
+                std::hint::black_box(sv.amplitudes()[1]);
+            });
+        });
+        group.bench_function(BenchmarkId::new("butterfly_low_target_h0", mode), |b| {
+            let mut sv = StateVector::uniform_superposition(n);
+            let gate = Gate::h(0);
+            b.iter(|| {
+                sv.apply(&gate);
+                std::hint::black_box(sv.amplitudes()[1]);
+            });
+        });
+        group.bench_function(BenchmarkId::new("diagonal_phase10", mode), |b| {
+            let mut sv = StateVector::uniform_superposition(n);
+            let gate = Gate::phase(10, 0.3);
+            b.iter(|| {
+                sv.apply(&gate);
+                std::hint::black_box(sv.amplitudes()[1]);
+            });
+        });
+        group.bench_function(BenchmarkId::new("fused_dense_k5", mode), |b| {
+            let mut sv = StateVector::uniform_superposition(n);
+            b.iter(|| {
+                sv.apply_fused_circuit(&fused);
+                std::hint::black_box(sv.amplitudes()[1]);
+            });
+        });
+        group.bench_function(BenchmarkId::new("fft", mode), |b| {
+            let base = StateVector::uniform_superposition(n);
+            b.iter(|| {
+                let mut amps = base.amplitudes().to_vec();
+                qft_convention(&mut amps);
+                std::hint::black_box(amps[0]);
+            });
+        });
+    }
+    simd::force_scalar(false);
+    group.finish();
+}
+
+/// Per-entry rates at 16–22 qubits, scalar vs SIMD — the numbers the
+/// runtime calibration (`CostModel::calibrated`) measures at startup,
+/// printed here across sizes so the cache-to-DRAM rolloff is visible.
+/// Ends with the calibrated model itself for cross-checking, and a
+/// `par_threshold` sweep (`SimConfig::with_par_threshold`) so the
+/// parallel handoff point can be tuned on multi-core hosts.
+fn bench_entry_rates(_c: &mut Criterion) {
+    use std::time::Instant;
+    let time_best = |reps: usize, f: &mut dyn FnMut()| {
+        f(); // warm-up
+        let mut best = f64::INFINITY;
+        for _ in 0..reps {
+            let t0 = Instant::now();
+            f();
+            best = best.min(t0.elapsed().as_secs_f64());
+        }
+        best
+    };
+
+    println!(
+        "\nper-entry rates (Mentries/s), scalar vs {}:",
+        simd::backend_name()
+    );
+    println!(
+        "{:>3} {:<18} {:>10} {:>10} {:>9}",
+        "n", "kernel", "scalar", "simd", "speedup"
+    );
+    enum Row {
+        Gate(Gate),
+        Fused,
+    }
+    for n in [16usize, 18, 20, 22] {
+        let entries = (1usize << n) as f64;
+        let fused = dense_block(n, n / 2, 5);
+        for (name, row) in [
+            ("butterfly_contig", Row::Gate(Gate::h(n / 2))),
+            ("diagonal_phase", Row::Gate(Gate::phase(n / 2, 0.3))),
+            ("fused_dense_k5", Row::Fused),
+        ] {
+            // Repeated in-place application of a unitary: norm-preserving,
+            // so one state serves the whole measurement.
+            let mut sv = StateVector::uniform_superposition(n);
+            let body = |sv: &mut StateVector| {
+                match &row {
+                    Row::Gate(g) => sv.apply(g),
+                    Row::Fused => sv.apply_fused_circuit(&fused),
+                }
+                std::hint::black_box(sv.amplitudes()[1]);
+            };
+            simd::force_scalar(true);
+            let t_scalar = time_best(3, &mut || body(&mut sv));
+            simd::force_scalar(false);
+            let t_simd = time_best(3, &mut || body(&mut sv));
+            // The phase sweep writes half the entries; the others all.
+            let written = if name == "diagonal_phase" {
+                entries / 2.0
+            } else {
+                entries
+            };
+            println!(
+                "{:>3} {:<18} {:>10.0} {:>10.0} {:>8.2}x",
+                n,
+                name,
+                written / t_scalar / 1e6,
+                written / t_simd / 1e6,
+                t_scalar / t_simd
+            );
+        }
+    }
+
+    let model = qcemu_core::CostModel::calibrated();
+    println!("\nCostModel::calibrated() on this host/build:");
+    println!(
+        "  entry_rate {:.0}M/s  fused_entry_rate {:.0}M/s  table_rate {:.0}M/s  fuse_per_gate {:.2}µs",
+        model.entry_rate / 1e6,
+        model.fused_entry_rate / 1e6,
+        model.table_rate / 1e6,
+        model.fuse_per_gate * 1e6
+    );
+    println!(
+        "  qpe: gate {:.0}M/s  build {:.0}M/s  gemm {:.2}GF/s  eig {:.2}GF/s",
+        model.qpe.gate_rate / 1e6,
+        model.qpe.build_rate / 1e6,
+        model.qpe.gemm_flops / 1e9,
+        model.qpe.eig_flops / 1e9
+    );
+
+    // par_threshold sweep: where thread handoff starts to pay (flat on
+    // single-core hosts — rayon never engages below 2 threads).
+    println!("\npar_threshold sweep (QFT(18), fused k=4):");
+    let n = 18;
+    let circuit = qft_circuit(n);
+    for threshold in [1usize << 12, 1 << 15, 1 << 18, usize::MAX] {
+        let config = qcemu_sim::SimConfig::fused(4).with_par_threshold(threshold);
+        let mut t = f64::INFINITY;
+        for _ in 0..3 {
+            let mut sv = StateVector::uniform_superposition(n);
+            let t0 = Instant::now();
+            sv.run(&circuit, &config);
+            t = t.min(t0.elapsed().as_secs_f64());
+            std::hint::black_box(sv.amplitudes()[0]);
+        }
+        let label = if threshold == usize::MAX {
+            "serial".to_string()
+        } else {
+            format!("2^{}", threshold.trailing_zeros())
+        };
+        println!("  threshold {:>7}: {:>8.2} ms", label, t * 1e3);
+    }
+    println!();
+}
+
+criterion_group!(
+    benches,
+    bench_gate_kernels,
+    bench_qft_paths,
+    bench_matmul,
+    bench_simd_kernels,
+    bench_entry_rates
+);
 criterion_main!(benches);

@@ -21,6 +21,8 @@ use crate::planner::{
 use crate::program::QuantumProgram;
 use crate::qpe::QpeStrategy;
 use qcemu_sim::{SimConfig, StateVector};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
 
 /// Common interface of the execution back-ends.
 pub trait Executor {
@@ -193,13 +195,38 @@ impl Executor for Emulator {
 /// the [`PlanReport`] (per-op backend, predicted vs measured cost) so the
 /// dispatch is auditable; the `hybrid_ablation` bench exercises it on a
 /// mixed Shor-style workload.
-#[derive(Clone, Copy, Debug)]
+///
+/// ## Plan caching
+///
+/// Planning is not free: the hybrid lowering runs the fusion engine to
+/// price the fused candidates, and re-ran on **every** `run()` before
+/// this cache existed. The executor now memoises the last plan (which
+/// carries the fused circuits) keyed on the program's
+/// [`instance_id`](QuantumProgram::instance_id) *and*
+/// [`structure_hash`](QuantumProgram::structure_hash), plus the model and
+/// config that produced it; repeated `run()`s of the same program skip
+/// planning and fusion entirely, and any change — different program,
+/// swapped model, new config — evicts the entry. Clones of the executor
+/// share the cache.
+#[derive(Clone, Debug)]
 pub struct HybridExecutor {
     /// The cost model driving backend choice.
     pub model: CostModel,
     /// Gate-level configuration for simulated steps; defaults to greedy
     /// fusion at the default window.
     pub config: SimConfig,
+    cache: Arc<Mutex<Option<CachedPlan>>>,
+    plan_misses: Arc<AtomicUsize>,
+}
+
+/// One memoised lowering, with everything its validity depends on.
+#[derive(Debug)]
+struct CachedPlan {
+    instance_id: u64,
+    structure_hash: u64,
+    model: CostModel,
+    config: SimConfig,
+    plan: Arc<ExecutionPlan>,
 }
 
 impl Default for HybridExecutor {
@@ -207,6 +234,8 @@ impl Default for HybridExecutor {
         HybridExecutor {
             model: CostModel::default(),
             config: SimConfig::fused(qcemu_sim::DEFAULT_MAX_FUSED_QUBITS),
+            cache: Arc::default(),
+            plan_misses: Arc::default(),
         }
     }
 }
@@ -217,32 +246,93 @@ impl HybridExecutor {
         HybridExecutor::default()
     }
 
+    /// Hybrid executor driven by the **measured** host rates
+    /// ([`CostModel::calibrated`]): the first call pays a few tens of
+    /// milliseconds of micro-benchmarks, after which per-op dispatch
+    /// tracks what this machine (and this build — SIMD on or off)
+    /// actually does, not the hand-tuned default ratios.
+    pub fn calibrated() -> HybridExecutor {
+        HybridExecutor::new().with_model(CostModel::calibrated())
+    }
+
     /// Replaces the cost model (e.g. with measured machine rates).
+    /// Resets the plan cache: cached plans are only valid for the model
+    /// that produced them.
     pub fn with_model(mut self, model: CostModel) -> HybridExecutor {
         self.model = model;
+        self.cache = Arc::default();
         self
     }
 
-    /// Replaces the gate-level execution configuration.
+    /// Replaces the gate-level execution configuration (resets the plan
+    /// cache).
     pub fn with_config(mut self, config: SimConfig) -> HybridExecutor {
         self.config = config;
+        self.cache = Arc::default();
         self
     }
 
     /// The cost-model-driven plan for `program` — inspect (or `{}`-print)
     /// it to see the per-op dispatch before running anything.
     pub fn plan(&self, program: &QuantumProgram) -> ExecutionPlan {
-        plan_hybrid(program, &self.model, &self.config)
+        (*self.plan_cached(program)).clone()
+    }
+
+    /// The memoised plan for `program`, if the cache currently holds one
+    /// that is valid for it (and for this executor's model/config).
+    pub fn cached_plan(&self, program: &QuantumProgram) -> Option<Arc<ExecutionPlan>> {
+        let guard = self.cache.lock().unwrap();
+        guard
+            .as_ref()
+            .filter(|c| self.cache_valid(c, program, program.structure_hash()))
+            .map(|c| Arc::clone(&c.plan))
+    }
+
+    /// How many times a `run()`/`plan()` had to lower from scratch —
+    /// the observable that proves repeated runs hit the cache.
+    pub fn plan_cache_misses(&self) -> usize {
+        self.plan_misses.load(Ordering::Relaxed)
+    }
+
+    fn cache_valid(&self, c: &CachedPlan, program: &QuantumProgram, hash: u64) -> bool {
+        c.instance_id == program.instance_id()
+            && c.structure_hash == hash
+            && c.model == self.model
+            && c.config == self.config
+    }
+
+    /// Returns the cached plan or lowers (and caches) a fresh one.
+    fn plan_cached(&self, program: &QuantumProgram) -> Arc<ExecutionPlan> {
+        let hash = program.structure_hash();
+        let mut guard = self.cache.lock().unwrap();
+        if let Some(c) = guard.as_ref() {
+            if self.cache_valid(c, program, hash) {
+                return Arc::clone(&c.plan);
+            }
+        }
+        self.plan_misses.fetch_add(1, Ordering::Relaxed);
+        let plan = Arc::new(plan_hybrid(program, &self.model, &self.config));
+        *guard = Some(CachedPlan {
+            instance_id: program.instance_id(),
+            structure_hash: hash,
+            model: self.model,
+            config: self.config,
+            plan: Arc::clone(&plan),
+        });
+        plan
     }
 
     /// Runs the program and returns the final state together with the
     /// per-op audit report (backend, predicted and measured cost).
+    /// Repeated calls with the same program reuse the memoised plan —
+    /// planning and fusion are paid once.
     pub fn run_with_report(
         &self,
         program: &QuantumProgram,
         initial: StateVector,
     ) -> Result<(StateVector, PlanReport), EmuError> {
-        self.run_plan(program, &self.plan(program), initial)
+        let plan = self.plan_cached(program);
+        self.run_plan(program, &plan, initial)
     }
 
     /// Executes an already-computed plan (e.g. one obtained from
@@ -363,6 +453,67 @@ mod tests {
             .steps
             .iter()
             .any(|s| s.backend == crate::planner::Backend::EmulateClassical));
+    }
+
+    #[test]
+    fn repeated_runs_reuse_the_cached_plan() {
+        let prog = multiplication_program(3);
+        let initial = StateVector::zero_state(prog.n_qubits());
+        let exec = HybridExecutor::new();
+        assert_eq!(exec.plan_cache_misses(), 0);
+        assert!(exec.cached_plan(&prog).is_none());
+
+        let a = exec.run(&prog, initial.clone()).unwrap();
+        assert_eq!(exec.plan_cache_misses(), 1);
+        let cached = exec.cached_plan(&prog).expect("cache populated by run");
+
+        // Second run: same plan object, no new lowering.
+        let b = exec.run(&prog, initial).unwrap();
+        assert_eq!(exec.plan_cache_misses(), 1, "second run must not re-plan");
+        assert!(Arc::ptr_eq(&cached, &exec.cached_plan(&prog).unwrap()));
+        assert!(a.max_diff_up_to_phase(&b) < 1e-15);
+
+        // A different program evicts the entry (single-slot cache).
+        let prog2 = multiplication_program(2);
+        exec.run(&prog2, StateVector::zero_state(prog2.n_qubits()))
+            .unwrap();
+        assert_eq!(exec.plan_cache_misses(), 2);
+        assert!(exec.cached_plan(&prog).is_none());
+        assert!(exec.cached_plan(&prog2).is_some());
+
+        // Clones share the cache; with_model/with_config reset it.
+        let shared = exec.clone();
+        assert!(shared.cached_plan(&prog2).is_some());
+        let fresh = exec.clone().with_model(CostModel::default());
+        assert!(fresh.cached_plan(&prog2).is_none());
+        let fresh = exec.clone().with_config(SimConfig::fused(3));
+        assert!(fresh.cached_plan(&prog2).is_none());
+    }
+
+    #[test]
+    fn cached_plan_is_not_served_to_a_different_program_instance() {
+        // A structurally identical rebuild gets a fresh instance_id, so
+        // the cache misses (its steps may carry the old instance's
+        // closures) — and execution still succeeds.
+        let exec = HybridExecutor::new();
+        let prog_a = multiplication_program(2);
+        exec.run(&prog_a, StateVector::zero_state(prog_a.n_qubits()))
+            .unwrap();
+        let prog_b = multiplication_program(2);
+        assert_eq!(prog_a.structure_hash(), prog_b.structure_hash());
+        assert!(exec.cached_plan(&prog_b).is_none());
+        exec.run(&prog_b, StateVector::zero_state(prog_b.n_qubits()))
+            .unwrap();
+        assert_eq!(exec.plan_cache_misses(), 2);
+    }
+
+    #[test]
+    fn calibrated_executor_still_matches_the_reference_paths() {
+        let prog = multiplication_program(3);
+        let initial = StateVector::zero_state(prog.n_qubits());
+        let reference = Emulator::new().run(&prog, initial.clone()).unwrap();
+        let calibrated = HybridExecutor::calibrated().run(&prog, initial).unwrap();
+        assert!(reference.max_diff_up_to_phase(&calibrated) < 1e-10);
     }
 
     #[test]

@@ -225,6 +225,10 @@ pub struct QuantumProgram {
     /// Unique per `ProgramBuilder::build` call (clones share it); lets an
     /// execution plan prove it was lowered from this exact program.
     instance_id: u64,
+    /// Lazily computed [`QuantumProgram::structure_hash`], shared by
+    /// clones (programs are immutable after `build`, so one walk
+    /// suffices for the instance's lifetime).
+    structure_hash: Arc<std::sync::OnceLock<u64>>,
 }
 
 impl QuantumProgram {
@@ -283,6 +287,128 @@ impl QuantumProgram {
             HighLevelOp::Phase(po) => po.gate_impl.is_some(),
             _ => true,
         })
+    }
+
+    /// Hash of the program's *structure*: registers, op sequence, gate
+    /// lists (angles by exact bit pattern), op names, map kinds, and
+    /// gate-impl ancilla counts. Two programs with different structure
+    /// hash differently (up to collisions); closures are opaque and
+    /// represented by their op names only.
+    ///
+    /// This is the plan-cache guard
+    /// ([`HybridExecutor`](crate::executor::HybridExecutor)): a cached
+    /// [`ExecutionPlan`](crate::planner::ExecutionPlan) is reused only
+    /// while both the [`QuantumProgram::instance_id`] (which pins the
+    /// closures) and this hash (which pins everything hashable) are
+    /// unchanged.
+    ///
+    /// The walk is paid once per program instance (memoised, shared by
+    /// clones) — repeated `run()`s on the cache-hit path cost one atomic
+    /// load, not a re-hash of every gate.
+    pub fn structure_hash(&self) -> u64 {
+        *self
+            .structure_hash
+            .get_or_init(|| self.compute_structure_hash())
+    }
+
+    fn compute_structure_hash(&self) -> u64 {
+        use std::collections::hash_map::DefaultHasher;
+        use std::hash::{Hash, Hasher};
+        let mut h = DefaultHasher::new();
+        self.n_qubits.hash(&mut h);
+        for r in &self.registers {
+            r.name.hash(&mut h);
+            r.offset.hash(&mut h);
+            r.len.hash(&mut h);
+        }
+        for op in &self.ops {
+            std::mem::discriminant(op).hash(&mut h);
+            match op {
+                HighLevelOp::Gates(c) => hash_circuit(c, &mut h),
+                HighLevelOp::Classical(cm) => {
+                    cm.name.hash(&mut h);
+                    cm.regs.hash(&mut h);
+                    std::mem::discriminant(&cm.kind).hash(&mut h);
+                    if let MapKind::ZeroInitializedTargets { n_targets } = cm.kind {
+                        n_targets.hash(&mut h);
+                    }
+                    hash_gate_impl(&cm.gate_impl, &mut h);
+                }
+                HighLevelOp::Phase(po) => {
+                    po.name.hash(&mut h);
+                    po.regs.hash(&mut h);
+                    po.phase.to_bits().hash(&mut h);
+                    hash_gate_impl(&po.gate_impl, &mut h);
+                }
+                HighLevelOp::Rotation(ro) => {
+                    ro.name.hash(&mut h);
+                    ro.x.hash(&mut h);
+                    ro.target.hash(&mut h);
+                    hash_gate_impl(&ro.gate_impl, &mut h);
+                }
+                HighLevelOp::Qft(r) | HighLevelOp::InverseQft(r) => r.hash(&mut h),
+                HighLevelOp::Qpe(qpe) => {
+                    qpe.target.hash(&mut h);
+                    qpe.phase.hash(&mut h);
+                    hash_circuit(&qpe.unitary, &mut h);
+                }
+            }
+        }
+        h.finish()
+    }
+}
+
+/// Hashes a circuit gate-by-gate, with rotation angles and custom-unitary
+/// entries taken by exact `f64` bit pattern.
+fn hash_circuit(c: &Circuit, h: &mut impl std::hash::Hasher) {
+    use std::hash::Hash;
+    c.n_qubits().hash(h);
+    for gate in c.gates() {
+        std::mem::discriminant(gate).hash(h);
+        match gate {
+            Gate::Unary {
+                op,
+                target,
+                controls,
+            } => {
+                std::mem::discriminant(op).hash(h);
+                match op {
+                    qcemu_sim::GateOp::Rx(t)
+                    | qcemu_sim::GateOp::Ry(t)
+                    | qcemu_sim::GateOp::Rz(t)
+                    | qcemu_sim::GateOp::Phase(t) => t.to_bits().hash(h),
+                    qcemu_sim::GateOp::U(m) => {
+                        for row in m {
+                            for z in row {
+                                z.re.to_bits().hash(h);
+                                z.im.to_bits().hash(h);
+                            }
+                        }
+                    }
+                    _ => {}
+                }
+                target.hash(h);
+                controls.hash(h);
+            }
+            Gate::Swap { a, b, controls } => {
+                a.hash(h);
+                b.hash(h);
+                controls.hash(h);
+            }
+        }
+    }
+}
+
+/// Hashes a gate impl's observable surface (presence + ancilla count —
+/// the builder closure itself is opaque).
+fn hash_gate_impl(gi: &Option<GateImpl>, h: &mut impl std::hash::Hasher) {
+    use std::hash::Hash;
+    match gi {
+        None => 0u8.hash(h),
+        Some(gi) => {
+            1u8.hash(h);
+            gi.n_ancilla.hash(h);
+        }
     }
 }
 
@@ -399,6 +525,7 @@ impl ProgramBuilder {
             n_qubits: self.next_qubit,
             ops: self.ops,
             instance_id: NEXT_ID.fetch_add(1, Ordering::Relaxed),
+            structure_hash: Arc::new(std::sync::OnceLock::new()),
         };
         program.validate()?;
         Ok(program)
@@ -601,6 +728,36 @@ mod tests {
         let prog = pb.build().unwrap();
         assert_eq!(prog.max_gate_ancillas(), 3);
         assert!(prog.fully_simulable());
+    }
+
+    #[test]
+    fn structure_hash_is_stable_and_discriminating() {
+        let build = |theta: f64| {
+            let mut pb = ProgramBuilder::new();
+            let a = pb.register("a", 3);
+            pb.hadamard_all(a);
+            pb.gates(|c| {
+                c.push(Gate::rz(1, theta));
+            });
+            pb.qft(a);
+            pb.build().unwrap()
+        };
+        let p1 = build(0.25);
+        let p2 = build(0.25);
+        let p3 = build(0.75);
+        // Deterministic, instance-independent, and clone-stable.
+        assert_eq!(p1.structure_hash(), p1.structure_hash());
+        assert_eq!(p1.structure_hash(), p1.clone().structure_hash());
+        assert_eq!(p1.structure_hash(), p2.structure_hash());
+        assert_ne!(p1.instance_id(), p2.instance_id());
+        // An angle change (exact bit pattern) changes the hash.
+        assert_ne!(p1.structure_hash(), p3.structure_hash());
+        // So does an op-sequence change.
+        let mut pb = ProgramBuilder::new();
+        let a = pb.register("a", 3);
+        pb.hadamard_all(a);
+        let p4 = pb.build().unwrap();
+        assert_ne!(p1.structure_hash(), p4.structure_hash());
     }
 
     #[test]

@@ -113,10 +113,12 @@ impl FftPlan {
         self.log2n
     }
 
-    /// Twiddle `e^{-2πi k/N}` (forward sign).
+    /// The precomputed length-`N/2` twiddle table (forward sign) — the
+    /// butterfly passes hand strided views of this to the complex-SIMD
+    /// primitives.
     #[inline(always)]
-    pub(crate) fn twiddle(&self, k: usize) -> C64 {
-        self.twiddles[k]
+    pub(crate) fn twiddle_table(&self) -> &[C64] {
+        &self.twiddles
     }
 
     /// The bit-reversal table.
@@ -161,7 +163,7 @@ mod tests {
     fn twiddles_are_unit_roots() {
         let plan = FftPlan::new(16);
         for k in 0..8 {
-            let t = plan.twiddle(k);
+            let t = plan.twiddle_table()[k];
             assert!((t.abs() - 1.0).abs() < 1e-14);
             let expect = C64::cis(-std::f64::consts::TAU * k as f64 / 16.0);
             assert!(t.approx_eq(expect, 1e-14));

@@ -8,7 +8,7 @@
 //! emulated QFT beats the simulated one by `n·FLOPS/B_mem` (paper §4.3).
 
 use crate::plan::{Direction, FftPlan, Normalization};
-use qcemu_linalg::C64;
+use qcemu_linalg::{simd, C64};
 use rayon::prelude::*;
 
 /// Below this size everything runs serially — thread handoff costs more
@@ -50,31 +50,27 @@ pub fn fft_inplace(plan: &FftPlan, data: &mut [C64], dir: Direction, norm: Norma
             }
         } else {
             // Single block spanning the whole buffer: split its butterfly
-            // range across threads via the two disjoint halves.
+            // range across threads in contiguous chunks of the two
+            // disjoint halves (each chunk vectorises independently).
             let (lo, hi) = data.split_at_mut(half);
-            lo.par_iter_mut()
-                .zip(hi.par_iter_mut())
+            let chunk = half.div_ceil(rayon::current_num_threads().max(1));
+            lo.par_chunks_mut(chunk)
+                .zip(hi.par_chunks_mut(chunk))
                 .enumerate()
-                .for_each(|(j, (a, b))| {
-                    let w = twiddle_for(plan, dir, j * tw_stride);
-                    let t = w * *b;
-                    let u = *a;
-                    *a = u + t;
-                    *b = u - t;
+                .for_each(|(c, (lo_chunk, hi_chunk))| {
+                    simd::fft_butterfly(
+                        lo_chunk,
+                        hi_chunk,
+                        plan.twiddle_table(),
+                        c * chunk * tw_stride,
+                        tw_stride,
+                        dir == Direction::Inverse,
+                    );
                 });
         }
     }
 
     apply_norm(data, norm.factor(n));
-}
-
-#[inline(always)]
-fn twiddle_for(plan: &FftPlan, dir: Direction, idx: usize) -> C64 {
-    let t = plan.twiddle(idx);
-    match dir {
-        Direction::Forward => t,
-        Direction::Inverse => t.conj(),
-    }
 }
 
 #[inline]
@@ -86,13 +82,14 @@ fn butterfly_block(
     dir: Direction,
 ) {
     let (lo, hi) = chunk.split_at_mut(half);
-    for j in 0..half {
-        let w = twiddle_for(plan, dir, j * tw_stride);
-        let t = w * hi[j];
-        let u = lo[j];
-        lo[j] = u + t;
-        hi[j] = u - t;
-    }
+    simd::fft_butterfly(
+        lo,
+        hi,
+        plan.twiddle_table(),
+        0,
+        tw_stride,
+        dir == Direction::Inverse,
+    );
 }
 
 fn bit_reverse_permute(plan: &FftPlan, data: &mut [C64]) {
@@ -107,10 +104,12 @@ fn bit_reverse_permute(plan: &FftPlan, data: &mut [C64]) {
 
 fn apply_norm(data: &mut [C64], factor: f64) {
     if factor != 1.0 {
-        if data.len() >= PAR_MIN_SIZE {
-            data.par_iter_mut().for_each(|z| *z *= factor);
+        if data.len() >= PAR_MIN_SIZE && rayon::current_num_threads() > 1 {
+            let chunk = data.len().div_ceil(rayon::current_num_threads());
+            data.par_chunks_mut(chunk)
+                .for_each(|c| simd::scale_slice_real(c, factor));
         } else {
-            data.iter_mut().for_each(|z| *z *= factor);
+            simd::scale_slice_real(data, factor);
         }
     }
 }

@@ -12,10 +12,14 @@
 //! * [`hessenberg`](mod@hessenberg) + [`eig`](mod@eig) — Householder reduction and shifted-QR complex
 //!   Schur decomposition with eigenvector back-substitution (≈ `zgeev`);
 //! * [`power`] — `U^{2^i}` sequences by repeated squaring (paper Eq. 7);
+//! * [`simd`] — split-lane complex vector primitives (AVX2+FMA behind
+//!   the `simd` cargo feature, with runtime detection and a scalar
+//!   fallback) that the state-vector/FFT/dense kernels build on;
 //! * [`complex`], [`matrix`], [`vector`], [`random`] — supporting types.
 //!
-//! Everything is pure safe Rust with no numeric dependencies; parallelism
-//! comes from rayon only.
+//! Everything is pure Rust with no numeric dependencies; parallelism
+//! comes from rayon only, and the only `unsafe` is the feature-gated
+//! `core::arch` intrinsics inside [`simd`].
 
 pub mod complex;
 pub mod eig;
@@ -24,6 +28,7 @@ pub mod hessenberg;
 pub mod matrix;
 pub mod power;
 pub mod random;
+pub mod simd;
 pub mod strassen;
 pub mod vector;
 

@@ -180,17 +180,15 @@ impl CMatrix {
         out
     }
 
-    /// Matrix-vector product `A x`.
+    /// Matrix-vector product `A x`. Rows are contiguous, so each row
+    /// reduces through the complex-SIMD dot product ([`crate::simd::cdot`])
+    /// — this is the inner loop of the emulator's batched
+    /// dense-operator application.
     pub fn matvec(&self, x: &[C64]) -> Vec<C64> {
         assert_eq!(x.len(), self.ncols, "matvec dimension mismatch");
         let mut y = vec![C64::ZERO; self.nrows];
         for (r, yr) in y.iter_mut().enumerate() {
-            let row = self.row(r);
-            let mut acc = C64::ZERO;
-            for (a, b) in row.iter().zip(x.iter()) {
-                acc = a.mul_add(*b, acc);
-            }
-            *yr = acc;
+            *yr = crate::simd::cdot(self.row(r), x);
         }
         y
     }

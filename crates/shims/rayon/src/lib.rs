@@ -471,6 +471,75 @@ impl<'a, T: Send> ParChunksMut<'a, T> {
     pub fn enumerate(self) -> ParChunksMutEnumerate<'a, T> {
         ParChunksMutEnumerate { inner: self }
     }
+
+    /// Locksteps this chunk iterator with another (rayon's
+    /// `IndexedParallelIterator::zip`), yielding `(chunk_a, chunk_b)`
+    /// pairs truncated to the shorter side.
+    pub fn zip(self, other: ParChunksMut<'a, T>) -> ParChunksMutZip<'a, T> {
+        ParChunksMutZip { a: self, b: other }
+    }
+}
+
+/// Lockstep pair of two parallel chunk iterators.
+pub struct ParChunksMutZip<'a, T> {
+    a: ParChunksMut<'a, T>,
+    b: ParChunksMut<'a, T>,
+}
+
+impl<'a, T: Send> ParChunksMutZip<'a, T> {
+    /// Calls `f((chunk_a, chunk_b))` for every lockstep chunk pair.
+    pub fn for_each<F: Fn((&mut [T], &mut [T])) + Sync + Send>(self, f: F) {
+        self.enumerate().for_each(|(_, pair)| f(pair));
+    }
+
+    /// Index-carrying variant: yields `(i, (chunk_a, chunk_b))`.
+    pub fn enumerate(self) -> ParChunksMutZipEnumerate<'a, T> {
+        ParChunksMutZipEnumerate { inner: self }
+    }
+}
+
+/// Enumerated lockstep pair of two parallel chunk iterators.
+pub struct ParChunksMutZipEnumerate<'a, T> {
+    inner: ParChunksMutZip<'a, T>,
+}
+
+impl<'a, T: Send> ParChunksMutZipEnumerate<'a, T> {
+    /// Calls `f((i, (chunk_a, chunk_b)))` for every lockstep chunk pair.
+    pub fn for_each<F: Fn((usize, (&mut [T], &mut [T]))) + Sync + Send>(self, f: F) {
+        let mut ca = self.inner.a.chunks();
+        let mut cb = self.inner.b.chunks();
+        let n_chunks = ca.len().min(cb.len());
+        ca.truncate(n_chunks);
+        cb.truncate(n_chunks);
+        let outer = current_num_threads();
+        let workers = outer.min(n_chunks.max(1));
+        if workers <= 1 || n_chunks < 2 {
+            for (i, (a, b)) in ca.into_iter().zip(cb).enumerate() {
+                f((i, (a, b)));
+            }
+            return;
+        }
+        let inner = inner_threads(outer, workers);
+        let per = n_chunks.div_ceil(workers);
+        std::thread::scope(|s| {
+            let mut start = 0;
+            while !ca.is_empty() {
+                let take = per.min(ca.len());
+                let rest_a = ca.split_off(take);
+                let rest_b = cb.split_off(take);
+                let group_a = std::mem::replace(&mut ca, rest_a);
+                let group_b = std::mem::replace(&mut cb, rest_b);
+                let f = &f;
+                s.spawn(move || {
+                    let _threads = set_thread_count(inner);
+                    for (i, (a, b)) in group_a.into_iter().zip(group_b).enumerate() {
+                        f((start + i, (a, b)));
+                    }
+                });
+                start += take;
+            }
+        });
+    }
 }
 
 /// Enumerated parallel iterator over contiguous mutable chunks.

@@ -40,10 +40,11 @@
 use crate::circuit::Circuit;
 use crate::gate::Gate;
 use crate::kernels::{
-    apply_fused, apply_fused_diagonal, apply_fused_local, apply_fused_permutation,
-    apply_gate_slice, fused_touched_entries, touched_entries, LocalOp, MAX_FUSED_QUBITS,
+    apply_fused_diagonal_with, apply_fused_local, apply_fused_permutation_with, apply_fused_with,
+    apply_gate_slice_with, fused_touched_entries, touched_entries, LocalOp, MAX_FUSED_QUBITS,
+    PAR_THRESHOLD,
 };
-use qcemu_linalg::{CMatrix, C64};
+use qcemu_linalg::{simd, CMatrix, C64};
 
 /// Default fusion window: 4 qubits (16-amplitude groups) balances sweep
 /// reduction against gather/scatter overhead on current cache hierarchies;
@@ -92,10 +93,25 @@ impl FusionPolicy {
 /// executors so emulation shortcuts and fused simulation compose.
 ///
 /// The default is fusion **disabled**: opt in with [`SimConfig::fused`].
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct SimConfig {
     /// Gate-fusion policy for gate-level circuit execution.
     pub fusion: FusionPolicy,
+    /// State size (in amplitudes) from which kernels parallelise —
+    /// defaults to [`PAR_THRESHOLD`]. Overridable so calibration
+    /// harnesses can sweep the handoff point on the host instead of
+    /// trusting the hard-coded constant; respected by the per-gate *and*
+    /// fused drivers.
+    pub par_threshold: usize,
+}
+
+impl Default for SimConfig {
+    fn default() -> SimConfig {
+        SimConfig {
+            fusion: FusionPolicy::default(),
+            par_threshold: PAR_THRESHOLD,
+        }
+    }
 }
 
 impl SimConfig {
@@ -108,7 +124,14 @@ impl SimConfig {
     pub fn fused(max_fused_qubits: usize) -> SimConfig {
         SimConfig {
             fusion: FusionPolicy::Greedy { max_fused_qubits },
+            ..SimConfig::default()
         }
+    }
+
+    /// This configuration with a different parallelism threshold.
+    pub fn with_par_threshold(mut self, par_threshold: usize) -> SimConfig {
+        self.par_threshold = par_threshold.max(1);
+        self
     }
 }
 
@@ -232,13 +255,23 @@ impl FusedGate {
     /// Applies the block to a raw state slice in one blocked pass,
     /// dispatching on [`FusedGate::structure`].
     pub fn apply_slice(&self, state: &mut [C64]) {
+        self.apply_slice_with(state, PAR_THRESHOLD)
+    }
+
+    /// [`FusedGate::apply_slice`] with an explicit parallelism threshold
+    /// (see [`SimConfig::par_threshold`]).
+    pub fn apply_slice_with(&self, state: &mut [C64], par_threshold: usize) {
         match &self.kind {
-            BlockKind::Diagonal { factors } => apply_fused_diagonal(state, &self.qubits, factors),
-            BlockKind::Permutation { target, factor } => {
-                apply_fused_permutation(state, &self.qubits, target, factor)
+            BlockKind::Diagonal { factors } => {
+                apply_fused_diagonal_with(state, &self.qubits, factors, par_threshold)
             }
-            BlockKind::General => apply_fused_local(state, &self.qubits, &self.local_ops),
-            BlockKind::Dense => apply_fused(state, &self.qubits, &self.matrix),
+            BlockKind::Permutation { target, factor } => {
+                apply_fused_permutation_with(state, &self.qubits, target, factor, par_threshold)
+            }
+            BlockKind::General => {
+                apply_fused_local(state, &self.qubits, &self.local_ops, par_threshold)
+            }
+            BlockKind::Dense => apply_fused_with(state, &self.qubits, &self.matrix, par_threshold),
         }
     }
 
@@ -280,12 +313,7 @@ impl FusedGate {
             BlockKind::Dense => {
                 let mut out = [C64::ZERO; 1 << MAX_FUSED_QUBITS];
                 for (r, slot) in out[..dim].iter_mut().enumerate() {
-                    let row = self.matrix.row(r);
-                    let mut acc = C64::ZERO;
-                    for (v, &e) in row.iter().enumerate() {
-                        acc += e * buf[v];
-                    }
-                    *slot = acc;
+                    *slot = simd::cdot(self.matrix.row(r), buf);
                 }
                 buf.copy_from_slice(&out[..dim]);
             }
@@ -424,10 +452,16 @@ impl FusedCircuit {
 
     /// Applies every op to a raw state slice.
     pub fn apply_slice(&self, state: &mut [C64]) {
+        self.apply_slice_with(state, PAR_THRESHOLD)
+    }
+
+    /// [`FusedCircuit::apply_slice`] with an explicit parallelism
+    /// threshold (see [`SimConfig::par_threshold`]).
+    pub fn apply_slice_with(&self, state: &mut [C64], par_threshold: usize) {
         for op in &self.ops {
             match op {
-                FusedOp::Gate(g) => apply_gate_slice(state, g),
-                FusedOp::Block(b) => b.apply_slice(state),
+                FusedOp::Gate(g) => apply_gate_slice_with(state, g, par_threshold),
+                FusedOp::Block(b) => b.apply_slice_with(state, par_threshold),
             }
         }
     }
@@ -617,6 +651,7 @@ mod tests {
     use super::*;
     use crate::circuits::entangle::entangle_circuit;
     use crate::circuits::qft::qft_circuit;
+    use crate::kernels::apply_gate_slice;
     use crate::statevector::StateVector;
     use qcemu_linalg::{max_abs_diff, random_state};
     use rand::rngs::StdRng;

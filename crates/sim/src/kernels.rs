@@ -25,13 +25,37 @@
 //!
 //! All kernels operate on raw `&mut [C64]` slices so that the distributed
 //! simulator (`qcemu-cluster`) can run them unchanged on node-local slabs.
+//!
+//! ## Vectorisation
+//!
+//! The arithmetic kernels (butterfly, diagonal sweep, fused dense
+//! product) run on the complex-SIMD primitives of
+//! [`qcemu_linalg::simd`] whenever their index space decomposes into
+//! contiguous runs of at least [`simd::LANES`]
+//! amplitude (pairs): with the lowest gate qubit at position `p`, both
+//! halves of every pair group are contiguous runs of `2^p` amplitudes, so
+//! any gate whose target *and* controls all sit at qubit `≥ log2(LANES)`
+//! takes the vector path. Gates on the lowest qubits (runs shorter than a
+//! vector) keep the per-pair scalar path. The primitives themselves
+//! dispatch at runtime (AVX2+FMA under the `simd` cargo feature, scalar
+//! everywhere else), so this module is layout- and feature-agnostic.
 
 use crate::gate::{Gate, GateStructure, Mat2};
-use qcemu_linalg::{CMatrix, C64};
+use qcemu_linalg::{simd, CMatrix, C64};
 use rayon::prelude::*;
 
-/// State sizes below this run serially: thread handoff would dominate.
+/// Default state size below which kernels run serially: thread handoff
+/// would dominate. Overridable per execution via
+/// [`SimConfig::par_threshold`](crate::SimConfig) — the `_with` kernel
+/// variants thread the override through; the plain entry points use this
+/// constant.
 pub const PAR_THRESHOLD: usize = 1 << 15;
+
+/// `true` when a kernel over `count` independent tasks should go parallel.
+#[inline]
+fn parallel_ok(count: usize, par_threshold: usize) -> bool {
+    count >= par_threshold && rayon::current_num_threads() > 1
+}
 
 /// Widest block the fused kernels accept. The gather/scatter buffers are
 /// stack-allocated at `2^MAX_FUSED_QUBITS` amplitudes (1 KiB), keeping the
@@ -98,6 +122,20 @@ pub fn for_each_pair<F>(state: &mut [C64], target: usize, controls: &[usize], f:
 where
     F: Fn(&mut C64, &mut C64) + Sync + Send,
 {
+    for_each_pair_with(state, target, controls, PAR_THRESHOLD, f)
+}
+
+/// [`for_each_pair`] with an explicit parallelism threshold (see
+/// [`SimConfig::par_threshold`](crate::SimConfig)).
+pub fn for_each_pair_with<F>(
+    state: &mut [C64],
+    target: usize,
+    controls: &[usize],
+    par_threshold: usize,
+    f: F,
+) where
+    F: Fn(&mut C64, &mut C64) + Sync + Send,
+{
     let n_bits = log2_len(state) as usize;
     let (positions, cmask) = control_layout(&[target], controls);
     debug_assert!(
@@ -108,7 +146,7 @@ where
     let count = 1usize << free_bits;
     let tbit = 1usize << target;
 
-    if count >= PAR_THRESHOLD && rayon::current_num_threads() > 1 {
+    if parallel_ok(count, par_threshold) {
         let ptr = StatePtr(state.as_mut_ptr());
         (0..count).into_par_iter().for_each(|k| {
             let i0 = expand_index(k, &positions) | cmask;
@@ -149,13 +187,26 @@ pub fn for_each_one<F>(state: &mut [C64], target: usize, controls: &[usize], f: 
 where
     F: Fn(&mut C64) + Sync + Send,
 {
+    for_each_one_with(state, target, controls, PAR_THRESHOLD, f)
+}
+
+/// [`for_each_one`] with an explicit parallelism threshold.
+pub fn for_each_one_with<F>(
+    state: &mut [C64],
+    target: usize,
+    controls: &[usize],
+    par_threshold: usize,
+    f: F,
+) where
+    F: Fn(&mut C64) + Sync + Send,
+{
     let n_bits = log2_len(state) as usize;
     let (positions, cmask) = control_layout(&[target], controls);
     let free_bits = n_bits - positions.len();
     let count = 1usize << free_bits;
     let tbit = 1usize << target;
 
-    if count >= PAR_THRESHOLD && rayon::current_num_threads() > 1 {
+    if parallel_ok(count, par_threshold) {
         let ptr = StatePtr(state.as_mut_ptr());
         (0..count).into_par_iter().for_each(|k| {
             let i = expand_index(k, &positions) | cmask | tbit;
@@ -181,10 +232,120 @@ fn pair_mut(state: &mut [C64], i: usize, j: usize) -> (&mut C64, &mut C64) {
     (&mut lo[i], &mut hi[0])
 }
 
+// --- contiguous-run drivers (the vector fast path) -----------------------
+//
+// With the lowest gate-qubit position at `p0`, the compressed index space
+// of `for_each_pair` / `for_each_one` decomposes into contiguous runs of
+// `2^p0` state indices (the bits below p0 are all free, and expansion
+// leaves them in place). When `2^p0 ≥ simd::LANES` the drivers below hand
+// out whole runs as slices — the shape the SIMD primitives consume — and
+// the callers fall back to the per-element drivers otherwise.
+
+/// Runs `f(lo_run, hi_run)` over contiguous pair runs, or returns `false`
+/// when the runs are shorter than a vector (lowest gate qubit below
+/// `log2(LANES)`) and the caller must use [`for_each_pair_with`].
+fn for_each_pair_runs_with<F>(
+    state: &mut [C64],
+    target: usize,
+    controls: &[usize],
+    par_threshold: usize,
+    f: F,
+) -> bool
+where
+    F: Fn(&mut [C64], &mut [C64]) + Sync + Send,
+{
+    let n_bits = log2_len(state) as usize;
+    let (positions, cmask) = control_layout(&[target], controls);
+    let run = 1usize << positions[0];
+    if run < simd::LANES {
+        return false;
+    }
+    let count = 1usize << (n_bits - positions.len());
+    let outer = count / run;
+    let tbit = 1usize << target;
+    let ptr = StatePtr(state.as_mut_ptr());
+    let body = |o: usize| {
+        let i0 = expand_index(o * run, &positions) | cmask;
+        // SAFETY: expansion is injective and leaves the target bit clear,
+        // and both runs only vary bits below positions[0] ≤ target — so
+        // lo/hi runs are disjoint from each other and across `o`, and all
+        // indices are < state.len() by construction.
+        unsafe {
+            let p = ptr;
+            let lo = std::slice::from_raw_parts_mut(p.0.add(i0), run);
+            let hi = std::slice::from_raw_parts_mut(p.0.add(i0 | tbit), run);
+            f(lo, hi);
+        }
+    };
+    if parallel_ok(count, par_threshold) && outer > 1 {
+        (0..outer).into_par_iter().for_each(body);
+    } else {
+        (0..outer).for_each(body);
+    }
+    true
+}
+
+/// Runs `f(run)` over the contiguous runs of the one-bit (target = 1,
+/// controls = 1) index set, or returns `false` when runs are shorter
+/// than a vector.
+fn for_each_one_runs_with<F>(
+    state: &mut [C64],
+    target: usize,
+    controls: &[usize],
+    par_threshold: usize,
+    f: F,
+) -> bool
+where
+    F: Fn(&mut [C64]) + Sync + Send,
+{
+    let n_bits = log2_len(state) as usize;
+    let (positions, cmask) = control_layout(&[target], controls);
+    let run = 1usize << positions[0];
+    if run < simd::LANES {
+        return false;
+    }
+    let count = 1usize << (n_bits - positions.len());
+    let outer = count / run;
+    let tbit = 1usize << target;
+    let ptr = StatePtr(state.as_mut_ptr());
+    let body = |o: usize| {
+        let i0 = expand_index(o * run, &positions) | cmask | tbit;
+        // SAFETY: disjoint contiguous runs, as in `for_each_pair_runs_with`.
+        unsafe {
+            let p = ptr;
+            f(std::slice::from_raw_parts_mut(p.0.add(i0), run));
+        }
+    };
+    if parallel_ok(count, par_threshold) && outer > 1 {
+        (0..outer).into_par_iter().for_each(body);
+    } else {
+        (0..outer).for_each(body);
+    }
+    true
+}
+
 /// General (controlled) single-qubit unitary: one butterfly per pair.
+/// Contiguous pair runs go through the vectorised
+/// [`simd::butterfly_slices`]; gates on the lowest qubits stay scalar.
 pub fn apply_general(state: &mut [C64], target: usize, controls: &[usize], m: &Mat2) {
+    apply_general_with(state, target, controls, m, PAR_THRESHOLD)
+}
+
+/// [`apply_general`] with an explicit parallelism threshold.
+pub fn apply_general_with(
+    state: &mut [C64],
+    target: usize,
+    controls: &[usize],
+    m: &Mat2,
+    par_threshold: usize,
+) {
     let m = *m;
-    for_each_pair(state, target, controls, move |a, b| {
+    if for_each_pair_runs_with(state, target, controls, par_threshold, move |lo, hi| {
+        simd::butterfly_slices(lo, hi, &m)
+    }) {
+        return;
+    }
+    for_each_pair_with(state, target, controls, par_threshold, move |a, b| {
         let x = *a;
         let y = *b;
         *a = m[0][0] * x + m[0][1] * y;
@@ -194,37 +355,115 @@ pub fn apply_general(state: &mut [C64], target: usize, controls: &[usize], m: &M
 
 /// Diagonal (controlled) gate `diag(d0, d1)`. When `d0 = 1` (phase-type
 /// gates: Z, S, T, Rθ…) only the `|1⟩` half of the selected subspace is
-/// read and written.
+/// read and written. Contiguous runs are scaled through
+/// [`simd::scale_slice`].
 pub fn apply_diagonal(state: &mut [C64], target: usize, controls: &[usize], d0: C64, d1: C64) {
+    apply_diagonal_with(state, target, controls, d0, d1, PAR_THRESHOLD)
+}
+
+/// [`apply_diagonal`] with an explicit parallelism threshold.
+pub fn apply_diagonal_with(
+    state: &mut [C64],
+    target: usize,
+    controls: &[usize],
+    d0: C64,
+    d1: C64,
+    par_threshold: usize,
+) {
     if d0 == C64::ONE {
         if d1 == C64::ONE {
             return; // identity
         }
-        for_each_one(state, target, controls, move |z| *z *= d1);
+        if for_each_one_runs_with(state, target, controls, par_threshold, move |xs| {
+            simd::scale_slice(xs, d1)
+        }) {
+            return;
+        }
+        for_each_one_with(state, target, controls, par_threshold, move |z| *z *= d1);
     } else {
-        for_each_pair(state, target, controls, move |a, b| {
+        if for_each_pair_runs_with(state, target, controls, par_threshold, move |lo, hi| {
+            simd::scale_slice(lo, d0);
+            simd::scale_slice(hi, d1);
+        }) {
+            return;
+        }
+        for_each_pair_with(state, target, controls, par_threshold, move |a, b| {
             *a *= d0;
             *b *= d1;
         });
     }
 }
 
-/// (Controlled) X: swaps amplitude pairs, no arithmetic.
+/// (Controlled) X: swaps amplitude pairs, no arithmetic. Contiguous runs
+/// swap as whole slices (one `memcpy`-class move per run).
 pub fn apply_perm_x(state: &mut [C64], target: usize, controls: &[usize]) {
-    for_each_pair(state, target, controls, |a, b| std::mem::swap(a, b));
+    apply_perm_x_with(state, target, controls, PAR_THRESHOLD)
+}
+
+/// [`apply_perm_x`] with an explicit parallelism threshold.
+pub fn apply_perm_x_with(
+    state: &mut [C64],
+    target: usize,
+    controls: &[usize],
+    par_threshold: usize,
+) {
+    if for_each_pair_runs_with(state, target, controls, par_threshold, |lo, hi| {
+        lo.swap_with_slice(hi)
+    }) {
+        return;
+    }
+    for_each_pair_with(state, target, controls, par_threshold, |a, b| {
+        std::mem::swap(a, b)
+    });
 }
 
 /// (Controlled) SWAP of qubits `a` and `b`: exchanges amplitudes whose two
 /// bits differ, touching half (uncontrolled) of the selected subspace.
 pub fn apply_swap(state: &mut [C64], qa: usize, qb: usize, controls: &[usize]) {
+    apply_swap_with(state, qa, qb, controls, PAR_THRESHOLD)
+}
+
+/// [`apply_swap`] with an explicit parallelism threshold. Contiguous runs
+/// (lowest gate qubit at `≥ log2(LANES)`) exchange as whole slices.
+pub fn apply_swap_with(
+    state: &mut [C64],
+    qa: usize,
+    qb: usize,
+    controls: &[usize],
+    par_threshold: usize,
+) {
     let n_bits = log2_len(state) as usize;
     let (positions, cmask) = control_layout(&[qa, qb], controls);
     let free_bits = n_bits - positions.len();
     let count = 1usize << free_bits;
     let abit = 1usize << qa;
     let bbit = 1usize << qb;
+    let run = 1usize << positions[0];
 
-    if count >= PAR_THRESHOLD && rayon::current_num_threads() > 1 {
+    if run >= simd::LANES {
+        let outer = count / run;
+        let ptr = StatePtr(state.as_mut_ptr());
+        let body = |o: usize| {
+            let base = expand_index(o * run, &positions) | cmask;
+            // SAFETY: the runs at base|abit and base|bbit only vary bits
+            // below positions[0] < min(qa, qb), so they are disjoint from
+            // each other and across `o` (injective expansion).
+            unsafe {
+                let p = ptr;
+                let lo = std::slice::from_raw_parts_mut(p.0.add(base | abit), run);
+                let hi = std::slice::from_raw_parts_mut(p.0.add(base | bbit), run);
+                lo.swap_with_slice(hi);
+            }
+        };
+        if parallel_ok(count, par_threshold) && outer > 1 {
+            (0..outer).into_par_iter().for_each(body);
+        } else {
+            (0..outer).for_each(body);
+        }
+        return;
+    }
+
+    if parallel_ok(count, par_threshold) {
         let ptr = StatePtr(state.as_mut_ptr());
         (0..count).into_par_iter().for_each(|k| {
             let base = expand_index(k, &positions) | cmask;
@@ -285,7 +524,7 @@ fn check_fused_qubits(n_bits: usize, qubits: &[usize]) {
 
 /// Runs `f(ptr, base)` for every group base index (an index with all the
 /// block's qubit bits clear), in parallel for large states.
-fn for_each_group<F>(state: &mut [C64], qubits: &[usize], f: F)
+fn for_each_group<F>(state: &mut [C64], qubits: &[usize], par_threshold: usize, f: F)
 where
     F: Fn(StatePtr, usize) + Sync + Send,
 {
@@ -293,7 +532,7 @@ where
     check_fused_qubits(n_bits, qubits);
     let count = 1usize << (n_bits - qubits.len());
     let ptr = StatePtr(state.as_mut_ptr());
-    if state.len() >= PAR_THRESHOLD && count > 1 && rayon::current_num_threads() > 1 {
+    if state.len() >= par_threshold && count > 1 && rayon::current_num_threads() > 1 {
         // SAFETY: `expand_index` is injective in the group index and `f`
         // only touches `base | off` with `off` confined to the block's
         // qubit bits, so distinct groups own disjoint state indices.
@@ -338,6 +577,14 @@ where
 /// assert_eq!(state[0b10], C64::ONE);
 /// ```
 pub fn apply_fused(state: &mut [C64], qubits: &[usize], m: &CMatrix) {
+    apply_fused_with(state, qubits, m, PAR_THRESHOLD)
+}
+
+/// [`apply_fused`] with an explicit parallelism threshold. The per-group
+/// mat-vec — the FLOP-dense loop of the whole fusion engine — reduces
+/// each (contiguous) matrix row against the gathered block through the
+/// vectorised [`simd::cdot`].
+pub fn apply_fused_with(state: &mut [C64], qubits: &[usize], m: &CMatrix, par_threshold: usize) {
     let dim = 1usize << qubits.len();
     assert_eq!(
         m.shape(),
@@ -346,7 +593,7 @@ pub fn apply_fused(state: &mut [C64], qubits: &[usize], m: &CMatrix) {
         qubits.len()
     );
     let offs: Vec<usize> = (0..dim).map(|v| scatter_index(v, qubits)).collect();
-    for_each_group(state, qubits, |p, base| {
+    for_each_group(state, qubits, par_threshold, |p, base| {
         let mut x = [C64::ZERO; MAX_FUSED_DIM];
         // SAFETY: all indices are `base | off` with `off` confined to the
         // block's qubit bits — disjoint across groups (see for_each_group).
@@ -355,12 +602,7 @@ pub fn apply_fused(state: &mut [C64], qubits: &[usize], m: &CMatrix) {
                 x[v] = *p.0.add(base | off);
             }
             for (r, &off) in offs.iter().enumerate() {
-                let row = m.row(r);
-                let mut acc = C64::ZERO;
-                for (v, &e) in row.iter().enumerate() {
-                    acc += e * x[v];
-                }
-                *p.0.add(base | off) = acc;
+                *p.0.add(base | off) = simd::cdot(m.row(r), &x[..dim]);
             }
         }
     });
@@ -385,6 +627,16 @@ pub fn apply_fused(state: &mut [C64], qubits: &[usize], m: &CMatrix) {
 /// assert_eq!(state[0b01], C64::ONE);
 /// ```
 pub fn apply_fused_diagonal(state: &mut [C64], qubits: &[usize], factors: &[C64]) {
+    apply_fused_diagonal_with(state, qubits, factors, PAR_THRESHOLD)
+}
+
+/// [`apply_fused_diagonal`] with an explicit parallelism threshold.
+pub fn apply_fused_diagonal_with(
+    state: &mut [C64],
+    qubits: &[usize],
+    factors: &[C64],
+    par_threshold: usize,
+) {
     let n_bits = log2_len(state) as usize;
     check_fused_qubits(n_bits, qubits);
     let dim = 1usize << qubits.len();
@@ -398,7 +650,7 @@ pub fn apply_fused_diagonal(state: &mut [C64], qubits: &[usize], factors: &[C64]
     if touched.is_empty() {
         return; // identity block
     }
-    for_each_group(state, qubits, |p, base| {
+    for_each_group(state, qubits, par_threshold, |p, base| {
         // SAFETY: disjoint groups as in `for_each_group`.
         unsafe {
             for &(off, f) in &touched {
@@ -423,6 +675,17 @@ pub fn apply_fused_permutation(
     qubits: &[usize],
     target: &[usize],
     factor: &[C64],
+) {
+    apply_fused_permutation_with(state, qubits, target, factor, PAR_THRESHOLD)
+}
+
+/// [`apply_fused_permutation`] with an explicit parallelism threshold.
+pub fn apply_fused_permutation_with(
+    state: &mut [C64],
+    qubits: &[usize],
+    target: &[usize],
+    factor: &[C64],
+    par_threshold: usize,
 ) {
     let n_bits = log2_len(state) as usize;
     check_fused_qubits(n_bits, qubits);
@@ -463,7 +726,7 @@ pub fn apply_fused_permutation(
         return; // identity block
     }
 
-    for_each_group(state, qubits, |p, base| {
+    for_each_group(state, qubits, par_threshold, |p, base| {
         // SAFETY: disjoint groups as in `for_each_group`.
         unsafe {
             for cyc in &cycles {
@@ -536,7 +799,10 @@ impl LocalOp {
     }
 
     /// Applies the op to a gathered block (`buf.len() = 2^k`). Per-entry
-    /// control checks are fine here: the block lives in L1.
+    /// control checks are fine here: the block lives in L1 — but
+    /// uncontrolled rotations/diagonals on a high local bit still form
+    /// vector-length contiguous runs within the buffer, so the in-cache
+    /// replay of general blocks goes through the SIMD primitives too.
     pub(crate) fn apply(&self, buf: &mut [C64]) {
         match *self {
             LocalOp::Diag {
@@ -545,6 +811,20 @@ impl LocalOp {
                 d0,
                 d1,
             } => {
+                if cmask == 0 && tbit >= simd::LANES {
+                    let mut base = 0;
+                    while base < buf.len() {
+                        let (lo, hi) = buf[base..base + 2 * tbit].split_at_mut(tbit);
+                        if d0 != C64::ONE {
+                            simd::scale_slice(lo, d0);
+                        }
+                        if d1 != C64::ONE {
+                            simd::scale_slice(hi, d1);
+                        }
+                        base += 2 * tbit;
+                    }
+                    return;
+                }
                 for (i, z) in buf.iter_mut().enumerate() {
                     if i & cmask == cmask {
                         *z *= if i & tbit != 0 { d1 } else { d0 };
@@ -559,6 +839,15 @@ impl LocalOp {
                 }
             }
             LocalOp::Rot { cmask, tbit, m } => {
+                if cmask == 0 && tbit >= simd::LANES {
+                    let mut base = 0;
+                    while base < buf.len() {
+                        let (lo, hi) = buf[base..base + 2 * tbit].split_at_mut(tbit);
+                        simd::butterfly_slices(lo, hi, &m);
+                        base += 2 * tbit;
+                    }
+                    return;
+                }
                 for i in 0..buf.len() {
                     if i & cmask == cmask && i & tbit == 0 {
                         let x = buf[i];
@@ -583,10 +872,15 @@ impl LocalOp {
 /// running the block's precompiled ops on it in cache, and scattering the
 /// result back — one memory sweep for the whole gate run, with exactly the
 /// same per-amplitude arithmetic as unfused execution.
-pub(crate) fn apply_fused_local(state: &mut [C64], qubits: &[usize], ops: &[LocalOp]) {
+pub(crate) fn apply_fused_local(
+    state: &mut [C64],
+    qubits: &[usize],
+    ops: &[LocalOp],
+    par_threshold: usize,
+) {
     let dim = 1usize << qubits.len();
     let offs: Vec<usize> = (0..dim).map(|v| scatter_index(v, qubits)).collect();
-    for_each_group(state, qubits, |p, base| {
+    for_each_group(state, qubits, par_threshold, |p, base| {
         let mut buf = [C64::ZERO; MAX_FUSED_DIM];
         // SAFETY: disjoint groups as in `for_each_group`.
         unsafe {
@@ -605,17 +899,28 @@ pub(crate) fn apply_fused_local(state: &mut [C64], qubits: &[usize], ops: &[Loca
 
 /// Applies one [`Gate`] to a raw state slice, dispatching on structure.
 pub fn apply_gate_slice(state: &mut [C64], gate: &Gate) {
+    apply_gate_slice_with(state, gate, PAR_THRESHOLD)
+}
+
+/// [`apply_gate_slice`] with an explicit parallelism threshold.
+pub fn apply_gate_slice_with(state: &mut [C64], gate: &Gate, par_threshold: usize) {
     match gate {
         Gate::Unary {
             op,
             target,
             controls,
         } => match op.structure() {
-            GateStructure::Diagonal(d0, d1) => apply_diagonal(state, *target, controls, d0, d1),
-            GateStructure::PermutationX => apply_perm_x(state, *target, controls),
-            GateStructure::General(m) => apply_general(state, *target, controls, &m),
+            GateStructure::Diagonal(d0, d1) => {
+                apply_diagonal_with(state, *target, controls, d0, d1, par_threshold)
+            }
+            GateStructure::PermutationX => {
+                apply_perm_x_with(state, *target, controls, par_threshold)
+            }
+            GateStructure::General(m) => {
+                apply_general_with(state, *target, controls, &m, par_threshold)
+            }
         },
-        Gate::Swap { a, b, controls } => apply_swap(state, *a, *b, controls),
+        Gate::Swap { a, b, controls } => apply_swap_with(state, *a, *b, controls, par_threshold),
     }
 }
 

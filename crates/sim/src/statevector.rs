@@ -150,9 +150,30 @@ impl StateVector {
     /// ```
     pub fn run(&mut self, circuit: &Circuit, config: &SimConfig) {
         match config.fusion {
-            FusionPolicy::Disabled => self.apply_circuit(circuit),
+            FusionPolicy::Disabled => {
+                assert!(
+                    circuit.n_qubits() <= self.n_qubits,
+                    "circuit needs {} qubits, state has {}",
+                    circuit.n_qubits(),
+                    self.n_qubits
+                );
+                for gate in circuit.gates() {
+                    crate::kernels::apply_gate_slice_with(
+                        &mut self.amps,
+                        gate,
+                        config.par_threshold,
+                    );
+                }
+            }
             FusionPolicy::Greedy { .. } => {
-                self.apply_fused_circuit(&fuse_circuit(circuit, &config.fusion))
+                let fused = fuse_circuit(circuit, &config.fusion);
+                assert!(
+                    fused.n_qubits() <= self.n_qubits,
+                    "fused circuit needs {} qubits, state has {}",
+                    fused.n_qubits(),
+                    self.n_qubits
+                );
+                fused.apply_slice_with(&mut self.amps, config.par_threshold);
             }
         }
     }

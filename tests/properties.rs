@@ -80,7 +80,7 @@ proptest! {
         reference.apply_circuit(&circuit);
         for max_fused_qubits in 1..=qcemu_sim::MAX_FUSED_QUBITS {
             let mut fused = StateVector::uniform_superposition(6);
-            fused.run(&circuit, &SimConfig { fusion: FusionPolicy::Greedy { max_fused_qubits } });
+            fused.run(&circuit, &SimConfig::fused(max_fused_qubits));
             prop_assert!(
                 max_abs_diff(reference.amplitudes(), fused.amplitudes()) < 1e-12,
                 "k = {}: diff = {}",
