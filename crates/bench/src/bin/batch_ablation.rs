@@ -1,0 +1,172 @@
+//! **Batch ablation**: the [`BatchExecutor`] (plan once, advance N state
+//! vectors through batch-major kernels) versus a sequential `run()` loop
+//! over the same ensemble, on a quantum-Monte-Carlo-style parameter
+//! sweep.
+//!
+//! Usage: `cargo run -p qcemu-bench --release --bin batch_ablation
+//!         [-- --m 12 --reps 3]`
+//!
+//! Each ensemble member is an amplitude-estimation-shaped program on
+//! `m + 5` qubits — superpose the m-bit value register and a 4-bit
+//! counter, amplitude-encode `f_scale(x)` onto the indicator qubit (the
+//! per-member closure), then two diffusion-style rounds of H layers and
+//! entangler chains — with a different integrand scale per member. The
+//! members are distinct program *instances* with identical structure,
+//! exactly the shape a parameter sweep produces.
+//!
+//! Expected shape: batched throughput (states/sec) pulls ahead of the
+//! sequential loop as the batch grows, ≥ 2× from batch 8 on both SIMD
+//! and scalar builds. The wins are all fixed-cost amortisation:
+//!
+//! * planning + fusion run once per *structure* instead of once per
+//!   member (the sequential loop re-plans every member — its plan cache
+//!   is instance-keyed, and each member is a fresh instance);
+//! * every gate step's pair enumeration, gather bookkeeping, and kernel
+//!   dispatch are paid once for the whole ensemble, and the in-cache
+//!   fused replay works on `batch`-length runs instead of single
+//!   amplitudes;
+//! * batch-major layout gives every amplitude a contiguous run of
+//!   `batch` entries, so the SIMD build vectorises at qubit positions
+//!   where per-state sweeps fall back to scalar, and the emulated
+//!   rotation becomes one per-lane Givens sweep over tabulated
+//!   coefficients for the whole ensemble.
+
+use qcemu_bench::{fmt_secs, header, time_median, Args};
+use qcemu_core::{
+    BatchExecutor, Executor, HybridExecutor, ProgramBuilder, QuantumProgram, RotationOp,
+};
+use qcemu_sim::Gate;
+use qcemu_sim::{BatchStateVector, StateVector};
+use std::sync::Arc;
+
+/// One sweep member on `m + 5` qubits — the gate content of an amplitude
+/// estimation sweep: a value register `x` (m bits), the indicator qubit,
+/// and a 4-bit counting register. Superpose `x` and the counter,
+/// amplitude-encode `f_scale(x) = scale·(x+½)/2^m` onto the indicator
+/// (the per-member closure), then two diffusion-style rounds of H layers
+/// and entangler chains across the whole width.
+fn member(m: usize, scale: f64) -> QuantumProgram {
+    let mut pb = ProgramBuilder::new();
+    let x = pb.register("x", m);
+    let ind = pb.register("ind", 1);
+    let count = pb.register("count", 4);
+    let n = m + 5;
+    pb.hadamard_all(x);
+    pb.hadamard_all(count);
+    pb.rotation(RotationOp {
+        name: "amplitude-encode".into(),
+        x,
+        target: ind,
+        angle: Arc::new(move |v| {
+            let f = scale * (v as f64 + 0.5) / (1u64 << m) as f64;
+            2.0 * f.min(1.0).sqrt().asin()
+        }),
+        gate_impl: None,
+    });
+    for _ in 0..2 {
+        pb.gates(|c| {
+            for q in 0..m {
+                c.push(Gate::h(q));
+            }
+            for q in 0..n - 1 {
+                c.push(Gate::cnot(q, q + 1));
+            }
+            for q in 0..m {
+                c.push(Gate::h(q));
+            }
+        });
+    }
+    pb.build().unwrap()
+}
+
+fn members_for(m: usize, batch: usize) -> Vec<QuantumProgram> {
+    (0..batch)
+        .map(|j| member(m, 0.35 + 0.05 * j as f64))
+        .collect()
+}
+
+fn main() {
+    let args = Args::parse();
+    let m: usize = args.get("m").unwrap_or(12);
+    let reps: usize = args.get("reps").unwrap_or(3);
+    let n = m + 5;
+
+    header(
+        "Batch ablation — plan-once batched execution vs sequential run() loop",
+        "amplitude-encoding parameter sweep; distinct instances, identical structure",
+    );
+    println!(
+        "m = {m} ({n} qubits, 2^{n} amplitudes/member; SIMD backend: {})\n",
+        qcemu_linalg::simd::backend_name()
+    );
+
+    // Correctness first: every batched member must match its solo run.
+    let check = members_for(m.min(7), 5);
+    let nc = check[0].n_qubits();
+    let batched = BatchExecutor::new()
+        .run(&check, BatchStateVector::zero_state(nc, check.len()))
+        .unwrap();
+    let solo = HybridExecutor::new();
+    for (j, prog) in check.iter().enumerate() {
+        let reference = solo.run(prog, StateVector::zero_state(nc)).unwrap();
+        let diff = batched.member_max_diff(j, &reference);
+        assert!(diff < 1e-12, "member {j} deviates by {diff:.3e}");
+    }
+    println!("batched ≡ sequential on every member (≤1e-12)\n");
+
+    println!(
+        "{:>6} {:>14} {:>14} {:>13} {:>13} {:>9}",
+        "batch", "seq wall", "batch wall", "seq st/s", "batch st/s", "speedup"
+    );
+    let mut speedup_at_8 = None;
+    for batch in [1usize, 2, 4, 8, 16, 32] {
+        let members = members_for(m, batch);
+        let sequential = HybridExecutor::new();
+        let t_seq = time_median(reps, || {
+            for prog in &members {
+                let out = sequential.run(prog, StateVector::zero_state(n)).unwrap();
+                std::hint::black_box(out.amplitudes()[0]);
+            }
+        });
+        let batch_exec = BatchExecutor::new();
+        let t_batch = time_median(reps, || {
+            let out = batch_exec
+                .run(&members, BatchStateVector::zero_state(n, batch))
+                .unwrap();
+            std::hint::black_box(out.amplitudes()[0]);
+        });
+        let speedup = t_seq / t_batch;
+        if batch == 8 {
+            speedup_at_8 = Some(speedup);
+        }
+        println!(
+            "{:>6} {:>14} {:>14} {:>13.1} {:>13.1} {:>8.2}x",
+            batch,
+            fmt_secs(t_seq),
+            fmt_secs(t_batch),
+            batch as f64 / t_seq,
+            batch as f64 / t_batch,
+            speedup
+        );
+    }
+    if let Some(s) = speedup_at_8 {
+        println!("\nspeedup at batch 8: {s:.2}x (acceptance floor: 2x)");
+    }
+
+    // Per-step route audit for one representative batch.
+    let members = members_for(m, 8);
+    let exec = BatchExecutor::new();
+    let (_, report) = exec
+        .run_with_report(&members, BatchStateVector::zero_state(n, 8))
+        .unwrap();
+    println!("\nbatched step report (batch 8):");
+    println!("{report}");
+    println!();
+    println!("note: the sequential loop runs distinct program instances, so its");
+    println!("      instance-keyed plan cache misses every member — it re-plans");
+    println!("      and re-fuses per member, and pays every parallel-kernel");
+    println!("      dispatch per member. The batch executor keys its cache on");
+    println!("      structure_hash (one lowering for the whole sweep) and");
+    println!("      advances all members per gate step through the batch-major");
+    println!("      kernels; only the closure-bearing rotation loops members.");
+}

@@ -1,0 +1,589 @@
+//! Batched program execution: plan once, run N state vectors.
+//!
+//! Parameter sweeps and shot ensembles run the *same program structure*
+//! many times — same registers, same op sequence, same gate lists — with
+//! only closure-carried parameters (rotation angles, classical maps)
+//! varying per member. The [`BatchExecutor`] exploits that: it lowers the
+//! batch through the [`HybridExecutor`] plan cache **once** per
+//! [`structure_hash`](QuantumProgram::structure_hash) (planning,
+//! cost-model evaluation, and gate fusion are all paid once per
+//! structure, not once per member), then advances all members together
+//! through a [`BatchStateVector`].
+//!
+//! ## Step dispatch
+//!
+//! Each plan step is classified by what makes it safe to share:
+//!
+//! * **Batched** — simulated `Gates` steps (gate lists are bit-identical
+//!   across members with an equal structure hash, so the plan's cached
+//!   fused stream applies to every member), simulated QFT / inverse QFT
+//!   steps (the remapped circuit depends only on register layout), and
+//!   emulated `Rotation` steps (the pair enumeration and register decode
+//!   are structural; each member's angle closure is read in place by
+//!   [`crate::classical::apply_controlled_rotation_batch`]). These run in
+//!   the batch-major layout of [`qcemu_sim::batch`], which vectorises
+//!   across the batch dimension and pays per-gate fixed costs (thread
+//!   spawns, fusion, index precomputes) once per ensemble.
+//! * **Per-member** — everything else whose semantics can differ per
+//!   member: closure-bearing `Classical` and `Phase` ops, QPE, emulated
+//!   QFTs, and simulated rotations/maps lowered through `gate_impl`
+//!   closures. The batch is de-interleaved **once** (tiled transpose),
+//!   each member runs through the ordinary [`PlanInterpreter`] step with
+//!   the plan's carried circuit artifacts *stripped* (they were built
+//!   from the planning member's closures and must be rebuilt from each
+//!   member's own ops), and the ensemble is re-interleaved once.
+//!
+//! The per-step [`BatchReport`] records which route each step took.
+
+use crate::error::EmuError;
+use crate::executor::HybridExecutor;
+use crate::planner::{
+    extend_with_ancillas, fmt_model_secs, truncate_ancillas, Backend, ExecutionPlan,
+    PlanInterpreter, PlanStep,
+};
+use crate::program::{HighLevelOp, QuantumProgram};
+use qcemu_sim::circuits::qft::{inverse_qft_circuit, qft_circuit};
+use qcemu_sim::{BatchStateVector, SimConfig, StateVector};
+use std::fmt;
+use std::time::Instant;
+
+/// Runs a structurally homogeneous ensemble of programs over a
+/// [`BatchStateVector`], planning once per structure.
+///
+/// Members must share qubit count and
+/// [`structure_hash`](QuantumProgram::structure_hash); per-member
+/// variation flows through the closures the hash deliberately ignores
+/// (rotation angle functions, classical map bodies). Rebuilding the
+/// member programs between runs does **not** re-plan: the cache is keyed
+/// on structure, not instance, so
+/// [`plan_cache_misses`](BatchExecutor::plan_cache_misses) stays at one
+/// across repeated sweeps of the same shape.
+///
+/// ## Example
+/// ```
+/// use qcemu_core::batch::BatchExecutor;
+/// use qcemu_core::ProgramBuilder;
+/// use qcemu_sim::BatchStateVector;
+///
+/// let members: Vec<_> = (0..4)
+///     .map(|_| {
+///         let mut pb = ProgramBuilder::new();
+///         let a = pb.register("a", 3);
+///         pb.hadamard_all(a);
+///         pb.qft(a);
+///         pb.build().unwrap()
+///     })
+///     .collect();
+/// let exec = BatchExecutor::new();
+/// let initial = BatchStateVector::zero_state(3, members.len());
+/// let out = exec.run(&members, initial).unwrap();
+/// assert_eq!(out.batch(), 4);
+/// assert_eq!(exec.plan_cache_misses(), 1);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct BatchExecutor {
+    inner: HybridExecutor,
+}
+
+impl BatchExecutor {
+    /// Batch executor over the default hybrid cost model and fused gate
+    /// path.
+    pub fn new() -> BatchExecutor {
+        BatchExecutor::default()
+    }
+
+    /// Batch executor driven by the measured host rates
+    /// ([`crate::crossover::CostModel::calibrated`]).
+    pub fn calibrated() -> BatchExecutor {
+        BatchExecutor {
+            inner: HybridExecutor::calibrated(),
+        }
+    }
+
+    /// Replaces the cost model (resets the plan cache).
+    pub fn with_model(self, model: crate::crossover::CostModel) -> BatchExecutor {
+        BatchExecutor {
+            inner: self.inner.with_model(model),
+        }
+    }
+
+    /// Replaces the gate-level execution configuration (resets the plan
+    /// cache).
+    pub fn with_config(self, config: SimConfig) -> BatchExecutor {
+        BatchExecutor {
+            inner: self.inner.with_config(config),
+        }
+    }
+
+    /// How many times a batch run had to lower a plan from scratch —
+    /// repeated runs of same-structure ensembles keep this at one.
+    pub fn plan_cache_misses(&self) -> usize {
+        self.inner.plan_cache_misses()
+    }
+
+    /// The structure-keyed plan a batch of `program`'s shape would run
+    /// (lowering and caching it if absent) — inspect or `{}`-print it to
+    /// see the per-op dispatch.
+    pub fn plan(&self, program: &QuantumProgram) -> ExecutionPlan {
+        (*self.inner.plan_structural(program)).clone()
+    }
+
+    /// Runs the ensemble and returns the final batched state.
+    ///
+    /// `members[j]` drives the `j`-th member of `initial`. All members
+    /// must share qubit count and structure hash; `initial` must hold
+    /// exactly `members.len()` members of that qubit count.
+    pub fn run(
+        &self,
+        members: &[QuantumProgram],
+        initial: BatchStateVector,
+    ) -> Result<BatchStateVector, EmuError> {
+        self.run_with_report(members, initial).map(|(s, _)| s)
+    }
+
+    /// Runs the ensemble and additionally returns the per-step audit
+    /// report (backend, batched vs per-member route, predicted and
+    /// measured cost).
+    pub fn run_with_report(
+        &self,
+        members: &[QuantumProgram],
+        initial: BatchStateVector,
+    ) -> Result<(BatchStateVector, BatchReport), EmuError> {
+        let first = members.first().ok_or_else(|| EmuError::PlanMismatch {
+            reason: "batch must contain at least one program".into(),
+        })?;
+        let n = first.n_qubits();
+        for (j, m) in members.iter().enumerate() {
+            if m.n_qubits() != n {
+                return Err(EmuError::DimensionMismatch {
+                    expected: n,
+                    got: m.n_qubits(),
+                });
+            }
+            if m.structure_hash() != first.structure_hash() {
+                return Err(EmuError::PlanMismatch {
+                    reason: format!(
+                        "member {j} differs structurally from member 0; \
+                         a batch must be structurally homogeneous"
+                    ),
+                });
+            }
+        }
+        if initial.n_qubits() != n {
+            return Err(EmuError::DimensionMismatch {
+                expected: n,
+                got: initial.n_qubits(),
+            });
+        }
+        if initial.batch() != members.len() {
+            return Err(EmuError::DimensionMismatch {
+                expected: members.len(),
+                got: initial.batch(),
+            });
+        }
+
+        let plan = self.inner.plan_structural(first);
+        let interp = PlanInterpreter::new(self.inner.config);
+        let mut state = extend_batch(initial, plan.n_ancilla());
+        let mut steps = Vec::with_capacity(plan.steps().len());
+        for step in plan.steps() {
+            let t0 = Instant::now();
+            let batched = self.execute_batch_step(&mut state, members, step, &interp)?;
+            steps.push(BatchStepReport {
+                op: step.op.clone(),
+                backend: step.backend,
+                batched,
+                predicted_s: step.predicted_s,
+                measured_s: t0.elapsed().as_secs_f64(),
+            });
+        }
+        let state = truncate_batch(state, n)?;
+        Ok((
+            state,
+            BatchReport {
+                batch: members.len(),
+                steps,
+            },
+        ))
+    }
+
+    /// Executes one plan step over the whole batch, returning `true` when
+    /// the batched kernels ran it and `false` when it fell back to the
+    /// per-member interpreter loop.
+    fn execute_batch_step(
+        &self,
+        state: &mut BatchStateVector,
+        members: &[QuantumProgram],
+        step: &PlanStep,
+        interp: &PlanInterpreter,
+    ) -> Result<bool, EmuError> {
+        let first = &members[0];
+        match &first.ops()[step.op_index] {
+            HighLevelOp::Gates(c) if step.backend.is_simulate() => {
+                // Gate lists are bit-identical across an equal structure
+                // hash, so the planning member's cached fused stream (or
+                // raw circuit) is valid for every member.
+                if step.backend == Backend::SimulateFused {
+                    if let Some(fused) = &step.fused {
+                        state.apply_fused_circuit(fused);
+                        return Ok(true);
+                    }
+                }
+                state.run(c, &interp.step_config(step.backend));
+                Ok(true)
+            }
+            HighLevelOp::Qft(r) if step.backend.is_simulate() => {
+                let bits = first.register(*r).bits();
+                let c = qft_circuit(bits.len()).remap_qubits(state.n_qubits(), |q| bits[q]);
+                state.run(&c, &interp.step_config(step.backend));
+                Ok(true)
+            }
+            HighLevelOp::InverseQft(r) if step.backend.is_simulate() => {
+                let bits = first.register(*r).bits();
+                let c = inverse_qft_circuit(bits.len()).remap_qubits(state.n_qubits(), |q| bits[q]);
+                state.run(&c, &interp.step_config(step.backend));
+                Ok(true)
+            }
+            HighLevelOp::Rotation(_) if !step.backend.is_simulate() => {
+                // Emulated controlled rotation: the pair enumeration and
+                // register decode are structural, only the angle closure
+                // varies — the batched kernel sweeps the interleaved
+                // layout once, reading each member's own closure, with no
+                // de-interleave copies.
+                let ops: Vec<&crate::program::RotationOp> = members
+                    .iter()
+                    .map(|m| match &m.ops()[step.op_index] {
+                        HighLevelOp::Rotation(op) => op,
+                        _ => unreachable!("structure hash guarantees matching op kinds"),
+                    })
+                    .collect();
+                crate::classical::apply_controlled_rotation_batch(state, first, &ops);
+                Ok(true)
+            }
+            _ => {
+                // Closure-bearing (or emulated) step: run each member
+                // through the ordinary interpreter with the carried
+                // artifacts stripped — they were built from the planning
+                // member's closures and must be rebuilt from each
+                // member's own op. One tiled de-interleave/re-interleave
+                // brackets the loop instead of per-member strided copies.
+                let stripped = PlanStep {
+                    circuit: None,
+                    fused: None,
+                    ..step.clone()
+                };
+                let mut states = state.to_states();
+                for (j, sv) in states.iter_mut().enumerate() {
+                    let op = &members[j].ops()[step.op_index];
+                    interp.execute_step(sv, &members[j], op, &stripped)?;
+                }
+                *state = BatchStateVector::from_states(&states);
+                Ok(false)
+            }
+        }
+    }
+}
+
+/// Extends every member with `n_anc` |0⟩ ancilla qubits (no-op at zero).
+fn extend_batch(initial: BatchStateVector, n_anc: usize) -> BatchStateVector {
+    if n_anc == 0 {
+        return initial;
+    }
+    let extended: Vec<StateVector> = initial
+        .into_states()
+        .into_iter()
+        .map(|s| extend_with_ancillas(s, n_anc))
+        .collect();
+    BatchStateVector::from_states(&extended)
+}
+
+/// Validates and strips ancillas from every member (no-op when the batch
+/// is already `n_program` qubits wide).
+fn truncate_batch(state: BatchStateVector, n_program: usize) -> Result<BatchStateVector, EmuError> {
+    if state.n_qubits() == n_program {
+        return Ok(state);
+    }
+    let truncated: Vec<StateVector> = state
+        .into_states()
+        .into_iter()
+        .map(|s| truncate_ancillas(s, n_program))
+        .collect::<Result<_, _>>()?;
+    Ok(BatchStateVector::from_states(&truncated))
+}
+
+/// Per-step entry of a [`BatchReport`].
+#[derive(Clone, Debug)]
+pub struct BatchStepReport {
+    /// Op label.
+    pub op: String,
+    /// Backend that ran the op.
+    pub backend: Backend,
+    /// `true` when the step ran once through the batched kernels,
+    /// `false` when it looped over members.
+    pub batched: bool,
+    /// Model-predicted cost of one member (seconds).
+    pub predicted_s: f64,
+    /// Measured wall time of the step across the whole batch (seconds).
+    pub measured_s: f64,
+}
+
+/// Audit trail of one batched execution. Render with `{}` for an aligned
+/// table.
+#[derive(Clone, Debug)]
+pub struct BatchReport {
+    /// Number of ensemble members the run advanced.
+    pub batch: usize,
+    /// One entry per plan step, in program order.
+    pub steps: Vec<BatchStepReport>,
+}
+
+impl BatchReport {
+    /// Total measured wall time across all steps (whole batch).
+    pub fn total_measured_s(&self) -> f64 {
+        self.steps.iter().map(|s| s.measured_s).sum()
+    }
+
+    /// Total predicted cost of one member across all steps.
+    pub fn total_predicted_s(&self) -> f64 {
+        self.steps.iter().map(|s| s.predicted_s).sum()
+    }
+}
+
+impl fmt::Display for BatchReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "batch of {}", self.batch)?;
+        writeln!(
+            f,
+            "{:<26} {:>17} {:>11} {:>12} {:>12}",
+            "op", "backend", "route", "pred/member", "measured"
+        )?;
+        for s in &self.steps {
+            writeln!(
+                f,
+                "{:<26} {:>17} {:>11} {:>12} {:>12}",
+                s.op,
+                s.backend.to_string(),
+                if s.batched { "batched" } else { "per-member" },
+                fmt_model_secs(s.predicted_s),
+                fmt_model_secs(s.measured_s),
+            )?;
+        }
+        write!(
+            f,
+            "{:<26} {:>17} {:>11} {:>12} {:>12}",
+            "total",
+            "",
+            "",
+            fmt_model_secs(self.total_predicted_s()),
+            fmt_model_secs(self.total_measured_s())
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::executor::Executor;
+    use crate::program::{ProgramBuilder, RotationOp};
+    use crate::stdops;
+    use std::sync::Arc;
+
+    /// One member of a rotation parameter sweep: H⊗m on `x`, then an
+    /// `x`-controlled Ry(θ·scale(x)) on the indicator qubit, then a QFT
+    /// on `x`. Only the angle closure varies across members — the
+    /// structure hash is identical.
+    fn sweep_member(m: usize, scale: f64) -> QuantumProgram {
+        let mut pb = ProgramBuilder::new();
+        let x = pb.register("x", m);
+        let ind = pb.register("ind", 1);
+        pb.hadamard_all(x);
+        pb.rotation(RotationOp {
+            name: "sweep".into(),
+            x,
+            target: ind,
+            angle: Arc::new(move |v| scale * (v as f64 + 0.5)),
+            gate_impl: None,
+        });
+        pb.qft(x);
+        pb.build().unwrap()
+    }
+
+    fn multiplication_member(m: usize) -> QuantumProgram {
+        let mut pb = ProgramBuilder::new();
+        let a = pb.register("a", m);
+        let b = pb.register("b", m);
+        let c = pb.register("c", m);
+        pb.hadamard_all(a);
+        pb.hadamard_all(b);
+        pb.classical(stdops::multiply(a, b, c, m));
+        pb.build().unwrap()
+    }
+
+    #[test]
+    fn batched_sweep_matches_per_member_hybrid_runs() {
+        let scales = [0.11, 0.42, 0.73, 1.04, 1.35];
+        let members: Vec<_> = scales.iter().map(|&s| sweep_member(4, s)).collect();
+        let n = members[0].n_qubits();
+        let exec = BatchExecutor::new();
+        let (out, report) = exec
+            .run_with_report(&members, BatchStateVector::zero_state(n, members.len()))
+            .unwrap();
+        assert_eq!(report.steps.len(), members[0].ops().len());
+        // Every member agrees with its own solo hybrid run.
+        let solo = HybridExecutor::new();
+        for (j, member) in members.iter().enumerate() {
+            let reference = solo.run(member, StateVector::zero_state(n)).unwrap();
+            let diff = out.member_max_diff(j, &reference);
+            assert!(diff < 1e-12, "member {j}: {diff}");
+        }
+        // The gate prelude batched; the emulated rotation runs through the
+        // batched in-layout kernel (per-member only when lowered to gates).
+        assert!(report.steps.iter().any(|s| s.batched));
+        let rot = report
+            .steps
+            .iter()
+            .find(|s| s.op.contains("rotation"))
+            .unwrap();
+        assert_eq!(rot.batched, !rot.backend.is_simulate());
+        // The report renders.
+        let table = report.to_string();
+        assert!(table.contains("batched"), "{table}");
+    }
+
+    #[test]
+    fn phase_oracles_fall_back_to_the_per_member_route() {
+        // Per-member phase predicates: member k marks value k. The phase
+        // op has no batched arm, so it must take the per-member route and
+        // still give each member its own closure's semantics.
+        let members: Vec<_> = (0..3)
+            .map(|k| {
+                let mut pb = ProgramBuilder::new();
+                let x = pb.register("x", 3);
+                pb.hadamard_all(x);
+                pb.phase_oracle(stdops::phase_if(
+                    "mark-member",
+                    vec![x],
+                    std::f64::consts::PI,
+                    move |v| v[0] == k as u64,
+                ));
+                pb.build().unwrap()
+            })
+            .collect();
+        let n = members[0].n_qubits();
+        let exec = BatchExecutor::new();
+        let (out, report) = exec
+            .run_with_report(&members, BatchStateVector::zero_state(n, members.len()))
+            .unwrap();
+        assert!(report
+            .steps
+            .iter()
+            .any(|s| !s.batched && s.op.contains("oracle")));
+        assert!(report.to_string().contains("per-member"));
+        let solo = HybridExecutor::new();
+        for (j, member) in members.iter().enumerate() {
+            let reference = solo.run(member, StateVector::zero_state(n)).unwrap();
+            assert!(out.member_max_diff(j, &reference) < 1e-12, "member {j}");
+        }
+    }
+
+    #[test]
+    fn batched_classical_map_matches_per_member_runs() {
+        // At this size the hybrid plan may pick either route for the
+        // multiply — the batch must agree with solo runs regardless.
+        let members: Vec<_> = (0..3).map(|_| multiplication_member(2)).collect();
+        let n = members[0].n_qubits();
+        let out = BatchExecutor::new()
+            .run(&members, BatchStateVector::zero_state(n, members.len()))
+            .unwrap();
+        let solo = HybridExecutor::new();
+        for (j, member) in members.iter().enumerate() {
+            let reference = solo.run(member, StateVector::zero_state(n)).unwrap();
+            assert!(out.member_max_diff(j, &reference) < 1e-12, "member {j}");
+        }
+    }
+
+    #[test]
+    fn repeated_batches_plan_once_per_structure() {
+        let exec = BatchExecutor::new();
+        assert_eq!(exec.plan_cache_misses(), 0);
+        for _ in 0..3 {
+            // Fresh instances every round: only the structure repeats.
+            let members: Vec<_> = (0..4)
+                .map(|k| sweep_member(3, 0.2 * (k + 1) as f64))
+                .collect();
+            let n = members[0].n_qubits();
+            exec.run(&members, BatchStateVector::zero_state(n, members.len()))
+                .unwrap();
+        }
+        assert_eq!(
+            exec.plan_cache_misses(),
+            1,
+            "same structure must not re-plan"
+        );
+        // A different qubit count is a different structure: miss + evict.
+        let members: Vec<_> = (0..2)
+            .map(|k| sweep_member(4, 0.3 * (k + 1) as f64))
+            .collect();
+        let n = members[0].n_qubits();
+        exec.run(&members, BatchStateVector::zero_state(n, members.len()))
+            .unwrap();
+        assert_eq!(exec.plan_cache_misses(), 2);
+    }
+
+    #[test]
+    fn heterogeneous_batches_are_rejected() {
+        let exec = BatchExecutor::new();
+        // Empty batch.
+        assert!(matches!(
+            exec.run(&[], BatchStateVector::zero_state(3, 1)),
+            Err(EmuError::PlanMismatch { .. })
+        ));
+        // Mixed qubit counts.
+        let mixed = vec![sweep_member(3, 0.1), sweep_member(4, 0.1)];
+        assert!(matches!(
+            exec.run(&mixed, BatchStateVector::zero_state(4, 2)),
+            Err(EmuError::DimensionMismatch { .. })
+        ));
+        // Same width, different op structure.
+        let mut pb = ProgramBuilder::new();
+        let a = pb.register("a", 4);
+        pb.qft(a);
+        let other = pb.build().unwrap();
+        let mixed = vec![sweep_member(3, 0.1), other];
+        assert!(matches!(
+            exec.run(&mixed, BatchStateVector::zero_state(4, 2)),
+            Err(EmuError::PlanMismatch { .. })
+        ));
+        // Batch width must match the member count.
+        let members = vec![sweep_member(3, 0.1), sweep_member(3, 0.2)];
+        assert!(matches!(
+            exec.run(&members, BatchStateVector::zero_state(4, 3)),
+            Err(EmuError::DimensionMismatch { .. })
+        ));
+        // Initial state width must match the programs.
+        assert!(matches!(
+            exec.run(&members, BatchStateVector::zero_state(3, 2)),
+            Err(EmuError::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn unfused_and_calibrated_configs_agree_with_default() {
+        let members: Vec<_> = (0..3)
+            .map(|k| sweep_member(3, 0.5 + 0.1 * k as f64))
+            .collect();
+        let n = members[0].n_qubits();
+        let initial = BatchStateVector::zero_state(n, members.len());
+        let default_out = BatchExecutor::new().run(&members, initial.clone()).unwrap();
+        let unfused_out = BatchExecutor::new()
+            .with_config(SimConfig::unfused())
+            .run(&members, initial.clone())
+            .unwrap();
+        let calibrated_out = BatchExecutor::calibrated().run(&members, initial).unwrap();
+        for j in 0..members.len() {
+            let reference = default_out.member(j);
+            assert!(unfused_out.member_max_diff(j, &reference) < 1e-12);
+            assert!(calibrated_out.member_max_diff(j, &reference) < 1e-12);
+        }
+    }
+}

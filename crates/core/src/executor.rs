@@ -301,6 +301,39 @@ impl HybridExecutor {
             && c.config == self.config
     }
 
+    /// Returns a cached plan valid for `program`'s **structure** — the
+    /// batch entry point ([`crate::batch::BatchExecutor`]).
+    ///
+    /// Unlike [`HybridExecutor::plan`], a cache hit does **not** require
+    /// the same `instance_id`: any program with the same
+    /// [`structure_hash`](QuantumProgram::structure_hash) (under the same
+    /// model and config) reuses the lowering. This is safe only because
+    /// the batch runner never executes a carried closure-built artifact
+    /// against a different instance — closure-bearing steps are re-run
+    /// per member from each member's own ops, and only structurally
+    /// determined gate streams (bit-identical under an equal structure
+    /// hash) are applied batched. Misses count toward
+    /// [`HybridExecutor::plan_cache_misses`] like any other lowering.
+    pub(crate) fn plan_structural(&self, program: &QuantumProgram) -> Arc<ExecutionPlan> {
+        let hash = program.structure_hash();
+        let mut guard = self.cache.lock().unwrap();
+        if let Some(c) = guard.as_ref() {
+            if c.structure_hash == hash && c.model == self.model && c.config == self.config {
+                return Arc::clone(&c.plan);
+            }
+        }
+        self.plan_misses.fetch_add(1, Ordering::Relaxed);
+        let plan = Arc::new(plan_hybrid(program, &self.model, &self.config));
+        *guard = Some(CachedPlan {
+            instance_id: program.instance_id(),
+            structure_hash: hash,
+            model: self.model,
+            config: self.config,
+            plan: Arc::clone(&plan),
+        });
+        plan
+    }
+
     /// Returns the cached plan or lowers (and caches) a fresh one.
     fn plan_cached(&self, program: &QuantumProgram) -> Arc<ExecutionPlan> {
         let hash = program.structure_hash();

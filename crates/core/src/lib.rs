@@ -39,6 +39,7 @@
 //! assert!(emulated.max_diff_up_to_phase(&simulated) < 1e-9);
 //! ```
 
+pub mod batch;
 pub mod classical;
 pub mod crossover;
 pub mod error;
@@ -49,7 +50,11 @@ pub mod program;
 pub mod qpe;
 pub mod stdops;
 
-pub use classical::{apply_classical_map, apply_controlled_rotation, apply_phase_oracle};
+pub use batch::{BatchExecutor, BatchReport, BatchStepReport};
+pub use classical::{
+    apply_classical_map, apply_controlled_rotation, apply_controlled_rotation_batch,
+    apply_phase_oracle,
+};
 pub use crossover::{CostModel, QpeCostModel, QpeTimings};
 pub use error::EmuError;
 pub use executor::{Emulator, Executor, GateLevelSimulator, HybridExecutor};

@@ -241,7 +241,7 @@ impl fmt::Display for PlanReport {
     }
 }
 
-fn fmt_model_secs(s: f64) -> String {
+pub(crate) fn fmt_model_secs(s: f64) -> String {
     if s.is_infinite() {
         "∞".into()
     } else if s >= 1.0 {
@@ -872,7 +872,7 @@ impl PlanInterpreter {
     /// `SimConfig` a simulation step runs under: `SimulateFused` uses the
     /// interpreter's own fused config (or the default window if the
     /// interpreter is unfused); `SimulateGateLevel` is always unfused.
-    fn step_config(&self, backend: Backend) -> SimConfig {
+    pub(crate) fn step_config(&self, backend: Backend) -> SimConfig {
         match backend {
             Backend::SimulateFused => match self.config.fusion {
                 FusionPolicy::Greedy { .. } => self.config,
@@ -930,7 +930,7 @@ impl PlanInterpreter {
         }
     }
 
-    fn execute_step(
+    pub(crate) fn execute_step(
         &self,
         state: &mut StateVector,
         program: &QuantumProgram,

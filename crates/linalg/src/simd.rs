@@ -113,6 +113,29 @@ fn avx2_available() -> bool {
 /// Panics if `lo.len() != hi.len()`.
 pub fn butterfly_slices(lo: &mut [C64], hi: &mut [C64], m: &[[C64; 2]; 2]) {
     assert_eq!(lo.len(), hi.len(), "butterfly runs must have equal length");
+    // Real-matrix fast path: H, Rx/Ry-style mixers, and every real
+    // rotation have a real 2×2, and scaling a complex number by a real
+    // commutes with the re/im interleave — so the butterfly becomes four
+    // elementwise real multiply-adds over the raw f64 lanes. That halves
+    // the flops and (on the vector path) removes every shuffle; the
+    // results are bit-identical to the generic complex arithmetic because
+    // the dropped products are exact multiplications by zero.
+    if m[0][0].im == 0.0 && m[0][1].im == 0.0 && m[1][0].im == 0.0 && m[1][1].im == 0.0 {
+        let r = [m[0][0].re, m[0][1].re, m[1][0].re, m[1][1].re];
+        #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+        if simd_active() {
+            // SAFETY: AVX2+FMA presence was verified at runtime.
+            unsafe { avx2::butterfly_slices_real(lo, hi, &r) };
+            return;
+        }
+        for (a, b) in lo.iter_mut().zip(hi.iter_mut()) {
+            let x = *a;
+            let y = *b;
+            *a = x.scale(r[0]) + y.scale(r[1]);
+            *b = x.scale(r[2]) + y.scale(r[3]);
+        }
+        return;
+    }
     #[cfg(all(feature = "simd", target_arch = "x86_64"))]
     if simd_active() {
         // SAFETY: AVX2+FMA presence was verified at runtime.
@@ -133,6 +156,45 @@ pub fn butterfly_slices_scalar(lo: &mut [C64], hi: &mut [C64], m: &[[C64; 2]; 2]
     }
 }
 
+/// Per-lane real Givens rotation over two equal-length runs:
+/// `(lo[j], hi[j]) ← (c_j·lo[j] − s_j·hi[j], s_j·lo[j] + c_j·hi[j])`,
+/// where each **f64 lane** `t` carries its own coefficients `cos[t]`,
+/// `sin[t]` (so `cos`/`sin` are `2·len` long, with each complex element's
+/// two lanes holding the same value).
+///
+/// This is the batched controlled-rotation kernel: a batch-major run
+/// holds one amplitude pair for every ensemble member, and every member
+/// rotates by its *own* angle — a single shared matrix
+/// ([`butterfly_slices`]) cannot express that, per-lane coefficients can.
+///
+/// # Panics
+///
+/// Panics if the run lengths differ or the coefficient slices are not
+/// exactly `2·lo.len()` lanes.
+pub fn rotate_lanes(lo: &mut [C64], hi: &mut [C64], cos: &[f64], sin: &[f64]) {
+    assert_eq!(lo.len(), hi.len(), "rotation runs must have equal length");
+    assert_eq!(cos.len(), 2 * lo.len(), "one cosine per f64 lane");
+    assert_eq!(sin.len(), 2 * lo.len(), "one sine per f64 lane");
+    #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+    if simd_active() {
+        // SAFETY: AVX2+FMA presence was verified at runtime.
+        unsafe { avx2::rotate_lanes(lo, hi, cos, sin) };
+        return;
+    }
+    rotate_lanes_scalar(lo, hi, cos, sin);
+}
+
+/// Scalar twin of [`rotate_lanes`] (public for equivalence pinning).
+pub fn rotate_lanes_scalar(lo: &mut [C64], hi: &mut [C64], cos: &[f64], sin: &[f64]) {
+    for (j, (a, b)) in lo.iter_mut().zip(hi.iter_mut()).enumerate() {
+        let (c, s) = (cos[2 * j], sin[2 * j]);
+        let x = *a;
+        let y = *b;
+        *a = x.scale(c) - y.scale(s);
+        *b = x.scale(s) + y.scale(c);
+    }
+}
+
 /// Multiplies every element of `xs` by the complex factor `f` — the
 /// diagonal/phase sweep over a contiguous run.
 pub fn scale_slice(xs: &mut [C64], f: C64) {
@@ -145,6 +207,21 @@ pub fn scale_slice(xs: &mut [C64], f: C64) {
     for z in xs.iter_mut() {
         *z *= f;
     }
+}
+
+/// Swaps two equal-length runs element-wise — the data movement of a
+/// batched X/SWAP kernel, where every basis index owns a contiguous run
+/// of `batch` amplitudes. Completes the batched-run primitive set next
+/// to [`scale_slice`] (diagonal sweeps) and [`butterfly_slices`] (2×2
+/// mixing): all three accept arbitrary run lengths, so batch-axis
+/// execution vectorises at any qubit position. Delegates to the standard
+/// library's `swap_with_slice`, which lowers to wide vector moves; kept
+/// as a named entry point so a specialised path (e.g. non-temporal
+/// stores for cache-capacity batches) can slot in without touching the
+/// kernel drivers.
+pub fn swap_slices(a: &mut [C64], b: &mut [C64]) {
+    assert_eq!(a.len(), b.len(), "swap_slices: length mismatch");
+    a.swap_with_slice(b);
 }
 
 /// Multiplies every element of `xs` by a real factor (FFT normalisation).
@@ -320,6 +397,37 @@ mod avx2 {
         }
     }
 
+    /// Real-matrix butterfly over the raw f64 lanes — no re/im
+    /// deinterleave needed because real scaling acts on both components
+    /// identically. `r = [m00, m01, m10, m11]`.
+    #[target_feature(enable = "avx2,fma")]
+    pub(super) unsafe fn butterfly_slices_real(lo: &mut [C64], hi: &mut [C64], r: &[f64; 4]) {
+        let n = lo.len() * 2; // f64 lanes
+        let (m00, m01, m10, m11) = (
+            _mm256_set1_pd(r[0]),
+            _mm256_set1_pd(r[1]),
+            _mm256_set1_pd(r[2]),
+            _mm256_set1_pd(r[3]),
+        );
+        let lp = lo.as_mut_ptr() as *mut f64;
+        let hp = hi.as_mut_ptr() as *mut f64;
+        let mut j = 0;
+        while j + 4 <= n {
+            let x = _mm256_loadu_pd(lp.add(j));
+            let y = _mm256_loadu_pd(hp.add(j));
+            _mm256_storeu_pd(lp.add(j), _mm256_fmadd_pd(m01, y, _mm256_mul_pd(m00, x)));
+            _mm256_storeu_pd(hp.add(j), _mm256_fmadd_pd(m11, y, _mm256_mul_pd(m10, x)));
+            j += 4;
+        }
+        while j < n {
+            let x = *lp.add(j);
+            let y = *hp.add(j);
+            *lp.add(j) = r[1].mul_add(y, r[0] * x);
+            *hp.add(j) = r[3].mul_add(y, r[2] * x);
+            j += 1;
+        }
+    }
+
     #[target_feature(enable = "avx2,fma")]
     pub(super) unsafe fn butterfly_slices(lo: &mut [C64], hi: &mut [C64], m: &[[C64; 2]; 2]) {
         let n = lo.len();
@@ -340,6 +448,35 @@ mod avx2 {
             j += 4;
         }
         super::butterfly_slices_scalar(&mut lo[j..], &mut hi[j..], m);
+    }
+
+    /// Per-lane Givens rotation on raw f64 lanes (see
+    /// [`super::rotate_lanes`]) — straight elementwise FMA, no shuffles.
+    #[target_feature(enable = "avx2,fma")]
+    pub(super) unsafe fn rotate_lanes(lo: &mut [C64], hi: &mut [C64], cos: &[f64], sin: &[f64]) {
+        let n = lo.len() * 2; // f64 lanes
+        let lp = lo.as_mut_ptr() as *mut f64;
+        let hp = hi.as_mut_ptr() as *mut f64;
+        let cp = cos.as_ptr();
+        let sp = sin.as_ptr();
+        let mut j = 0;
+        while j + 4 <= n {
+            let x = _mm256_loadu_pd(lp.add(j));
+            let y = _mm256_loadu_pd(hp.add(j));
+            let c = _mm256_loadu_pd(cp.add(j));
+            let s = _mm256_loadu_pd(sp.add(j));
+            _mm256_storeu_pd(lp.add(j), _mm256_fmsub_pd(c, x, _mm256_mul_pd(s, y)));
+            _mm256_storeu_pd(hp.add(j), _mm256_fmadd_pd(c, y, _mm256_mul_pd(s, x)));
+            j += 4;
+        }
+        while j < n {
+            let (c, s) = (*cp.add(j), *sp.add(j));
+            let x = *lp.add(j);
+            let y = *hp.add(j);
+            *lp.add(j) = c * x - s * y;
+            *hp.add(j) = s * x + c * y;
+            j += 1;
+        }
     }
 
     #[target_feature(enable = "avx2,fma")]
@@ -513,6 +650,84 @@ mod tests {
             },
             |s, n| assert!(close(&s, &n)),
         );
+    }
+
+    #[test]
+    fn real_butterfly_matches_generic_complex_arithmetic() {
+        // A real 2×2 takes the lane fast path; it must agree with the
+        // generic complex path (same matrix, tiny imaginary part forced).
+        let mut rng = StdRng::seed_from_u64(15);
+        let (c, s) = (0.36_f64.cos(), 0.36_f64.sin());
+        let real = [[c64(c, 0.0), c64(-s, 0.0)], [c64(s, 0.0), c64(c, 0.0)]];
+        for len in [0usize, 1, 3, 4, 5, 8, 13, 64] {
+            let lo0 = random_state(len.next_power_of_two().max(1), &mut rng)[..len].to_vec();
+            let hi0 = random_state(len.next_power_of_two().max(1), &mut rng)[..len].to_vec();
+            let (mut rlo, mut rhi) = (lo0.clone(), hi0.clone());
+            butterfly_slices(&mut rlo, &mut rhi, &real);
+            let (mut glo, mut ghi) = (lo0.clone(), hi0.clone());
+            butterfly_slices_scalar(&mut glo, &mut ghi, &real);
+            assert!(close(&rlo, &glo) && close(&rhi, &ghi), "len = {len}");
+            both_paths(
+                || {
+                    let (mut lo, mut hi) = (lo0.clone(), hi0.clone());
+                    butterfly_slices(&mut lo, &mut hi, &real);
+                    (lo, hi)
+                },
+                |(slo, shi), (nlo, nhi)| {
+                    assert!(close(&slo, &nlo) && close(&shi, &nhi), "len = {len}");
+                },
+            );
+        }
+    }
+
+    #[test]
+    fn rotate_lanes_matches_per_lane_scalar_rotations() {
+        let mut rng = StdRng::seed_from_u64(16);
+        for len in [0usize, 1, 3, 4, 5, 8, 17] {
+            let lo0 = random_state(32, &mut rng)[..len].to_vec();
+            let hi0 = random_state(32, &mut rng)[..len].to_vec();
+            // Distinct angle per complex element, duplicated per f64 lane.
+            let mut cos = vec![0.0; 2 * len];
+            let mut sin = vec![0.0; 2 * len];
+            for j in 0..len {
+                let (s, c) = (0.21 + 0.4 * j as f64).sin_cos();
+                cos[2 * j] = c;
+                cos[2 * j + 1] = c;
+                sin[2 * j] = s;
+                sin[2 * j + 1] = s;
+            }
+            both_paths(
+                || {
+                    let (mut lo, mut hi) = (lo0.clone(), hi0.clone());
+                    rotate_lanes(&mut lo, &mut hi, &cos, &sin);
+                    (lo, hi)
+                },
+                |(slo, shi), (nlo, nhi)| {
+                    assert!(close(&slo, &nlo) && close(&shi, &nhi), "len = {len}");
+                },
+            );
+            // Pin against the obvious per-element definition.
+            let (mut lo, mut hi) = (lo0.clone(), hi0.clone());
+            rotate_lanes_scalar(&mut lo, &mut hi, &cos, &sin);
+            for j in 0..len {
+                let (c, s) = (cos[2 * j], sin[2 * j]);
+                let want_lo = lo0[j].scale(c) - hi0[j].scale(s);
+                let want_hi = lo0[j].scale(s) + hi0[j].scale(c);
+                assert!(lo[j].approx_eq(want_lo, TOL) && hi[j].approx_eq(want_hi, TOL));
+            }
+        }
+    }
+
+    #[test]
+    fn swap_slices_exchanges_runs_at_any_length() {
+        let mut rng = StdRng::seed_from_u64(14);
+        for len in [0usize, 1, 3, 4, 5, 17] {
+            let a0 = random_state(32, &mut rng)[..len].to_vec();
+            let b0 = random_state(32, &mut rng)[..len].to_vec();
+            let (mut a, mut b) = (a0.clone(), b0.clone());
+            swap_slices(&mut a, &mut b);
+            assert!(close(&a, &b0) && close(&b, &a0), "len = {len}");
+        }
     }
 
     #[test]

@@ -320,6 +320,135 @@ impl FusedGate {
         }
     }
 
+    /// Applies the block to every member of a batch-major interleaved
+    /// buffer (amplitude `i` of member `j` at `state[i·batch + j]`, see
+    /// [`crate::batch`]) in one blocked pass, dispatching on structure
+    /// like [`FusedGate::apply_slice_with`]:
+    ///
+    /// * diagonal blocks scale only the non-unit batch runs;
+    /// * permutation blocks rotate batch runs along the cycles in place;
+    /// * general **and dense** blocks gather each group into worker-local
+    ///   scratch and replay the precompiled ops batched — the dense
+    ///   mat-vec path is skipped because gathered runs are
+    ///   batch-interleaved, so matrix rows no longer meet contiguous
+    ///   vectors; the replay performs the same arithmetic as unfused
+    ///   execution.
+    pub fn apply_batched_with(&self, state: &mut [C64], batch: usize, par_threshold: usize) {
+        match &self.kind {
+            BlockKind::Diagonal { factors } => crate::batch::apply_fused_diagonal_batch(
+                state,
+                batch,
+                &self.qubits,
+                factors,
+                par_threshold,
+            ),
+            BlockKind::Permutation { target, factor } => {
+                crate::batch::apply_fused_permutation_batch(
+                    state,
+                    batch,
+                    &self.qubits,
+                    target,
+                    factor,
+                    par_threshold,
+                )
+            }
+            BlockKind::General | BlockKind::Dense => crate::batch::apply_fused_local_batch(
+                state,
+                batch,
+                &self.qubits,
+                &self.local_ops,
+                par_threshold,
+            ),
+        }
+    }
+
+    /// [`FusedGate::apply_batched_with`] at the default threshold.
+    pub fn apply_batched(&self, state: &mut [C64], batch: usize) {
+        self.apply_batched_with(state, batch, PAR_THRESHOLD)
+    }
+
+    /// Batched twin of [`FusedGate::apply_buffer`]: one gathered group of
+    /// `2^k` amplitudes for `batch` members, interleaved batch-major
+    /// (local index `v` of member `j` at `buf[v·batch + j]`). Permutation
+    /// blocks rotate the runs in place (no scratch — the buffer size is
+    /// `2^k·batch`, too large for the stack copy `apply_buffer` uses);
+    /// dense blocks replay their ops, as in
+    /// [`FusedGate::apply_batched_with`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `buf.len() != 2^k · batch`.
+    pub fn apply_buffer_batch(&self, buf: &mut [C64], batch: usize) {
+        let dim = 1usize << self.qubits.len();
+        assert_eq!(
+            buf.len(),
+            dim * batch,
+            "group buffer must hold 2^k·batch amplitudes"
+        );
+        match &self.kind {
+            BlockKind::Diagonal { factors } => {
+                for (v, &f) in factors.iter().enumerate() {
+                    if f != C64::ONE {
+                        simd::scale_slice(&mut buf[v * batch..(v + 1) * batch], f);
+                    }
+                }
+            }
+            BlockKind::Permutation { target, factor } => {
+                // In-place cycle walk (dim ≤ 64, so a u64 bitmask tracks
+                // visited indices): rotate the cycle's runs with pairwise
+                // swaps, then apply the phases to the moved runs.
+                let mut seen = 0u64;
+                let mut cyc = [0usize; 1 << MAX_FUSED_QUBITS];
+                for start in 0..dim {
+                    if seen >> start & 1 == 1 {
+                        continue;
+                    }
+                    let mut len = 0;
+                    let mut v = start;
+                    loop {
+                        seen |= 1 << v;
+                        cyc[len] = v;
+                        len += 1;
+                        v = target[v];
+                        if v == start {
+                            break;
+                        }
+                    }
+                    if len == 1 {
+                        if factor[start] != C64::ONE {
+                            simd::scale_slice(
+                                &mut buf[start * batch..(start + 1) * batch],
+                                factor[start],
+                            );
+                        }
+                        continue;
+                    }
+                    for i in (1..len).rev() {
+                        let (a, b) = crate::kernels::run_pair_mut(buf, cyc[i], cyc[i - 1], batch);
+                        simd::swap_slices(a, b);
+                    }
+                    // new[target[v]] = factor[v]·old[v]: run(cyc[i]) now
+                    // holds old cyc[i−1], run(cyc[0]) holds the old last.
+                    for i in (1..len).rev() {
+                        let f = factor[cyc[i - 1]];
+                        if f != C64::ONE {
+                            simd::scale_slice(&mut buf[cyc[i] * batch..(cyc[i] + 1) * batch], f);
+                        }
+                    }
+                    let f = factor[cyc[len - 1]];
+                    if f != C64::ONE {
+                        simd::scale_slice(&mut buf[cyc[0] * batch..(cyc[0] + 1) * batch], f);
+                    }
+                }
+            }
+            BlockKind::General | BlockKind::Dense => {
+                for op in &self.local_ops {
+                    op.apply_batch(buf, batch);
+                }
+            }
+        }
+    }
+
     /// The block's `2^k` diagonal factors, if it classified as diagonal.
     /// Diagonal blocks commute with the basis, which is what lets the
     /// distributed executor apply them on *global* qubits with zero
@@ -464,6 +593,25 @@ impl FusedCircuit {
                 FusedOp::Block(b) => b.apply_slice_with(state, par_threshold),
             }
         }
+    }
+
+    /// Applies every op to all members of a batch-major interleaved
+    /// buffer (see [`crate::batch`]): single gates go through the batched
+    /// structural kernels, blocks through
+    /// [`FusedGate::apply_batched_with`]. Fusion cost was paid once; this
+    /// pass pays one sweep per op for the whole ensemble.
+    pub fn apply_batched_with(&self, state: &mut [C64], batch: usize, par_threshold: usize) {
+        for op in &self.ops {
+            match op {
+                FusedOp::Gate(g) => crate::batch::apply_gate_batch(state, batch, g, par_threshold),
+                FusedOp::Block(b) => b.apply_batched_with(state, batch, par_threshold),
+            }
+        }
+    }
+
+    /// [`FusedCircuit::apply_batched_with`] at the default threshold.
+    pub fn apply_batched(&self, state: &mut [C64], batch: usize) {
+        self.apply_batched_with(state, batch, PAR_THRESHOLD)
     }
 
     /// Total state-vector entries written by one execution on an

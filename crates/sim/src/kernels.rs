@@ -53,7 +53,7 @@ pub const PAR_THRESHOLD: usize = 1 << 15;
 
 /// `true` when a kernel over `count` independent tasks should go parallel.
 #[inline]
-fn parallel_ok(count: usize, par_threshold: usize) -> bool {
+pub(crate) fn parallel_ok(count: usize, par_threshold: usize) -> bool {
     count >= par_threshold && rayon::current_num_threads() > 1
 }
 
@@ -68,11 +68,12 @@ const MAX_FUSED_DIM: usize = 1 << MAX_FUSED_QUBITS;
 /// Pointer wrapper that lets rayon tasks write to provably disjoint indices
 /// of one buffer.
 #[derive(Copy, Clone)]
-struct StatePtr(*mut C64);
-// SAFETY: `StatePtr` is only used inside this module by the pair/single
-// drivers below, which guarantee that distinct loop indices expand to
-// disjoint state-vector indices (the expansion is injective and the target
-// bit separates the two elements of each pair). No two tasks ever alias.
+pub(crate) struct StatePtr(pub(crate) *mut C64);
+// SAFETY: `StatePtr` is only used by the pair/single drivers in this module
+// and the batched drivers in `crate::batch`, all of which guarantee that
+// distinct loop indices expand to disjoint state-vector indices (the
+// expansion is injective and the target bit separates the two elements of
+// each pair). No two tasks ever alias.
 unsafe impl Send for StatePtr {}
 unsafe impl Sync for StatePtr {}
 
@@ -90,7 +91,7 @@ pub fn expand_index(k: usize, positions: &[usize]) -> usize {
 }
 
 /// Sorted gate-qubit positions plus the OR-mask of the control bits.
-fn control_layout(target_bits: &[usize], controls: &[usize]) -> (Vec<usize>, usize) {
+pub(crate) fn control_layout(target_bits: &[usize], controls: &[usize]) -> (Vec<usize>, usize) {
     let mut positions: Vec<usize> = controls.iter().chain(target_bits.iter()).copied().collect();
     positions.sort_unstable();
     let cmask = controls.iter().fold(0usize, |m, &c| m | (1usize << c));
@@ -505,7 +506,7 @@ pub fn scatter_index(v: usize, positions: &[usize]) -> usize {
 }
 
 /// Validates a fused-kernel qubit list against the state size.
-fn check_fused_qubits(n_bits: usize, qubits: &[usize]) {
+pub(crate) fn check_fused_qubits(n_bits: usize, qubits: &[usize]) {
     assert!(
         !qubits.is_empty() && qubits.len() <= MAX_FUSED_QUBITS,
         "fused block must use 1..={MAX_FUSED_QUBITS} qubits, got {}",
@@ -865,6 +866,80 @@ impl LocalOp {
                 }
             }
         }
+    }
+
+    /// Batched twin of [`LocalOp::apply`]: `buf` holds `2^k` local
+    /// amplitudes for `batch` ensemble members in batch-major interleaved
+    /// layout — local index `v` of member `j` lives at `v·batch + j`, so
+    /// every local index is a contiguous run of `batch` elements. The op
+    /// acts on whole runs, which keeps the arithmetic on the SIMD slice
+    /// primitives at **any** local bit position (the per-state fast paths
+    /// above need `tbit ≥ LANES`; here the run is the batch itself).
+    pub(crate) fn apply_batch(&self, buf: &mut [C64], batch: usize) {
+        debug_assert!(batch > 0 && buf.len() % batch == 0);
+        let dim = buf.len() / batch;
+        match *self {
+            LocalOp::Diag {
+                cmask,
+                tbit,
+                d0,
+                d1,
+            } => {
+                for v in 0..dim {
+                    if v & cmask == cmask {
+                        let f = if v & tbit != 0 { d1 } else { d0 };
+                        if f != C64::ONE {
+                            simd::scale_slice(&mut buf[v * batch..(v + 1) * batch], f);
+                        }
+                    }
+                }
+            }
+            LocalOp::Flip { cmask, tbit } => {
+                for v in 0..dim {
+                    if v & cmask == cmask && v & tbit == 0 {
+                        let (lo, hi) = run_pair_mut(buf, v, v | tbit, batch);
+                        simd::swap_slices(lo, hi);
+                    }
+                }
+            }
+            LocalOp::Rot { cmask, tbit, m } => {
+                for v in 0..dim {
+                    if v & cmask == cmask && v & tbit == 0 {
+                        let (lo, hi) = run_pair_mut(buf, v, v | tbit, batch);
+                        simd::butterfly_slices(lo, hi, &m);
+                    }
+                }
+            }
+            LocalOp::Swap { cmask, abit, bbit } => {
+                for v in 0..dim {
+                    if v & cmask == cmask && v & abit != 0 && v & bbit == 0 {
+                        let (a, b) = run_pair_mut(buf, v, (v & !abit) | bbit, batch);
+                        simd::swap_slices(a, b);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Two disjoint batch-length runs (`i·batch..` and `j·batch..`, `i ≠ j`)
+/// of one interleaved buffer, in either index order.
+#[inline(always)]
+pub(crate) fn run_pair_mut(
+    buf: &mut [C64],
+    i: usize,
+    j: usize,
+    batch: usize,
+) -> (&mut [C64], &mut [C64]) {
+    debug_assert!(i != j);
+    let (a, b) = (i.min(j), i.max(j));
+    let (lo, hi) = buf.split_at_mut(b * batch);
+    let lo_run = &mut lo[a * batch..(a + 1) * batch];
+    let hi_run = &mut hi[..batch];
+    if i < j {
+        (lo_run, hi_run)
+    } else {
+        (hi_run, lo_run)
     }
 }
 

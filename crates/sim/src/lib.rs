@@ -22,6 +22,9 @@
 //!   transforms (uncomputation and QPE building blocks);
 //! * [`circuits`] — QFT, entangle and TFIM-Trotter benchmark generators;
 //! * [`measure`] — shot sampling, collapse, and exact expectations;
+//! * [`batch`] — ensembles of state vectors in a batch-major interleaved
+//!   layout, advanced by batched kernel drivers that vectorise across the
+//!   batch dimension and pay per-gate fixed costs once per ensemble;
 //! * [`dense`] — circuit → dense unitary (QPE emulation front-end) and
 //!   (controlled) dense-operator application to registers.
 //!
@@ -29,6 +32,7 @@
 //! Little-endian throughout: qubit `k` is bit `k` of the basis index, so
 //! `|q_{n−1} … q_1 q_0⟩` has index `Σ q_k 2^k`.
 
+pub mod batch;
 pub mod circuit;
 pub mod circuits;
 pub mod decompose;
@@ -39,6 +43,7 @@ pub mod kernels;
 pub mod measure;
 pub mod statevector;
 
+pub use batch::{apply_gate_batch, BatchStateVector};
 pub use circuit::{Circuit, CircuitCensus};
 pub use circuits::{
     entangle_circuit, inverse_qft_circuit, qft_circuit, qft_circuit_no_swap, qft_gate_count,
@@ -57,6 +62,7 @@ pub use kernels::{
 };
 pub use measure::{
     expectation_z, expectation_z_sampled, expectation_z_string, measure_all, measure_qubit,
-    prob_qubit_one, sample_histogram, sample_once, sample_shots,
+    prob_qubit_one, sample_histogram, sample_histogram_batch, sample_once, sample_shots,
+    sample_shots_batch,
 };
 pub use statevector::StateVector;

@@ -7,8 +7,10 @@
 //! and expectation values in a single pass — this module provides both the
 //! honest shot-sampling interface and the exact one.
 
+use crate::batch::BatchStateVector;
 use crate::statevector::StateVector;
-use rand::Rng;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
 /// Samples a basis state index from `|α_i|² / ‖ψ‖²` **without** collapsing.
 ///
@@ -78,6 +80,42 @@ pub fn sample_histogram(sv: &StateVector, shots: usize, rng: &mut impl Rng) -> V
         hist[s] += 1;
     }
     hist
+}
+
+/// Draws `shots` samples from **every** member of a batch, each member
+/// with its own deterministic RNG stream seeded `base_seed + j`.
+///
+/// Member extraction preserves amplitude order exactly, so the result for
+/// member `j` is bit-identical to
+/// `sample_shots(&batch.member(j), shots, &mut StdRng::seed_from_u64(base_seed + j))`
+/// — ensembles sample reproducibly and independently of how (batched or
+/// sequentially) the states were produced.
+pub fn sample_shots_batch(
+    batch: &BatchStateVector,
+    shots: usize,
+    base_seed: u64,
+) -> Vec<Vec<usize>> {
+    (0..batch.batch())
+        .map(|j| {
+            let mut rng = StdRng::seed_from_u64(base_seed.wrapping_add(j as u64));
+            sample_shots(&batch.member(j), shots, &mut rng)
+        })
+        .collect()
+}
+
+/// Per-member histograms of `shots` samples over the full basis, with the
+/// per-member seeding scheme of [`sample_shots_batch`].
+pub fn sample_histogram_batch(
+    batch: &BatchStateVector,
+    shots: usize,
+    base_seed: u64,
+) -> Vec<Vec<usize>> {
+    (0..batch.batch())
+        .map(|j| {
+            let mut rng = StdRng::seed_from_u64(base_seed.wrapping_add(j as u64));
+            sample_histogram(&batch.member(j), shots, &mut rng)
+        })
+        .collect()
 }
 
 /// Projective measurement of **all** qubits: samples an outcome and

@@ -57,12 +57,14 @@ pub use qcemu_sim;
 /// One-stop imports for applications.
 pub mod prelude {
     pub use qcemu_core::{
-        stdops, Backend, ClassicalMap, CostModel, EmuError, Emulator, ExecutionPlan, Executor,
-        GateLevelSimulator, HighLevelOp, HybridExecutor, MapKind, PlanReport, ProgramBuilder,
-        QpeOp, QpeStrategy, QpeTimings, QuantumProgram, RegisterId,
+        stdops, Backend, BatchExecutor, BatchReport, ClassicalMap, CostModel, EmuError, Emulator,
+        ExecutionPlan, Executor, GateLevelSimulator, HighLevelOp, HybridExecutor, MapKind,
+        PlanReport, ProgramBuilder, QpeOp, QpeStrategy, QpeTimings, QuantumProgram, RegisterId,
     };
     pub use qcemu_linalg::{c64, CMatrix, C64};
-    pub use qcemu_sim::{measure, Circuit, FusionPolicy, Gate, GateOp, SimConfig, StateVector};
+    pub use qcemu_sim::{
+        measure, BatchStateVector, Circuit, FusionPolicy, Gate, GateOp, SimConfig, StateVector,
+    };
 }
 
 #[cfg(test)]

@@ -1,0 +1,356 @@
+//! Batched-execution harness: the batch axis must be *invisible* to every
+//! observable. A [`BatchStateVector`] advanced through batch-major kernels
+//! must agree amplitude-for-amplitude (≤1e-12) with N independent
+//! sequential runs — across gate classes, fusion on/off, SIMD and
+//! forced-scalar backends, and ragged batch sizes — and batched sampling
+//! must reproduce each member's seeded sample stream bit-for-bit.
+//!
+//! Also covers the satellite properties: the [`BatchExecutor`] plan cache
+//! misses exactly once per program *structure* (not per instance, not per
+//! run), a seeded chi-square test pins the sampler to a known 3-qubit
+//! distribution, and [`CostModel::calibrated`] stays finite, positive and
+//! thread-consistent under `force_scalar`.
+
+use proptest::prelude::*;
+use qcemu::prelude::*;
+use qcemu_core::RotationOp;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::{Arc, Mutex, MutexGuard};
+
+/// Ragged batch widths: 1 (degenerate), sub-lane (3), exactly one AVX2
+/// register of complex lanes (4), one-past (5), and a multi-register run
+/// with a scalar tail (17).
+const RAGGED: [usize; 5] = [1, 3, 4, 5, 17];
+
+/// Serialises tests that toggle or depend on the global SIMD switch.
+fn scalar_lock() -> MutexGuard<'static, ()> {
+    static LOCK: Mutex<()> = Mutex::new(());
+    LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// RAII guard: forces the scalar backend for the guard's lifetime.
+struct ForcedScalar(#[allow(dead_code)] MutexGuard<'static, ()>);
+impl ForcedScalar {
+    fn engage() -> ForcedScalar {
+        let g = scalar_lock();
+        qcemu_linalg::simd::force_scalar(true);
+        ForcedScalar(g)
+    }
+}
+impl Drop for ForcedScalar {
+    fn drop(&mut self) {
+        qcemu_linalg::simd::force_scalar(false);
+    }
+}
+
+/// Strategy: a random circuit on `n` qubits over the full gate zoo —
+/// real (H, Ry), diagonal (Rz, phase, cphase), permutation (X, CNOT,
+/// Toffoli, SWAP) and generic unitaries all take distinct kernel paths.
+fn random_circuit(n: usize, max_gates: usize) -> impl Strategy<Value = Circuit> {
+    let gate =
+        (0..9usize, 0..n, 0..n, 0..n, -3.0f64..3.0).prop_map(move |(kind, q1, q2, q3, theta)| {
+            let distinct2 = |a: usize, b: usize| if a == b { (a, (b + 1) % n) } else { (a, b) };
+            let (a, b) = distinct2(q1, q2);
+            match kind {
+                0 => Gate::h(a),
+                1 => Gate::x(a),
+                2 => Gate::rz(a, theta),
+                3 => Gate::ry(a, theta),
+                4 => Gate::phase(a, theta),
+                5 => Gate::cnot(a, b),
+                6 => Gate::cphase(a, b, theta),
+                7 => Gate::swap(a, b),
+                _ => {
+                    let c = if q3 == a || q3 == b { (b + 1) % n } else { q3 };
+                    if c != a && c != b {
+                        Gate::toffoli(a, c, b)
+                    } else {
+                        Gate::ry(a, theta)
+                    }
+                }
+            }
+        });
+    proptest::collection::vec(gate, 1..max_gates).prop_map(move |gates| {
+        let mut c = Circuit::new(n);
+        for g in gates {
+            c.push(g);
+        }
+        c
+    })
+}
+
+/// Distinct member start states: basis states walked through the space so
+/// no two members coincide (until the dimension wraps).
+fn member_states(n: usize, batch: usize) -> Vec<StateVector> {
+    (0..batch)
+        .map(|j| StateVector::basis_state(n, (j * 3 + 1) % (1 << n)))
+        .collect()
+}
+
+/// Runs `circuit` batched and per-member under `config`; asserts the
+/// batched result matches every sequential member ≤1e-12.
+fn assert_batched_matches_sequential(circuit: &Circuit, config: &SimConfig, batch: usize) {
+    let n = circuit.n_qubits();
+    let starts = member_states(n, batch);
+    let mut bsv = BatchStateVector::from_states(&starts);
+    bsv.run(circuit, config);
+    for (j, start) in starts.iter().enumerate() {
+        let mut reference = start.clone();
+        reference.run(circuit, config);
+        let diff = bsv.member_max_diff(j, &reference);
+        assert!(
+            diff <= 1e-12,
+            "member {j}/{batch} deviates by {diff:.3e} (fusion: {:?})",
+            config.fusion
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Tentpole equivalence: batched ≡ N independent runs over random
+    /// circuits, fused and unfused, at every ragged batch width, on the
+    /// build's default backend.
+    #[test]
+    fn batched_run_matches_sequential_members(circuit in random_circuit(6, 30)) {
+        let _shared = scalar_lock();
+        for config in [SimConfig::unfused(), SimConfig::fused(3), SimConfig::fused(5)] {
+            for &batch in &RAGGED {
+                assert_batched_matches_sequential(&circuit, &config, batch);
+            }
+        }
+    }
+
+    /// Same equivalence with SIMD forced off: the scalar batch kernels
+    /// must be just as invisible as the vectorised ones.
+    #[test]
+    fn batched_run_matches_sequential_members_forced_scalar(
+        circuit in random_circuit(5, 20)
+    ) {
+        let _scalar = ForcedScalar::engage();
+        for config in [SimConfig::unfused(), SimConfig::fused(4)] {
+            for &batch in &RAGGED {
+                assert_batched_matches_sequential(&circuit, &config, batch);
+            }
+        }
+    }
+
+    /// Satellite: the plan cache is structure-keyed. Rebuilding the whole
+    /// ensemble from scratch (fresh instance ids, fresh closures) and
+    /// re-running must not re-plan; widening the register must.
+    #[test]
+    fn plan_cache_misses_once_per_structure(
+        (m, batch, scale) in (2usize..5, 1usize..6, 0.1f64..0.9)
+    ) {
+        let exec = BatchExecutor::new();
+        for round in 0..3 {
+            let members = sweep_members(m, batch, scale);
+            let out = exec
+                .run(&members, BatchStateVector::zero_state(members[0].n_qubits(), batch))
+                .unwrap();
+            prop_assert!((out.member_norm(0) - 1.0).abs() < 1e-9);
+            let _ = round;
+            prop_assert_eq!(exec.plan_cache_misses(), 1);
+        }
+        // A different qubit count is a different structure: new entry.
+        let widened = sweep_members(m + 1, batch, scale);
+        exec.run(&widened, BatchStateVector::zero_state(widened[0].n_qubits(), batch))
+            .unwrap();
+        prop_assert_eq!(exec.plan_cache_misses(), 2);
+        // …and the original structure is still (or again) planned exactly once.
+        let members = sweep_members(m, batch, scale);
+        exec.run(&members, BatchStateVector::zero_state(members[0].n_qubits(), batch))
+            .unwrap();
+        prop_assert!(exec.plan_cache_misses() <= 3);
+    }
+}
+
+/// A parameter-sweep ensemble: identical structure, per-member rotation
+/// closure — the workload the batch executor exists for.
+fn sweep_members(m: usize, batch: usize, scale: f64) -> Vec<QuantumProgram> {
+    (0..batch)
+        .map(|j| {
+            let s = scale + 0.03 * j as f64;
+            let mut pb = ProgramBuilder::new();
+            let x = pb.register("x", m);
+            let ind = pb.register("ind", 1);
+            pb.hadamard_all(x);
+            pb.rotation(RotationOp {
+                name: "encode".into(),
+                x,
+                target: ind,
+                angle: Arc::new(move |v| {
+                    let f = s * (v as f64 + 0.5) / (1u64 << m) as f64;
+                    2.0 * f.min(1.0).sqrt().asin()
+                }),
+                gate_impl: None,
+            });
+            pb.gates(|c| {
+                for q in 0..m {
+                    c.push(Gate::h(q));
+                    c.push(Gate::cnot(q, m));
+                }
+            });
+            pb.build().unwrap()
+        })
+        .collect()
+}
+
+/// BatchExecutor vs solo HybridExecutor on the emulated-rotation sweep,
+/// on the default backend and forced scalar: the batched Givens sweep
+/// (tabulated, per-lane coefficients) must match the per-member kernel.
+#[test]
+fn batch_executor_rotation_sweep_matches_solo_runs() {
+    let _shared = scalar_lock();
+    rotation_sweep_case();
+}
+
+#[test]
+fn batch_executor_rotation_sweep_matches_solo_runs_forced_scalar() {
+    let _scalar = ForcedScalar::engage();
+    rotation_sweep_case();
+}
+
+fn rotation_sweep_case() {
+    for &batch in &RAGGED {
+        let members = sweep_members(5, batch, 0.25);
+        let n = members[0].n_qubits();
+        let out = BatchExecutor::new()
+            .run(&members, BatchStateVector::zero_state(n, batch))
+            .unwrap();
+        let solo = HybridExecutor::new();
+        for (j, prog) in members.iter().enumerate() {
+            let reference = solo.run(prog, StateVector::zero_state(n)).unwrap();
+            let diff = out.member_max_diff(j, &reference);
+            assert!(diff <= 1e-12, "member {j}/{batch} deviates by {diff:.3e}");
+        }
+    }
+}
+
+/// Batched sampling is bit-identical to per-member seeded sampling: the
+/// batch axis must not perturb a single drawn shot.
+#[test]
+fn batched_sampling_reproduces_per_member_streams() {
+    let mut circuit = Circuit::new(4);
+    for q in 0..4 {
+        circuit.push(Gate::h(q));
+    }
+    circuit.push(Gate::cnot(0, 2));
+    circuit.push(Gate::ry(1, 0.7));
+    circuit.push(Gate::cphase(2, 3, 1.1));
+
+    let starts = member_states(4, 7);
+    let mut bsv = BatchStateVector::from_states(&starts);
+    bsv.run(&circuit, &SimConfig::fused(3));
+
+    const SHOTS: usize = 400;
+    const BASE_SEED: u64 = 0xC0FFEE;
+    let shots = measure::sample_shots_batch(&bsv, SHOTS, BASE_SEED);
+    let hists = measure::sample_histogram_batch(&bsv, SHOTS, BASE_SEED);
+    assert_eq!(shots.len(), 7);
+    for (j, start) in starts.iter().enumerate() {
+        let mut reference = start.clone();
+        reference.run(&circuit, &SimConfig::fused(3));
+        let mut rng = StdRng::seed_from_u64(BASE_SEED + j as u64);
+        let expect = measure::sample_shots(&reference, SHOTS, &mut rng);
+        assert_eq!(shots[j], expect, "member {j} sample stream diverged");
+        let mut rng = StdRng::seed_from_u64(BASE_SEED + j as u64);
+        let expect_hist = measure::sample_histogram(&reference, SHOTS, &mut rng);
+        assert_eq!(hists[j], expect_hist, "member {j} histogram diverged");
+        // The histogram is exactly the binned shot stream.
+        let mut binned = vec![0usize; reference.dim()];
+        for &s in &shots[j] {
+            binned[s] += 1;
+        }
+        assert_eq!(hists[j], binned);
+    }
+    // Distinct members get distinct RNG streams even from identical states.
+    let same = BatchStateVector::broadcast(&bsv.member(0), 3);
+    let per_member = measure::sample_shots_batch(&same, SHOTS, BASE_SEED);
+    assert_ne!(per_member[0], per_member[1]);
+    assert_ne!(per_member[1], per_member[2]);
+}
+
+/// Satellite: seeded chi-square goodness-of-fit on a *known* 3-qubit
+/// distribution. With 8 bins (7 degrees of freedom) the 99.9% critical
+/// value is 24.32 — a correct sampler fails with p < 0.001, and the seed
+/// makes the verdict deterministic.
+#[test]
+fn sampler_passes_chi_square_on_known_distribution() {
+    let probs = [0.30, 0.02, 0.08, 0.15, 0.05, 0.20, 0.10, 0.10];
+    let amps: Vec<C64> = probs.iter().map(|&p: &f64| c64(p.sqrt(), 0.0)).collect();
+    let sv = StateVector::from_amplitudes(amps);
+
+    const SHOTS: usize = 8000;
+    const CHI2_999_DF7: f64 = 24.32;
+    let chi2 = |hist: &[usize]| -> f64 {
+        hist.iter()
+            .zip(probs.iter())
+            .map(|(&obs, &p)| {
+                let exp = SHOTS as f64 * p;
+                (obs as f64 - exp).powi(2) / exp
+            })
+            .sum()
+    };
+
+    let mut rng = StdRng::seed_from_u64(1234);
+    let hist = measure::sample_histogram(&sv, SHOTS, &mut rng);
+    assert_eq!(hist.iter().sum::<usize>(), SHOTS);
+    let x2 = chi2(&hist);
+    assert!(x2 < CHI2_999_DF7, "chi-square {x2:.2} ≥ {CHI2_999_DF7}");
+
+    // Every member of a batched ensemble passes independently, on its own
+    // stream.
+    let batch = BatchStateVector::broadcast(&sv, 4);
+    let hists = measure::sample_histogram_batch(&batch, SHOTS, 1234);
+    for (j, h) in hists.iter().enumerate() {
+        let x2 = chi2(h);
+        assert!(x2 < CHI2_999_DF7, "member {j}: chi-square {x2:.2}");
+    }
+    assert_ne!(hists[0], hists[1], "member streams must be independent");
+
+    // And a deliberately wrong model is rejected: scoring the uniform
+    // hypothesis against these skewed counts must blow past the
+    // threshold, so the test has actual statistical power.
+    let uniform_exp = SHOTS as f64 / 8.0;
+    let x2_wrong: f64 = hist
+        .iter()
+        .map(|&obs| (obs as f64 - uniform_exp).powi(2) / uniform_exp)
+        .sum();
+    assert!(x2_wrong > CHI2_999_DF7, "no power: {x2_wrong:.2}");
+}
+
+/// Satellite: calibration stays sane with SIMD forced off — every rate
+/// finite and positive — and the `OnceLock` cache hands every thread the
+/// same model.
+#[test]
+fn calibrated_cost_model_is_finite_positive_and_thread_consistent() {
+    let _scalar = ForcedScalar::engage();
+    let models: Vec<CostModel> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..4).map(|_| s.spawn(CostModel::calibrated)).collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    let rates = |m: &CostModel| {
+        [
+            m.entry_rate,
+            m.fused_entry_rate,
+            m.table_rate,
+            m.fuse_per_gate,
+            m.qpe.gate_rate,
+            m.qpe.build_rate,
+            m.qpe.gemm_flops,
+            m.qpe.eig_flops,
+        ]
+    };
+    for m in &models {
+        for r in rates(m) {
+            assert!(r.is_finite() && r > 0.0, "bad calibrated rate {r}");
+        }
+    }
+    let first = rates(&models[0]);
+    for m in &models[1..] {
+        assert_eq!(rates(m), first, "OnceLock must hand out one model");
+    }
+}
