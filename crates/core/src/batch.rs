@@ -100,6 +100,21 @@ impl BatchExecutor {
         }
     }
 
+    /// Batch executor wrapping an existing [`HybridExecutor`] — sharing
+    /// its model, config, **and plan cache**. This is how a serving
+    /// worker batches structurally identical in-flight requests without
+    /// planning the structure a second time: solo requests run through
+    /// the hybrid executor, coalesced ones through this wrapper, and both
+    /// read the same [`crate::plancache::SharedPlanCache`].
+    pub fn from_hybrid(inner: HybridExecutor) -> BatchExecutor {
+        BatchExecutor { inner }
+    }
+
+    /// The wrapped [`HybridExecutor`] (model, config, plan cache).
+    pub fn hybrid(&self) -> &HybridExecutor {
+        &self.inner
+    }
+
     /// Replaces the cost model (resets the plan cache).
     pub fn with_model(self, model: crate::crossover::CostModel) -> BatchExecutor {
         BatchExecutor {

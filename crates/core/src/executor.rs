@@ -15,14 +15,16 @@
 
 use crate::crossover::{CostModel, QpeTimings};
 use crate::error::EmuError;
+use crate::plancache::SharedPlanCache;
 use crate::planner::{
-    plan_emulated, plan_hybrid, plan_simulated, ExecutionPlan, PlanInterpreter, PlanReport,
+    extend_with_ancillas, plan_emulated, plan_hybrid, plan_simulated, truncate_ancillas,
+    ExecutionPlan, PlanInterpreter, PlanReport, PlanStep, StepReport,
 };
-use crate::program::QuantumProgram;
+use crate::program::{HighLevelOp, QuantumProgram};
 use crate::qpe::QpeStrategy;
 use qcemu_sim::{SimConfig, StateVector};
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
+use std::time::Instant;
 
 /// Common interface of the execution back-ends.
 pub trait Executor {
@@ -116,7 +118,7 @@ pub struct Emulator {
     /// Table 2 advisor actually driving execution.
     pub qpe_timings: Option<QpeTimings>,
     /// Execution configuration for the gate-level residue
-    /// ([`HighLevelOp`](crate::program::HighLevelOp)`::Gates` sequences,
+    /// ([`HighLevelOp`]`::Gates` sequences,
     /// which have no shortcut): with fusion enabled, emulation shortcuts
     /// and fused simulation compose — each op runs at whichever level is
     /// cheapest.
@@ -200,14 +202,19 @@ impl Executor for Emulator {
 ///
 /// Planning is not free: the hybrid lowering runs the fusion engine to
 /// price the fused candidates, and re-ran on **every** `run()` before
-/// this cache existed. The executor now memoises the last plan (which
-/// carries the fused circuits) keyed on the program's
-/// [`instance_id`](QuantumProgram::instance_id) *and*
-/// [`structure_hash`](QuantumProgram::structure_hash), plus the model and
-/// config that produced it; repeated `run()`s of the same program skip
-/// planning and fusion entirely, and any change — different program,
-/// swapped model, new config — evicts the entry. Clones of the executor
-/// share the cache.
+/// this cache existed. The executor memoises plans (which carry the
+/// fused circuits) in a [`SharedPlanCache`]: a bounded, LRU-evicted map
+/// keyed on the program's
+/// [`structure_hash`](QuantumProgram::structure_hash), validated against
+/// the model and config that produced each entry. Repeated `run()`s of
+/// the same program skip planning and fusion entirely; distinct
+/// structures occupy distinct slots up to the capacity bound; swapping
+/// the model or config ([`HybridExecutor::with_model`] /
+/// [`HybridExecutor::with_config`]) detaches the executor onto a fresh
+/// cache. Clones of the executor share the cache, and an external cache
+/// can be attached with [`HybridExecutor::with_plan_cache`] so many
+/// executors (e.g. a daemon's worker pool) share one — see
+/// `qcemu_serve`.
 #[derive(Clone, Debug)]
 pub struct HybridExecutor {
     /// The cost model driving backend choice.
@@ -215,18 +222,7 @@ pub struct HybridExecutor {
     /// Gate-level configuration for simulated steps; defaults to greedy
     /// fusion at the default window.
     pub config: SimConfig,
-    cache: Arc<Mutex<Option<CachedPlan>>>,
-    plan_misses: Arc<AtomicUsize>,
-}
-
-/// One memoised lowering, with everything its validity depends on.
-#[derive(Debug)]
-struct CachedPlan {
-    instance_id: u64,
-    structure_hash: u64,
-    model: CostModel,
-    config: SimConfig,
-    plan: Arc<ExecutionPlan>,
+    cache: SharedPlanCache,
 }
 
 impl Default for HybridExecutor {
@@ -234,8 +230,7 @@ impl Default for HybridExecutor {
         HybridExecutor {
             model: CostModel::default(),
             config: SimConfig::fused(qcemu_sim::DEFAULT_MAX_FUSED_QUBITS),
-            cache: Arc::default(),
-            plan_misses: Arc::default(),
+            cache: SharedPlanCache::default(),
         }
     }
 }
@@ -256,20 +251,52 @@ impl HybridExecutor {
     }
 
     /// Replaces the cost model (e.g. with measured machine rates).
-    /// Resets the plan cache: cached plans are only valid for the model
-    /// that produced them.
+    /// Detaches onto a fresh plan cache: cached plans are only valid for
+    /// the model that produced them, and the old (possibly shared) cache
+    /// must not be polluted by a reconfigured clone.
     pub fn with_model(mut self, model: CostModel) -> HybridExecutor {
         self.model = model;
-        self.cache = Arc::default();
+        self.cache = SharedPlanCache::new(self.cache.capacity());
         self
     }
 
-    /// Replaces the gate-level execution configuration (resets the plan
-    /// cache).
+    /// Replaces the gate-level execution configuration (detaches onto a
+    /// fresh plan cache).
     pub fn with_config(mut self, config: SimConfig) -> HybridExecutor {
         self.config = config;
-        self.cache = Arc::default();
+        self.cache = SharedPlanCache::new(self.cache.capacity());
         self
+    }
+
+    /// Replaces the plan cache with a fresh one bounded at `capacity`
+    /// structures (`1` restores the pre-serving single-slot behaviour).
+    pub fn with_cache_capacity(mut self, capacity: usize) -> HybridExecutor {
+        self.cache = SharedPlanCache::new(capacity);
+        self
+    }
+
+    /// Attaches an external [`SharedPlanCache`] — the multi-tenant
+    /// entry point: every executor holding a handle to the same cache
+    /// (across threads, batch executors, serving workers) plans each
+    /// structure once.
+    pub fn with_plan_cache(mut self, cache: SharedPlanCache) -> HybridExecutor {
+        self.cache = cache;
+        self
+    }
+
+    /// The plan cache this executor reads and populates.
+    pub fn plan_cache(&self) -> &SharedPlanCache {
+        &self.cache
+    }
+
+    /// The cost model driving this executor's planning.
+    pub fn model(&self) -> &CostModel {
+        &self.model
+    }
+
+    /// The gate-level execution configuration.
+    pub fn sim_config(&self) -> &SimConfig {
+        &self.config
     }
 
     /// The cost-model-driven plan for `program` — inspect (or `{}`-print)
@@ -281,78 +308,129 @@ impl HybridExecutor {
     /// The memoised plan for `program`, if the cache currently holds one
     /// that is valid for it (and for this executor's model/config).
     pub fn cached_plan(&self, program: &QuantumProgram) -> Option<Arc<ExecutionPlan>> {
-        let guard = self.cache.lock().unwrap();
-        guard
-            .as_ref()
-            .filter(|c| self.cache_valid(c, program, program.structure_hash()))
-            .map(|c| Arc::clone(&c.plan))
+        self.cache.peek(
+            program.structure_hash(),
+            &self.model,
+            &self.config,
+            Some(program.instance_id()),
+        )
     }
 
     /// How many times a `run()`/`plan()` had to lower from scratch —
     /// the observable that proves repeated runs hit the cache.
     pub fn plan_cache_misses(&self) -> usize {
-        self.plan_misses.load(Ordering::Relaxed)
-    }
-
-    fn cache_valid(&self, c: &CachedPlan, program: &QuantumProgram, hash: u64) -> bool {
-        c.instance_id == program.instance_id()
-            && c.structure_hash == hash
-            && c.model == self.model
-            && c.config == self.config
+        self.cache.misses()
     }
 
     /// Returns a cached plan valid for `program`'s **structure** — the
-    /// batch entry point ([`crate::batch::BatchExecutor`]).
+    /// batch and serving entry point
+    /// ([`crate::batch::BatchExecutor`],
+    /// [`HybridExecutor::run_structural`]).
     ///
     /// Unlike [`HybridExecutor::plan`], a cache hit does **not** require
     /// the same `instance_id`: any program with the same
     /// [`structure_hash`](QuantumProgram::structure_hash) (under the same
     /// model and config) reuses the lowering. This is safe only because
-    /// the batch runner never executes a carried closure-built artifact
-    /// against a different instance — closure-bearing steps are re-run
-    /// per member from each member's own ops, and only structurally
+    /// the structural runners never execute a carried closure-built
+    /// artifact against a different instance — closure-bearing steps are
+    /// re-run per program from its own ops, and only structurally
     /// determined gate streams (bit-identical under an equal structure
-    /// hash) are applied batched. Misses count toward
-    /// [`HybridExecutor::plan_cache_misses`] like any other lowering.
-    pub(crate) fn plan_structural(&self, program: &QuantumProgram) -> Arc<ExecutionPlan> {
-        let hash = program.structure_hash();
-        let mut guard = self.cache.lock().unwrap();
-        if let Some(c) = guard.as_ref() {
-            if c.structure_hash == hash && c.model == self.model && c.config == self.config {
-                return Arc::clone(&c.plan);
-            }
-        }
-        self.plan_misses.fetch_add(1, Ordering::Relaxed);
-        let plan = Arc::new(plan_hybrid(program, &self.model, &self.config));
-        *guard = Some(CachedPlan {
-            instance_id: program.instance_id(),
-            structure_hash: hash,
-            model: self.model,
-            config: self.config,
-            plan: Arc::clone(&plan),
-        });
-        plan
+    /// hash) are applied directly. Misses count toward
+    /// [`HybridExecutor::plan_cache_misses`] like any other lowering, and
+    /// concurrent misses on one structure collapse to a single lowering
+    /// (see [`SharedPlanCache`]).
+    pub fn plan_structural(&self, program: &QuantumProgram) -> Arc<ExecutionPlan> {
+        self.cache.get_or_plan(
+            program.structure_hash(),
+            &self.model,
+            &self.config,
+            None,
+            program.instance_id(),
+            || plan_hybrid(program, &self.model, &self.config),
+        )
     }
 
     /// Returns the cached plan or lowers (and caches) a fresh one.
     fn plan_cached(&self, program: &QuantumProgram) -> Arc<ExecutionPlan> {
-        let hash = program.structure_hash();
-        let mut guard = self.cache.lock().unwrap();
-        if let Some(c) = guard.as_ref() {
-            if self.cache_valid(c, program, hash) {
-                return Arc::clone(&c.plan);
-            }
+        self.cache.get_or_plan(
+            program.structure_hash(),
+            &self.model,
+            &self.config,
+            Some(program.instance_id()),
+            program.instance_id(),
+            || plan_hybrid(program, &self.model, &self.config),
+        )
+    }
+
+    /// Runs `program` under the **structure-keyed** plan cache: any
+    /// cached plan with the same
+    /// [`structure_hash`](QuantumProgram::structure_hash) is reused, even
+    /// if it was lowered from a different program instance (a different
+    /// request carrying different closure parameters). This is the
+    /// serving fast path — N requests with the same shape plan and fuse
+    /// once — at the cost of rebuilding closure-derived circuits when the
+    /// plan instance differs.
+    ///
+    /// Steps whose artifacts are structurally determined (raw gate runs:
+    /// gate lists are hashed bit-exactly, so an equal structure hash
+    /// means bit-identical circuits and fused streams) execute straight
+    /// from the cached plan. Closure-bearing steps (classical maps, phase
+    /// oracles, rotations lowered through `gate_impl`) have their carried
+    /// artifacts stripped and are re-derived from **this** program's own
+    /// ops, exactly like the per-member route of
+    /// [`crate::batch::BatchExecutor`].
+    pub fn run_structural(
+        &self,
+        program: &QuantumProgram,
+        initial: StateVector,
+    ) -> Result<(StateVector, PlanReport), EmuError> {
+        let plan = self.plan_structural(program);
+        if plan.planned_from() == program.instance_id() {
+            // The plan was lowered from this very instance: the ordinary
+            // interpreter path is valid, artifacts included.
+            return self.run_plan(program, &plan, initial);
         }
-        self.plan_misses.fetch_add(1, Ordering::Relaxed);
-        let plan = Arc::new(plan_hybrid(program, &self.model, &self.config));
-        *guard = Some(CachedPlan {
-            instance_id: program.instance_id(),
-            structure_hash: hash,
-            model: self.model,
-            config: self.config,
-            plan: Arc::clone(&plan),
-        });
-        plan
+        if initial.n_qubits() != program.n_qubits() {
+            return Err(EmuError::DimensionMismatch {
+                expected: program.n_qubits(),
+                got: initial.n_qubits(),
+            });
+        }
+        let interp = PlanInterpreter::new(self.config);
+        let n = program.n_qubits();
+        let mut state = extend_with_ancillas(initial, plan.n_ancilla());
+        let mut steps = Vec::with_capacity(plan.steps().len());
+        for step in plan.steps() {
+            let op = &program.ops()[step.op_index];
+            let structural = matches!(
+                op,
+                HighLevelOp::Gates(_)
+                    | HighLevelOp::Qft(_)
+                    | HighLevelOp::InverseQft(_)
+                    | HighLevelOp::Qpe(_)
+            );
+            let t0 = Instant::now();
+            if structural {
+                interp.execute_step(&mut state, program, op, step)?;
+            } else {
+                // Closure-bearing op: the carried circuit/fused stream
+                // was built from the planning instance's closures.
+                let stripped = PlanStep {
+                    circuit: None,
+                    fused: None,
+                    ..step.clone()
+                };
+                interp.execute_step(&mut state, program, op, &stripped)?;
+            }
+            steps.push(StepReport {
+                op: step.op.clone(),
+                backend: step.backend,
+                predicted_s: step.predicted_s,
+                measured_s: t0.elapsed().as_secs_f64(),
+            });
+        }
+        let state = truncate_ancillas(state, n)?;
+        Ok((state, PlanReport { steps }))
     }
 
     /// Runs the program and returns the final state together with the
@@ -506,21 +584,113 @@ mod tests {
         assert!(Arc::ptr_eq(&cached, &exec.cached_plan(&prog).unwrap()));
         assert!(a.max_diff_up_to_phase(&b) < 1e-15);
 
-        // A different program evicts the entry (single-slot cache).
+        // A different structure occupies its own slot (bounded map, not
+        // the old single-slot cache): both stay warm.
         let prog2 = multiplication_program(2);
         exec.run(&prog2, StateVector::zero_state(prog2.n_qubits()))
             .unwrap();
         assert_eq!(exec.plan_cache_misses(), 2);
-        assert!(exec.cached_plan(&prog).is_none());
+        assert!(exec.cached_plan(&prog).is_some());
         assert!(exec.cached_plan(&prog2).is_some());
 
-        // Clones share the cache; with_model/with_config reset it.
+        // Clones share the cache; with_model/with_config detach it.
         let shared = exec.clone();
         assert!(shared.cached_plan(&prog2).is_some());
         let fresh = exec.clone().with_model(CostModel::default());
         assert!(fresh.cached_plan(&prog2).is_none());
         let fresh = exec.clone().with_config(SimConfig::fused(3));
         assert!(fresh.cached_plan(&prog2).is_none());
+    }
+
+    #[test]
+    fn capacity_one_cache_restores_single_slot_eviction() {
+        let exec = HybridExecutor::new().with_cache_capacity(1);
+        let prog = multiplication_program(3);
+        let prog2 = multiplication_program(2);
+        exec.run(&prog, StateVector::zero_state(prog.n_qubits()))
+            .unwrap();
+        exec.run(&prog2, StateVector::zero_state(prog2.n_qubits()))
+            .unwrap();
+        assert_eq!(exec.plan_cache_misses(), 2);
+        assert!(exec.cached_plan(&prog).is_none(), "evicted by prog2");
+        assert!(exec.cached_plan(&prog2).is_some());
+        // Re-running the evicted structure re-plans.
+        exec.run(&prog, StateVector::zero_state(prog.n_qubits()))
+            .unwrap();
+        assert_eq!(exec.plan_cache_misses(), 3);
+        assert_eq!(exec.plan_cache().evictions(), 2);
+    }
+
+    #[test]
+    fn executors_attached_to_one_cache_share_lowerings() {
+        let cache = crate::plancache::SharedPlanCache::new(8);
+        let a = HybridExecutor::new().with_plan_cache(cache.clone());
+        let b = HybridExecutor::new().with_plan_cache(cache.clone());
+        let prog = multiplication_program(3);
+        a.run(&prog, StateVector::zero_state(prog.n_qubits()))
+            .unwrap();
+        // Same structure, fresh instance, *different executor*: still a hit.
+        let prog2 = multiplication_program(3);
+        b.run_structural(&prog2, StateVector::zero_state(prog2.n_qubits()))
+            .unwrap();
+        assert_eq!(cache.misses(), 1, "one lowering across both executors");
+        assert!(cache.hits() >= 1);
+    }
+
+    #[test]
+    fn run_structural_reuses_plans_across_instances_and_matches_solo_runs() {
+        use crate::program::RotationOp;
+        use std::sync::Arc as StdArc;
+        // Same structure, different closure parameters per instance — the
+        // serving traffic shape.
+        let member = |scale: f64| {
+            let mut pb = ProgramBuilder::new();
+            let a = pb.register("a", 2);
+            let b = pb.register("b", 2);
+            let c = pb.register("c", 2);
+            let ind = pb.register("ind", 1);
+            pb.hadamard_all(a);
+            pb.hadamard_all(b);
+            pb.classical(stdops::multiply(a, b, c, 2));
+            pb.rotation(RotationOp {
+                name: "sweep".into(),
+                x: a,
+                target: ind,
+                angle: StdArc::new(move |v| scale * (v as f64 + 0.5)),
+                gate_impl: None,
+            });
+            pb.qft(c);
+            pb.build().unwrap()
+        };
+        let exec = HybridExecutor::new();
+        for (i, scale) in [0.3, 0.7, 1.1].iter().enumerate() {
+            let prog = member(*scale);
+            let initial = StateVector::zero_state(prog.n_qubits());
+            let (out, report) = exec.run_structural(&prog, initial.clone()).unwrap();
+            // Reference: an isolated executor running this very instance.
+            let reference = HybridExecutor::new().run(&prog, initial).unwrap();
+            assert!(
+                out.max_diff_up_to_phase(&reference) < 1e-12,
+                "instance {i}: {}",
+                out.max_diff_up_to_phase(&reference)
+            );
+            assert_eq!(report.steps.len(), prog.ops().len());
+        }
+        assert_eq!(
+            exec.plan_cache_misses(),
+            1,
+            "three same-structure instances must share one lowering"
+        );
+    }
+
+    #[test]
+    fn plans_and_executors_are_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ExecutionPlan>();
+        assert_send_sync::<QuantumProgram>();
+        assert_send_sync::<HybridExecutor>();
+        assert_send_sync::<crate::plancache::SharedPlanCache>();
+        assert_send_sync::<crate::batch::BatchExecutor>();
     }
 
     #[test]

@@ -45,6 +45,7 @@ pub mod crossover;
 pub mod error;
 pub mod executor;
 pub mod measurement;
+pub mod plancache;
 pub mod planner;
 pub mod program;
 pub mod qpe;
@@ -62,6 +63,7 @@ pub use measurement::{
     compare_expectation_z, exact_register_distribution, sampled_register_distribution,
     total_variation, ExpectationComparison,
 };
+pub use plancache::{SharedPlanCache, DEFAULT_PLAN_CACHE_CAPACITY};
 pub use planner::{
     plan_emulated, plan_hybrid, plan_simulated, Backend, ExecutionPlan, PlanInterpreter,
     PlanReport, PlanStep, StepReport,

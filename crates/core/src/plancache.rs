@@ -1,0 +1,442 @@
+//! Shared, bounded plan cache: one lowering per circuit structure.
+//!
+//! The [`HybridExecutor`](crate::executor::HybridExecutor) used to
+//! memoise a single plan — enough for "run the same program again", but
+//! not for a multi-tenant serving process where many clients submit the
+//! same circuit *shape* with different parameters. [`SharedPlanCache`] is
+//! the extraction of that cache into a first-class object:
+//!
+//! * **keyed on [`structure_hash`](crate::program::QuantumProgram::structure_hash)** —
+//!   requests that differ only in closure-carried parameters (rotation
+//!   angles, classical map bodies) share one lowering, so planning,
+//!   cost-model evaluation, and gate fusion are paid once per shape;
+//! * **bounded, LRU-evicted** — a long-lived daemon serving thousands of
+//!   distinct shapes stays at a fixed memory footprint (each entry
+//!   carries fused circuits, which are not small);
+//! * **single-flight** — when several threads miss on the same key
+//!   simultaneously, exactly one lowers the plan while the rest block on
+//!   a condition variable and then share the result. This is what makes
+//!   "exactly one plan-cache miss across N concurrent same-structure
+//!   requests" a guarantee rather than a race;
+//! * **observable** — hit/miss/eviction counters back the daemon's
+//!   served statistics and the repo's cache tests.
+//!
+//! Entries record the [`CostModel`] and [`SimConfig`] that produced them;
+//! a lookup under a different model or config is a miss (and the fresh
+//! lowering replaces the stale entry — same key, new validity).
+//! Clones of a `SharedPlanCache` are handles to the same cache.
+
+use crate::crossover::CostModel;
+use crate::planner::ExecutionPlan;
+use qcemu_sim::SimConfig;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+
+/// Default number of distinct structures a cache retains.
+///
+/// Plans carry fused block streams and synthesized gate-impl circuits, so
+/// an entry for a wide arithmetic program can reach megabytes; 32 shapes
+/// comfortably covers a serving mix while bounding worst-case footprint.
+pub const DEFAULT_PLAN_CACHE_CAPACITY: usize = 32;
+
+/// A bounded, structure-keyed, thread-shared cache of
+/// [`ExecutionPlan`]s. See the [module docs](self) for semantics.
+#[derive(Clone, Debug)]
+pub struct SharedPlanCache {
+    shared: Arc<CacheShared>,
+}
+
+#[derive(Debug)]
+struct CacheShared {
+    state: Mutex<CacheState>,
+    /// Signalled when an in-flight lowering completes (or is abandoned),
+    /// waking threads that blocked on the same key.
+    done: Condvar,
+    hits: AtomicUsize,
+    misses: AtomicUsize,
+    evictions: AtomicUsize,
+}
+
+#[derive(Debug)]
+struct CacheState {
+    capacity: usize,
+    /// Monotone recency clock; bumped on every touch.
+    tick: u64,
+    entries: HashMap<u64, CacheEntry>,
+    /// Keys currently being lowered by some thread (single-flight latch).
+    in_flight: Vec<u64>,
+}
+
+#[derive(Debug)]
+struct CacheEntry {
+    /// `instance_id` of the program the plan was lowered from. Structural
+    /// lookups ignore it; instance-strict lookups (the solo executor
+    /// path, whose plans may be executed with their carried closure-built
+    /// artifacts) require it to match.
+    instance_id: u64,
+    model: CostModel,
+    config: SimConfig,
+    plan: Arc<ExecutionPlan>,
+    last_used: u64,
+}
+
+impl CacheEntry {
+    fn valid_for(&self, model: &CostModel, config: &SimConfig) -> bool {
+        self.model == *model && self.config == *config
+    }
+}
+
+/// Removes the in-flight marker and wakes waiters even if the lowering
+/// closure panics — otherwise every thread waiting on the key would hang.
+struct InFlightGuard<'a> {
+    shared: &'a CacheShared,
+    key: u64,
+}
+
+impl Drop for InFlightGuard<'_> {
+    fn drop(&mut self) {
+        let mut state = self.shared.state.lock().unwrap();
+        state.in_flight.retain(|&k| k != self.key);
+        drop(state);
+        self.shared.done.notify_all();
+    }
+}
+
+impl Default for SharedPlanCache {
+    fn default() -> SharedPlanCache {
+        SharedPlanCache::new(DEFAULT_PLAN_CACHE_CAPACITY)
+    }
+}
+
+impl SharedPlanCache {
+    /// Cache retaining up to `capacity` distinct structures (floored at 1).
+    pub fn new(capacity: usize) -> SharedPlanCache {
+        SharedPlanCache {
+            shared: Arc::new(CacheShared {
+                state: Mutex::new(CacheState {
+                    capacity: capacity.max(1),
+                    tick: 0,
+                    entries: HashMap::new(),
+                    in_flight: Vec::new(),
+                }),
+                done: Condvar::new(),
+                hits: AtomicUsize::new(0),
+                misses: AtomicUsize::new(0),
+                evictions: AtomicUsize::new(0),
+            }),
+        }
+    }
+
+    /// Maximum number of retained structures.
+    pub fn capacity(&self) -> usize {
+        self.shared.state.lock().unwrap().capacity
+    }
+
+    /// Number of structures currently cached.
+    pub fn len(&self) -> usize {
+        self.shared.state.lock().unwrap().entries.len()
+    }
+
+    /// `true` when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Lookups served from the cache.
+    pub fn hits(&self) -> usize {
+        self.shared.hits.load(Ordering::Relaxed)
+    }
+
+    /// Lookups that had to lower a plan from scratch.
+    pub fn misses(&self) -> usize {
+        self.shared.misses.load(Ordering::Relaxed)
+    }
+
+    /// Entries displaced by the capacity bound.
+    pub fn evictions(&self) -> usize {
+        self.shared.evictions.load(Ordering::Relaxed)
+    }
+
+    /// Drops every entry (counters are retained).
+    pub fn clear(&self) {
+        self.shared.state.lock().unwrap().entries.clear();
+    }
+
+    /// The cached plan for `structure_hash` under `model`/`config`, if
+    /// present — without counting a hit or a miss, and without waiting on
+    /// in-flight lowerings. When `require_instance` is set, the entry
+    /// must additionally have been lowered from that program instance.
+    pub fn peek(
+        &self,
+        structure_hash: u64,
+        model: &CostModel,
+        config: &SimConfig,
+        require_instance: Option<u64>,
+    ) -> Option<Arc<ExecutionPlan>> {
+        let state = self.shared.state.lock().unwrap();
+        state
+            .entries
+            .get(&structure_hash)
+            .filter(|e| e.valid_for(model, config))
+            .filter(|e| require_instance.is_none_or(|id| e.instance_id == id))
+            .map(|e| Arc::clone(&e.plan))
+    }
+
+    /// Returns the cached plan for `structure_hash`, lowering it with
+    /// `lower` on a miss (single-flight: concurrent misses on the same
+    /// key run `lower` exactly once and share the result).
+    ///
+    /// `require_instance` makes a hit additionally demand that the entry
+    /// was lowered from that specific program instance — the solo
+    /// executor path, whose plans are executed together with their
+    /// carried closure-built artifacts. `planned_instance` is recorded
+    /// with the entry when `lower` runs.
+    pub fn get_or_plan(
+        &self,
+        structure_hash: u64,
+        model: &CostModel,
+        config: &SimConfig,
+        require_instance: Option<u64>,
+        planned_instance: u64,
+        lower: impl FnOnce() -> ExecutionPlan,
+    ) -> Arc<ExecutionPlan> {
+        let mut state = self.shared.state.lock().unwrap();
+        loop {
+            if let Some(entry) = state.entries.get_mut(&structure_hash) {
+                if entry.valid_for(model, config)
+                    && require_instance.is_none_or(|id| entry.instance_id == id)
+                {
+                    state.tick += 1;
+                    let tick = state.tick;
+                    let entry = state.entries.get_mut(&structure_hash).unwrap();
+                    entry.last_used = tick;
+                    let plan = Arc::clone(&entry.plan);
+                    self.shared.hits.fetch_add(1, Ordering::Relaxed);
+                    return plan;
+                }
+                // Present but invalid (stale model/config, or a different
+                // instance on a strict lookup): fall through and re-plan;
+                // the insert below replaces the entry in place.
+            }
+            if state.in_flight.contains(&structure_hash) {
+                // Someone else is lowering this key: wait and re-check.
+                state = self.shared.done.wait(state).unwrap();
+                continue;
+            }
+            state.in_flight.push(structure_hash);
+            break;
+        }
+        drop(state);
+
+        let guard = InFlightGuard {
+            shared: &self.shared,
+            key: structure_hash,
+        };
+        self.shared.misses.fetch_add(1, Ordering::Relaxed);
+        let plan = Arc::new(lower());
+        self.insert_locked(structure_hash, planned_instance, model, config, &plan);
+        drop(guard);
+        plan
+    }
+
+    /// Upserts an entry, evicting the least-recently-used other entry if
+    /// the capacity bound is exceeded.
+    fn insert_locked(
+        &self,
+        structure_hash: u64,
+        instance_id: u64,
+        model: &CostModel,
+        config: &SimConfig,
+        plan: &Arc<ExecutionPlan>,
+    ) {
+        let mut state = self.shared.state.lock().unwrap();
+        state.tick += 1;
+        let tick = state.tick;
+        state.entries.insert(
+            structure_hash,
+            CacheEntry {
+                instance_id,
+                model: *model,
+                config: *config,
+                plan: Arc::clone(plan),
+                last_used: tick,
+            },
+        );
+        while state.entries.len() > state.capacity {
+            let victim = state
+                .entries
+                .iter()
+                .filter(|(&k, _)| k != structure_hash)
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(&k, _)| k);
+            match victim {
+                Some(k) => {
+                    state.entries.remove(&k);
+                    self.shared.evictions.fetch_add(1, Ordering::Relaxed);
+                }
+                None => break,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::planner::plan_hybrid;
+    use crate::program::{ProgramBuilder, QuantumProgram};
+
+    fn qft_program(m: usize) -> QuantumProgram {
+        let mut pb = ProgramBuilder::new();
+        let a = pb.register("a", m);
+        pb.hadamard_all(a);
+        pb.qft(a);
+        pb.build().unwrap()
+    }
+
+    fn lower(p: &QuantumProgram) -> ExecutionPlan {
+        plan_hybrid(p, &CostModel::default(), &SimConfig::fused(4))
+    }
+
+    fn get(cache: &SharedPlanCache, p: &QuantumProgram) -> Arc<ExecutionPlan> {
+        cache.get_or_plan(
+            p.structure_hash(),
+            &CostModel::default(),
+            &SimConfig::fused(4),
+            None,
+            p.instance_id(),
+            || lower(p),
+        )
+    }
+
+    #[test]
+    fn same_structure_plans_once() {
+        let cache = SharedPlanCache::new(4);
+        let a = qft_program(3);
+        let b = qft_program(3); // fresh instance, same structure
+        let plan_a = get(&cache, &a);
+        let plan_b = get(&cache, &b);
+        assert!(Arc::ptr_eq(&plan_a, &plan_b));
+        assert_eq!((cache.misses(), cache.hits()), (1, 1));
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn lru_eviction_respects_recency() {
+        let cache = SharedPlanCache::new(2);
+        let p3 = qft_program(3);
+        let p4 = qft_program(4);
+        let p5 = qft_program(5);
+        get(&cache, &p3);
+        get(&cache, &p4);
+        get(&cache, &p3); // touch p3: p4 becomes the LRU victim
+        get(&cache, &p5);
+        assert_eq!(cache.evictions(), 1);
+        let model = CostModel::default();
+        let config = SimConfig::fused(4);
+        assert!(cache
+            .peek(p3.structure_hash(), &model, &config, None)
+            .is_some());
+        assert!(cache
+            .peek(p4.structure_hash(), &model, &config, None)
+            .is_none());
+        assert!(cache
+            .peek(p5.structure_hash(), &model, &config, None)
+            .is_some());
+    }
+
+    #[test]
+    fn model_or_config_change_is_a_miss_that_replaces() {
+        let cache = SharedPlanCache::new(4);
+        let p = qft_program(3);
+        get(&cache, &p);
+        let other_config = SimConfig::fused(3);
+        let plan = cache.get_or_plan(
+            p.structure_hash(),
+            &CostModel::default(),
+            &other_config,
+            None,
+            p.instance_id(),
+            || plan_hybrid(&p, &CostModel::default(), &other_config),
+        );
+        assert_eq!(cache.misses(), 2);
+        assert_eq!(cache.len(), 1, "same key: replaced, not duplicated");
+        // The replacement is what peek now sees under the new config.
+        let seen = cache
+            .peek(
+                p.structure_hash(),
+                &CostModel::default(),
+                &other_config,
+                None,
+            )
+            .unwrap();
+        assert!(Arc::ptr_eq(&plan, &seen));
+    }
+
+    #[test]
+    fn instance_strict_lookups_do_not_share_across_instances() {
+        let cache = SharedPlanCache::new(4);
+        let a = qft_program(3);
+        let b = qft_program(3);
+        let model = CostModel::default();
+        let config = SimConfig::fused(4);
+        cache.get_or_plan(
+            a.structure_hash(),
+            &model,
+            &config,
+            Some(a.instance_id()),
+            a.instance_id(),
+            || lower(&a),
+        );
+        assert!(cache
+            .peek(b.structure_hash(), &model, &config, Some(b.instance_id()))
+            .is_none());
+        // …but a structural peek shares freely.
+        assert!(cache
+            .peek(b.structure_hash(), &model, &config, None)
+            .is_some());
+    }
+
+    #[test]
+    fn concurrent_same_structure_misses_collapse_to_one_lowering() {
+        use std::sync::atomic::AtomicUsize;
+        let cache = SharedPlanCache::new(4);
+        let lowered = Arc::new(AtomicUsize::new(0));
+        let programs: Vec<QuantumProgram> = (0..8).map(|_| qft_program(4)).collect();
+        std::thread::scope(|scope| {
+            for p in &programs {
+                let cache = cache.clone();
+                let lowered = Arc::clone(&lowered);
+                scope.spawn(move || {
+                    cache.get_or_plan(
+                        p.structure_hash(),
+                        &CostModel::default(),
+                        &SimConfig::fused(4),
+                        None,
+                        p.instance_id(),
+                        || {
+                            lowered.fetch_add(1, Ordering::SeqCst);
+                            lower(p)
+                        },
+                    );
+                });
+            }
+        });
+        assert_eq!(lowered.load(Ordering::SeqCst), 1, "single-flight");
+        assert_eq!(cache.misses(), 1);
+        assert_eq!(cache.hits(), 7);
+    }
+
+    #[test]
+    fn clones_are_handles_to_the_same_cache() {
+        let cache = SharedPlanCache::new(4);
+        let other = cache.clone();
+        let p = qft_program(3);
+        get(&cache, &p);
+        assert_eq!(other.len(), 1);
+        assert_eq!(other.misses(), 1);
+        other.clear();
+        assert!(cache.is_empty());
+    }
+}

@@ -143,6 +143,18 @@ impl ExecutionPlan {
         self.steps.iter().map(|s| s.predicted_s).sum()
     }
 
+    /// `instance_id` of the program this plan was lowered from.
+    ///
+    /// [`PlanInterpreter::execute`] refuses any other instance; the
+    /// structure-keyed paths
+    /// ([`HybridExecutor::run_structural`](crate::executor::HybridExecutor::run_structural),
+    /// [`BatchExecutor`](crate::batch::BatchExecutor)) use this to decide
+    /// whether carried closure-built artifacts may be executed directly
+    /// or must be re-derived.
+    pub fn planned_from(&self) -> u64 {
+        self.program_id
+    }
+
     fn from_steps(program: &QuantumProgram, steps: Vec<PlanStep>) -> ExecutionPlan {
         let n_ancilla = steps
             .iter()

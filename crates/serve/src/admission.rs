@@ -1,0 +1,241 @@
+//! Admission control: the daemon's decision of whether — and on which
+//! lane — to run a request.
+//!
+//! The policy is driven by the same [`CostModel`](qcemu_core::CostModel)
+//! the planner uses: a submitted program is lowered once (the plan goes
+//! straight into the shared plan cache, so the work is never wasted) and
+//! the plan's total predicted cost classifies the job:
+//!
+//! * `predicted ≤ fast_lane_cost_s` → **fast lane**: runs ahead of
+//!   queued work, never waits behind an expensive job.
+//! * `fast_lane_cost_s < predicted ≤ max_cost_s` → **queued lane**:
+//!   admitted, but bounded by `max_queue_depth` (a full queue is a typed
+//!   [`RejectReason::QueueFull`] rejection, not an unbounded pile-up).
+//! * `predicted > max_cost_s` → rejected with
+//!   [`RejectReason::OverBudget`].
+//!
+//! Before any planning happens at all, programs wider than `max_qubits`
+//! are rejected with [`RejectReason::TooManyQubits`] — the qubit gate is
+//! a cheap structural guard that protects the *planner* itself from 2^n
+//! blow-up, not just the executor.
+//!
+//! All boundaries are **inclusive on the admit side**: a job exactly at
+//! `max_qubits`, `fast_lane_cost_s` or `max_cost_s` is admitted (and a
+//! job exactly at the fast-lane bound takes the fast lane). This makes
+//! behaviour at the threshold deterministic under a fixed, non-calibrated
+//! [`CostModel`](qcemu_core::CostModel), which the boundary tests rely
+//! on.
+
+use crate::wire::ErrorCode;
+use std::fmt;
+
+/// Admission policy knobs. See the module docs for the exact semantics.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct AdmissionPolicy {
+    /// Largest program (in qubits) the daemon will plan at all.
+    pub max_qubits: usize,
+    /// Predicted-cost bound (seconds) under which a job takes the fast
+    /// lane.
+    pub fast_lane_cost_s: f64,
+    /// Predicted-cost bound (seconds) above which a job is rejected.
+    pub max_cost_s: f64,
+    /// Bound on jobs waiting in the queued lane. Fast-lane jobs are not
+    /// counted: they are cheap by definition, and bounding them would
+    /// let one expensive tenant starve everyone's cheap requests.
+    pub max_queue_depth: usize,
+}
+
+impl Default for AdmissionPolicy {
+    fn default() -> AdmissionPolicy {
+        AdmissionPolicy {
+            max_qubits: 24,
+            fast_lane_cost_s: 0.050,
+            max_cost_s: 30.0,
+            max_queue_depth: 256,
+        }
+    }
+}
+
+/// Scheduling lane an admitted job is assigned to.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AdmitLane {
+    /// Cheap: runs ahead of queued work.
+    Fast,
+    /// Expensive but within budget: waits its turn.
+    Queued,
+}
+
+/// Why a request was turned away, with the numbers that decided it.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum RejectReason {
+    /// The program is wider than the policy allows.
+    TooManyQubits {
+        /// The program's qubit count.
+        n_qubits: usize,
+        /// The policy bound it exceeded.
+        max: usize,
+    },
+    /// The plan's predicted cost exceeds the budget.
+    OverBudget {
+        /// Model-predicted cost of the whole plan (seconds).
+        predicted_s: f64,
+        /// The policy bound it exceeded.
+        max_s: f64,
+    },
+    /// The queued lane is full.
+    QueueFull {
+        /// Current queued-lane depth.
+        depth: usize,
+        /// The policy bound.
+        max: usize,
+    },
+}
+
+impl RejectReason {
+    /// The wire error code this rejection maps to.
+    pub fn code(&self) -> ErrorCode {
+        match self {
+            RejectReason::TooManyQubits { .. } => ErrorCode::TooManyQubits,
+            RejectReason::OverBudget { .. } => ErrorCode::OverBudget,
+            RejectReason::QueueFull { .. } => ErrorCode::QueueFull,
+        }
+    }
+}
+
+impl fmt::Display for RejectReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RejectReason::TooManyQubits { n_qubits, max } => {
+                write!(f, "{n_qubits} qubits exceeds the daemon bound of {max}")
+            }
+            RejectReason::OverBudget { predicted_s, max_s } => write!(
+                f,
+                "predicted cost {predicted_s:.3e}s exceeds the budget of {max_s:.3e}s"
+            ),
+            RejectReason::QueueFull { depth, max } => {
+                write!(f, "queue depth {depth} at the bound of {max}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RejectReason {}
+
+impl AdmissionPolicy {
+    /// The pre-planning structural gate: programs wider than
+    /// `max_qubits` never reach the planner.
+    pub fn qubit_gate(&self, n_qubits: usize) -> Result<(), RejectReason> {
+        if n_qubits > self.max_qubits {
+            Err(RejectReason::TooManyQubits {
+                n_qubits,
+                max: self.max_qubits,
+            })
+        } else {
+            Ok(())
+        }
+    }
+
+    /// The post-planning cost gate: classifies an in-budget job into a
+    /// lane, or rejects it. `queued_depth` is the current queued-lane
+    /// occupancy (only consulted when the job would queue).
+    pub fn admit(&self, predicted_s: f64, queued_depth: usize) -> Result<AdmitLane, RejectReason> {
+        if predicted_s > self.max_cost_s {
+            return Err(RejectReason::OverBudget {
+                predicted_s,
+                max_s: self.max_cost_s,
+            });
+        }
+        if predicted_s <= self.fast_lane_cost_s {
+            return Ok(AdmitLane::Fast);
+        }
+        if queued_depth >= self.max_queue_depth {
+            return Err(RejectReason::QueueFull {
+                depth: queued_depth,
+                max: self.max_queue_depth,
+            });
+        }
+        Ok(AdmitLane::Queued)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn policy() -> AdmissionPolicy {
+        AdmissionPolicy {
+            max_qubits: 10,
+            fast_lane_cost_s: 1.0,
+            max_cost_s: 5.0,
+            max_queue_depth: 2,
+        }
+    }
+
+    #[test]
+    fn qubit_gate_is_inclusive_at_the_bound() {
+        let p = policy();
+        assert!(p.qubit_gate(10).is_ok());
+        assert_eq!(
+            p.qubit_gate(11),
+            Err(RejectReason::TooManyQubits {
+                n_qubits: 11,
+                max: 10
+            })
+        );
+    }
+
+    #[test]
+    fn cost_boundaries_are_deterministic() {
+        let p = policy();
+        // Exactly at the fast-lane bound: fast.
+        assert_eq!(p.admit(1.0, 0), Ok(AdmitLane::Fast));
+        // Just above: queued.
+        assert_eq!(p.admit(1.0 + 1e-9, 0), Ok(AdmitLane::Queued));
+        // Exactly at the budget: admitted (queued).
+        assert_eq!(p.admit(5.0, 0), Ok(AdmitLane::Queued));
+        // Just above the budget: rejected.
+        assert_eq!(
+            p.admit(5.0 + 1e-9, 0),
+            Err(RejectReason::OverBudget {
+                predicted_s: 5.0 + 1e-9,
+                max_s: 5.0
+            })
+        );
+    }
+
+    #[test]
+    fn queue_depth_bounds_only_the_queued_lane() {
+        let p = policy();
+        // Queue at capacity: queued jobs bounce…
+        assert_eq!(
+            p.admit(2.0, 2),
+            Err(RejectReason::QueueFull { depth: 2, max: 2 })
+        );
+        // …but fast-lane jobs still land.
+        assert_eq!(p.admit(0.5, 2), Ok(AdmitLane::Fast));
+    }
+
+    #[test]
+    fn reject_reasons_map_to_their_wire_codes() {
+        assert_eq!(
+            RejectReason::TooManyQubits {
+                n_qubits: 9,
+                max: 8
+            }
+            .code(),
+            ErrorCode::TooManyQubits
+        );
+        assert_eq!(
+            RejectReason::OverBudget {
+                predicted_s: 9.0,
+                max_s: 5.0
+            }
+            .code(),
+            ErrorCode::OverBudget
+        );
+        assert_eq!(
+            RejectReason::QueueFull { depth: 4, max: 4 }.code(),
+            ErrorCode::QueueFull
+        );
+    }
+}

@@ -1,0 +1,105 @@
+//! A minimal blocking client for the daemon: one TCP connection,
+//! synchronous submit/stats round-trips over the frame protocol.
+
+use crate::wire::{
+    self, ErrorCode, FrameKind, RunResult, StatsSnapshot, SubmitOptions, WireError, WireProgram,
+};
+use std::fmt;
+use std::net::{TcpStream, ToSocketAddrs};
+
+/// Everything a client call can fail with.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ServeError {
+    /// Protocol-level failure (framing, encoding, I/O).
+    Wire(WireError),
+    /// The daemon answered with a typed error frame.
+    Server {
+        /// The daemon's error code (rejection taxonomy).
+        code: ErrorCode,
+        /// Human-readable detail.
+        message: String,
+    },
+    /// The daemon answered with a frame kind the call did not expect.
+    UnexpectedFrame,
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Wire(e) => write!(f, "wire error: {e}"),
+            ServeError::Server { code, message } => write!(f, "server error ({code}): {message}"),
+            ServeError::UnexpectedFrame => write!(f, "unexpected frame kind from server"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<WireError> for ServeError {
+    fn from(e: WireError) -> ServeError {
+        ServeError::Wire(e)
+    }
+}
+
+/// A blocking connection to a running daemon.
+pub struct EmuClient {
+    stream: TcpStream,
+}
+
+impl EmuClient {
+    /// Connects to a daemon at `addr`.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<EmuClient, ServeError> {
+        let stream = TcpStream::connect(addr).map_err(WireError::from)?;
+        let _ = stream.set_nodelay(true);
+        Ok(EmuClient { stream })
+    }
+
+    fn round_trip(
+        &mut self,
+        kind: FrameKind,
+        payload: &[u8],
+    ) -> Result<(FrameKind, Vec<u8>), ServeError> {
+        wire::write_frame(&mut self.stream, kind, payload)?;
+        match wire::read_frame(&mut self.stream)? {
+            Some(frame) => Ok(frame),
+            None => Err(ServeError::Wire(WireError::Truncated)),
+        }
+    }
+
+    /// Submits a program for execution and blocks for the result.
+    /// Rejections and failures arrive as [`ServeError::Server`] with the
+    /// daemon's typed [`ErrorCode`].
+    pub fn submit(
+        &mut self,
+        program: &WireProgram,
+        options: &SubmitOptions,
+    ) -> Result<RunResult, ServeError> {
+        self.submit_encoded(&wire::encode_submit(program, options))
+    }
+
+    /// [`EmuClient::submit`] with a payload already encoded by
+    /// [`wire::encode_submit`] — lets callers that replay stored or
+    /// repeated requests skip re-serialisation on the hot path.
+    pub fn submit_encoded(&mut self, payload: &[u8]) -> Result<RunResult, ServeError> {
+        match self.round_trip(FrameKind::Submit, payload)? {
+            (FrameKind::Result, body) => Ok(RunResult::decode(&body)?),
+            (FrameKind::Error, body) => {
+                let (code, message) = wire::decode_error(&body)?;
+                Err(ServeError::Server { code, message })
+            }
+            _ => Err(ServeError::UnexpectedFrame),
+        }
+    }
+
+    /// Fetches the daemon's counters.
+    pub fn stats(&mut self) -> Result<StatsSnapshot, ServeError> {
+        match self.round_trip(FrameKind::GetStats, &[])? {
+            (FrameKind::Stats, body) => Ok(StatsSnapshot::decode(&body)?),
+            (FrameKind::Error, body) => {
+                let (code, message) = wire::decode_error(&body)?;
+                Err(ServeError::Server { code, message })
+            }
+            _ => Err(ServeError::UnexpectedFrame),
+        }
+    }
+}

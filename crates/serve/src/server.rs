@@ -1,0 +1,639 @@
+//! The multi-tenant emulation daemon.
+//!
+//! One [`EmuServer`] owns a TCP listener, a worker pool built from the
+//! standard threading primitives, and — the piece that makes it
+//! *multi-tenant* rather than merely concurrent — a single
+//! [`SharedPlanCache`] every worker's executor is attached to. Planning
+//! (cost-model lowering, reversible-circuit synthesis, gate fusion) is
+//! the expensive, structure-determined half of a request; the cache
+//! guarantees each program structure pays it **once across all
+//! connections**, with concurrent first-requests collapsing to a single
+//! lowering (single-flight).
+//!
+//! Request lifecycle:
+//!
+//! 1. A connection thread reads a frame, decodes and validates the
+//!    program ([`ErrorCode::Malformed`] / [`ErrorCode::InvalidProgram`]
+//!    on failure — a bad frame can never take the daemon down).
+//! 2. Admission control ([`AdmissionPolicy`]): qubit gate before
+//!    planning, then one `plan_structural` (cached), then the
+//!    cost gate classifies the job fast/queued or rejects it.
+//! 3. The job lands on the scheduler; a worker pops it (fast lane
+//!    first), waits out the batching window, and **coalesces** any
+//!    structurally identical in-flight jobs into one
+//!    [`BatchExecutor`] run — the paper's batched-execution engine put
+//!    behind a socket.
+//! 4. Results (amplitudes on request, seeded measurement shots, the
+//!    per-op [`PlanReport`](qcemu_core::PlanReport) audit, and the
+//!    cache/batch provenance flags) stream back on the connection.
+
+use crate::admission::{AdmissionPolicy, AdmitLane, RejectReason};
+use crate::wire::{
+    self, ErrorCode, FrameKind, Lane, RunResult, StatsSnapshot, SubmitOptions, WireStepReport,
+};
+use qcemu_core::{BatchExecutor, CostModel, HybridExecutor, QuantumProgram, SharedPlanCache};
+use qcemu_sim::measure::sample_shots;
+use qcemu_sim::{BatchStateVector, SimConfig, StateVector};
+use rand::{rngs::StdRng, SeedableRng};
+use std::collections::VecDeque;
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::thread;
+use std::time::Duration;
+
+/// Daemon configuration.
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Worker threads executing admitted jobs.
+    pub workers: usize,
+    /// Admission policy (qubit bound, cost budget, queue bound).
+    pub policy: AdmissionPolicy,
+    /// How long a worker holds a popped job open for structurally
+    /// identical arrivals before executing. Zero disables coalescing.
+    pub batch_window: Duration,
+    /// Bound on distinct program structures the shared plan cache
+    /// retains.
+    pub plan_cache_capacity: usize,
+    /// Cost model driving both planning and admission. The default is
+    /// [`CostModel::default`] for reproducibility; the `qcemu-served`
+    /// binary opts into [`CostModel::calibrated`].
+    pub model: CostModel,
+    /// Gate-level execution configuration shared by all workers.
+    pub config: SimConfig,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig {
+            workers: 2,
+            policy: AdmissionPolicy::default(),
+            batch_window: Duration::from_millis(2),
+            plan_cache_capacity: qcemu_core::DEFAULT_PLAN_CACHE_CAPACITY,
+            model: CostModel::default(),
+            config: SimConfig::fused(qcemu_sim::DEFAULT_MAX_FUSED_QUBITS),
+        }
+    }
+}
+
+/// One admitted job waiting for (or undergoing) execution.
+struct Job {
+    program: QuantumProgram,
+    structure_hash: u64,
+    options: SubmitOptions,
+    lane: Lane,
+    warm: bool,
+    reply: mpsc::Sender<Result<RunResult, (ErrorCode, String)>>,
+}
+
+struct SchedState {
+    fast: VecDeque<Job>,
+    queued: VecDeque<Job>,
+    shutdown: bool,
+}
+
+struct Scheduler {
+    state: Mutex<SchedState>,
+    work: Condvar,
+}
+
+impl Scheduler {
+    fn new() -> Scheduler {
+        Scheduler {
+            state: Mutex::new(SchedState {
+                fast: VecDeque::new(),
+                queued: VecDeque::new(),
+                shutdown: false,
+            }),
+            work: Condvar::new(),
+        }
+    }
+
+    fn queued_depth(&self) -> usize {
+        self.state.lock().unwrap().queued.len()
+    }
+
+    fn push(&self, job: Job) {
+        let mut s = self.state.lock().unwrap();
+        match job.lane {
+            Lane::Fast => s.fast.push_back(job),
+            Lane::Queued => s.queued.push_back(job),
+        }
+        drop(s);
+        self.work.notify_one();
+    }
+
+    /// Blocks until a job is available (fast lane first) or shutdown.
+    fn pop(&self) -> Option<Job> {
+        let mut s = self.state.lock().unwrap();
+        loop {
+            if let Some(job) = s.fast.pop_front() {
+                return Some(job);
+            }
+            if let Some(job) = s.queued.pop_front() {
+                return Some(job);
+            }
+            if s.shutdown {
+                return None;
+            }
+            s = self.work.wait(s).unwrap();
+        }
+    }
+
+    /// Removes every waiting job with the given structure hash, both
+    /// lanes, preserving arrival order within each lane.
+    fn drain_structure(&self, structure_hash: u64) -> Vec<Job> {
+        fn split(lane: &mut VecDeque<Job>, structure_hash: u64, out: &mut Vec<Job>) {
+            let mut keep = VecDeque::with_capacity(lane.len());
+            for job in lane.drain(..) {
+                if job.structure_hash == structure_hash {
+                    out.push(job);
+                } else {
+                    keep.push_back(job);
+                }
+            }
+            *lane = keep;
+        }
+        let mut s = self.state.lock().unwrap();
+        let mut out = Vec::new();
+        split(&mut s.fast, structure_hash, &mut out);
+        split(&mut s.queued, structure_hash, &mut out);
+        out
+    }
+
+    fn shutdown(&self) {
+        self.state.lock().unwrap().shutdown = true;
+        self.work.notify_all();
+    }
+}
+
+/// Internal counters (monotonic, lock-free).
+#[derive(Default)]
+struct Counters {
+    requests: AtomicU64,
+    served: AtomicU64,
+    rejected_qubits: AtomicU64,
+    rejected_cost: AtomicU64,
+    rejected_queue_full: AtomicU64,
+    malformed: AtomicU64,
+    exec_failures: AtomicU64,
+    fast_lane: AtomicU64,
+    queued: AtomicU64,
+    batched_requests: AtomicU64,
+    batches: AtomicU64,
+    in_service: AtomicU64,
+}
+
+fn bump(c: &AtomicU64) {
+    c.fetch_add(1, Ordering::Relaxed);
+}
+
+struct Shared {
+    sched: Scheduler,
+    counters: Counters,
+    cache: SharedPlanCache,
+    policy: AdmissionPolicy,
+    batch_window: Duration,
+    executor: HybridExecutor,
+    stopping: AtomicBool,
+}
+
+impl Shared {
+    fn snapshot(&self) -> StatsSnapshot {
+        let c = &self.counters;
+        StatsSnapshot {
+            requests: c.requests.load(Ordering::Relaxed),
+            served: c.served.load(Ordering::Relaxed),
+            rejected_qubits: c.rejected_qubits.load(Ordering::Relaxed),
+            rejected_cost: c.rejected_cost.load(Ordering::Relaxed),
+            rejected_queue_full: c.rejected_queue_full.load(Ordering::Relaxed),
+            malformed: c.malformed.load(Ordering::Relaxed),
+            exec_failures: c.exec_failures.load(Ordering::Relaxed),
+            fast_lane: c.fast_lane.load(Ordering::Relaxed),
+            queued: c.queued.load(Ordering::Relaxed),
+            batched_requests: c.batched_requests.load(Ordering::Relaxed),
+            batches: c.batches.load(Ordering::Relaxed),
+            queue_depth: c.in_service.load(Ordering::Relaxed),
+            plan_hits: self.cache.hits() as u64,
+            plan_misses: self.cache.misses() as u64,
+            plan_evictions: self.cache.evictions() as u64,
+            plan_entries: self.cache.len() as u64,
+        }
+    }
+}
+
+/// A bound-but-not-yet-started daemon. [`EmuServer::start`] spawns the
+/// accept loop and workers and returns the controlling
+/// [`ServerHandle`].
+pub struct EmuServer {
+    listener: TcpListener,
+    config: ServerConfig,
+}
+
+/// Handle to a running daemon: address, live counters, shutdown.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    accept: Option<thread::JoinHandle<()>>,
+    workers: Vec<thread::JoinHandle<()>>,
+}
+
+impl EmuServer {
+    /// Binds the daemon to `addr` (use port 0 for an OS-assigned port).
+    pub fn bind(addr: impl ToSocketAddrs, config: ServerConfig) -> io::Result<EmuServer> {
+        let listener = TcpListener::bind(addr)?;
+        Ok(EmuServer { listener, config })
+    }
+
+    /// The bound local address.
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// Spawns the accept loop and the worker pool.
+    pub fn start(self) -> io::Result<ServerHandle> {
+        let addr = self.listener.local_addr()?;
+        let cache = SharedPlanCache::new(self.config.plan_cache_capacity.max(1));
+        let executor = HybridExecutor::new()
+            .with_model(self.config.model)
+            .with_config(self.config.config)
+            .with_plan_cache(cache.clone());
+        let shared = Arc::new(Shared {
+            sched: Scheduler::new(),
+            counters: Counters::default(),
+            cache,
+            policy: self.config.policy,
+            batch_window: self.config.batch_window,
+            executor,
+            stopping: AtomicBool::new(false),
+        });
+
+        let workers = (0..self.config.workers.max(1))
+            .map(|_| {
+                let shared = Arc::clone(&shared);
+                thread::spawn(move || worker_loop(&shared))
+            })
+            .collect();
+
+        let accept = {
+            let shared = Arc::clone(&shared);
+            let listener = self.listener;
+            thread::spawn(move || {
+                for stream in listener.incoming() {
+                    if shared.stopping.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    match stream {
+                        Ok(stream) => {
+                            let _ = stream.set_nodelay(true);
+                            let shared = Arc::clone(&shared);
+                            // Connection threads are detached: they exit
+                            // when their client hangs up.
+                            thread::spawn(move || {
+                                let _ = serve_connection(stream, &shared);
+                            });
+                        }
+                        Err(_) => continue,
+                    }
+                }
+            })
+        };
+
+        Ok(ServerHandle {
+            addr,
+            shared,
+            accept: Some(accept),
+            workers,
+        })
+    }
+}
+
+impl ServerHandle {
+    /// The daemon's listening address.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// A consistent-enough snapshot of the daemon counters.
+    pub fn stats(&self) -> StatsSnapshot {
+        self.shared.snapshot()
+    }
+
+    /// The cross-request plan cache (shared by every worker).
+    pub fn plan_cache(&self) -> &SharedPlanCache {
+        &self.shared.cache
+    }
+
+    /// Stops accepting, drains the scheduler, and joins the worker pool.
+    /// Jobs still waiting are answered with
+    /// [`ErrorCode::ShuttingDown`].
+    pub fn shutdown(mut self) {
+        self.shared.stopping.store(true, Ordering::SeqCst);
+        self.shared.sched.shutdown();
+        // Unblock the accept loop with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+        // Anything still queued: tell the waiting connections why.
+        let mut state = self.shared.sched.state.lock().unwrap();
+        let leftovers: Vec<Job> = state
+            .fast
+            .drain(..)
+            .collect::<Vec<_>>()
+            .into_iter()
+            .chain(state.queued.drain(..))
+            .collect();
+        drop(state);
+        for job in leftovers {
+            let _ = job.reply.send(Err((
+                ErrorCode::ShuttingDown,
+                "daemon is shutting down".into(),
+            )));
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Connection handling.
+// ---------------------------------------------------------------------------
+
+fn write_error(
+    stream: &mut TcpStream,
+    code: ErrorCode,
+    message: &str,
+) -> Result<(), wire::WireError> {
+    wire::write_frame(stream, FrameKind::Error, &wire::encode_error(code, message))
+}
+
+fn serve_connection(mut stream: TcpStream, shared: &Shared) -> Result<(), wire::WireError> {
+    loop {
+        let (kind, payload) = match wire::read_frame(&mut stream) {
+            Ok(Some(frame)) => frame,
+            // Clean EOF: the client is done.
+            Ok(None) => return Ok(()),
+            Err(e) => {
+                // Framing is lost: answer once, then drop the
+                // connection. The daemon itself keeps serving.
+                bump(&shared.counters.malformed);
+                let _ = write_error(&mut stream, ErrorCode::Malformed, &e.to_string());
+                return Err(e);
+            }
+        };
+        match kind {
+            FrameKind::GetStats => {
+                wire::write_frame(&mut stream, FrameKind::Stats, &shared.snapshot().encode())?;
+            }
+            FrameKind::Submit => handle_submit(&mut stream, shared, &payload)?,
+            // A client must not send server-side kinds.
+            FrameKind::Result | FrameKind::Stats | FrameKind::Error => {
+                bump(&shared.counters.malformed);
+                write_error(
+                    &mut stream,
+                    ErrorCode::Malformed,
+                    "unexpected server-side frame kind",
+                )?;
+            }
+        }
+    }
+}
+
+fn handle_submit(
+    stream: &mut TcpStream,
+    shared: &Shared,
+    payload: &[u8],
+) -> Result<(), wire::WireError> {
+    bump(&shared.counters.requests);
+    let (wire_program, options) = match wire::decode_submit(payload) {
+        Ok(x) => x,
+        Err(e) => {
+            bump(&shared.counters.malformed);
+            return write_error(stream, ErrorCode::Malformed, &e.to_string());
+        }
+    };
+    let program = match wire_program.to_program() {
+        Ok(p) => p,
+        Err(e) => {
+            bump(&shared.counters.malformed);
+            return write_error(stream, ErrorCode::InvalidProgram, &e.to_string());
+        }
+    };
+
+    // Admission, stage 1: the structural qubit gate — before planning,
+    // so an oversized program cannot even cost us a lowering.
+    if let Err(reason) = shared.policy.qubit_gate(program.n_qubits()) {
+        bump(&shared.counters.rejected_qubits);
+        return write_error(stream, reason.code(), &reason.to_string());
+    }
+
+    // Planning (cached, single-flight): note the warm/cold provenance
+    // before the lookup so the response can report it.
+    let warm = shared.shared_cache_peek(&program).is_some();
+    let plan = shared.executor.plan_structural(&program);
+
+    // Admission, stage 2: the cost gate, on the plan's predicted total.
+    let lane = match shared
+        .policy
+        .admit(plan.total_predicted_s(), shared.sched.queued_depth())
+    {
+        Ok(AdmitLane::Fast) => {
+            bump(&shared.counters.fast_lane);
+            Lane::Fast
+        }
+        Ok(AdmitLane::Queued) => {
+            bump(&shared.counters.queued);
+            Lane::Queued
+        }
+        Err(reason) => {
+            match reason {
+                RejectReason::OverBudget { .. } => bump(&shared.counters.rejected_cost),
+                RejectReason::QueueFull { .. } => bump(&shared.counters.rejected_queue_full),
+                RejectReason::TooManyQubits { .. } => bump(&shared.counters.rejected_qubits),
+            }
+            return write_error(stream, reason.code(), &reason.to_string());
+        }
+    };
+
+    let (tx, rx) = mpsc::channel();
+    bump(&shared.counters.in_service);
+    shared.sched.push(Job {
+        structure_hash: program.structure_hash(),
+        program,
+        options,
+        lane,
+        warm,
+        reply: tx,
+    });
+    let outcome = rx.recv().unwrap_or_else(|_| {
+        Err((
+            ErrorCode::ShuttingDown,
+            "daemon stopped before the job ran".into(),
+        ))
+    });
+    shared.counters.in_service.fetch_sub(1, Ordering::Relaxed);
+    match outcome {
+        Ok(result) => wire::write_frame(stream, FrameKind::Result, &result.encode()),
+        Err((code, message)) => write_error(stream, code, &message),
+    }
+}
+
+impl Shared {
+    fn shared_cache_peek(
+        &self,
+        program: &QuantumProgram,
+    ) -> Option<std::sync::Arc<qcemu_core::ExecutionPlan>> {
+        self.cache.peek(
+            program.structure_hash(),
+            self.executor.model(),
+            self.executor.sim_config(),
+            None,
+        )
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Workers.
+// ---------------------------------------------------------------------------
+
+fn worker_loop(shared: &Shared) {
+    while let Some(job) = shared.sched.pop() {
+        // Coalescing: give structurally identical in-flight requests one
+        // batching window to arrive, then drain them all.
+        let mut batch = vec![job];
+        if !shared.batch_window.is_zero() {
+            let mut more = shared.sched.drain_structure(batch[0].structure_hash);
+            if more.is_empty() {
+                thread::sleep(shared.batch_window);
+                more = shared.sched.drain_structure(batch[0].structure_hash);
+            }
+            batch.extend(more);
+        }
+        execute_batch(shared, batch);
+    }
+}
+
+fn execute_batch(shared: &Shared, batch: Vec<Job>) {
+    let n = batch.len();
+    match catch_unwind(AssertUnwindSafe(|| run_batch(shared, &batch))) {
+        Ok(Ok(results)) => {
+            // Counters first, replies second: a client that reads stats
+            // right after its result arrives must see this batch counted.
+            shared
+                .counters
+                .served
+                .fetch_add(n as u64, Ordering::Relaxed);
+            if n > 1 {
+                bump(&shared.counters.batches);
+                shared
+                    .counters
+                    .batched_requests
+                    .fetch_add(n as u64, Ordering::Relaxed);
+            }
+            for (job, result) in batch.into_iter().zip(results) {
+                let _ = job.reply.send(Ok(result));
+            }
+        }
+        Ok(Err(message)) => fail_batch(shared, batch, message),
+        Err(_) => fail_batch(shared, batch, "worker panicked during execution".into()),
+    }
+}
+
+fn fail_batch(shared: &Shared, batch: Vec<Job>, message: String) {
+    // Counters before replies, as in the success path.
+    shared
+        .counters
+        .exec_failures
+        .fetch_add(batch.len() as u64, Ordering::Relaxed);
+    for job in batch {
+        let _ = job
+            .reply
+            .send(Err((ErrorCode::ExecutionFailed, message.clone())));
+    }
+}
+
+/// Runs a structurally homogeneous batch (possibly of one) and builds
+/// the per-job responses. Returns `Err(message)` on a typed execution
+/// failure.
+fn run_batch(shared: &Shared, batch: &[Job]) -> Result<Vec<RunResult>, String> {
+    let n_qubits = batch[0].program.n_qubits();
+    if batch.len() == 1 {
+        let job = &batch[0];
+        let (state, report) = shared
+            .executor
+            .run_structural(&job.program, StateVector::zero_state(n_qubits))
+            .map_err(|e| e.to_string())?;
+        let steps = report
+            .steps
+            .iter()
+            .map(|s| WireStepReport {
+                op: s.op.clone(),
+                backend: s.backend.to_string(),
+                predicted_s: s.predicted_s,
+                measured_s: s.measured_s,
+            })
+            .collect();
+        return Ok(vec![build_result(job, &state, steps, 1, false)]);
+    }
+
+    let members: Vec<QuantumProgram> = batch.iter().map(|j| j.program.clone()).collect();
+    let initial = BatchStateVector::zero_state(n_qubits, members.len());
+    let bex = BatchExecutor::from_hybrid(shared.executor.clone());
+    let (states, report) = bex
+        .run_with_report(&members, initial)
+        .map_err(|e| e.to_string())?;
+    let steps: Vec<WireStepReport> = report
+        .steps
+        .iter()
+        .map(|s| WireStepReport {
+            op: s.op.clone(),
+            backend: if s.batched {
+                format!("{}+batch", s.backend)
+            } else {
+                s.backend.to_string()
+            },
+            predicted_s: s.predicted_s,
+            measured_s: s.measured_s,
+        })
+        .collect();
+    Ok(batch
+        .iter()
+        .enumerate()
+        .map(|(j, job)| build_result(job, &states.member(j), steps.clone(), batch.len(), true))
+        .collect())
+}
+
+fn build_result(
+    job: &Job,
+    state: &StateVector,
+    report: Vec<WireStepReport>,
+    batch_size: usize,
+    batched: bool,
+) -> RunResult {
+    let shots = if job.options.shots > 0 {
+        let mut rng = StdRng::seed_from_u64(job.options.seed);
+        sample_shots(state, job.options.shots as usize, &mut rng)
+            .into_iter()
+            .map(|s| s as u64)
+            .collect()
+    } else {
+        Vec::new()
+    };
+    RunResult {
+        n_qubits: state.n_qubits() as u8,
+        amplitudes: job
+            .options
+            .want_amplitudes
+            .then(|| state.amplitudes().to_vec()),
+        shots,
+        report,
+        lane: job.lane,
+        batched,
+        batch_size: batch_size as u32,
+        warm: job.warm,
+    }
+}

@@ -1,0 +1,248 @@
+//! Property tests for the wire format: arbitrary programs (gate zoo ×
+//! QFT × classical arithmetic × rotations) must round-trip losslessly,
+//! and corrupted or truncated frames must surface typed errors — never
+//! panics, never silent acceptance.
+
+use proptest::prelude::*;
+use qcemu_linalg::c64;
+use qcemu_serve::wire::{
+    self, FrameKind, SubmitOptions, WireError, WireOp, WireProgram, WireRegister,
+};
+use qcemu_sim::{Gate, GateOp};
+
+/// Fixed register layout every generated program uses: three 2-qubit
+/// arithmetic registers plus a 1-qubit rotation target (7 qubits).
+fn registers() -> Vec<WireRegister> {
+    vec![
+        WireRegister {
+            name: "a".into(),
+            len: 2,
+        },
+        WireRegister {
+            name: "b".into(),
+            len: 2,
+        },
+        WireRegister {
+            name: "c".into(),
+            len: 2,
+        },
+        WireRegister {
+            name: "ind".into(),
+            len: 1,
+        },
+    ]
+}
+
+const N_QUBITS: usize = 7;
+
+/// Strategy: one gate from the full zoo (Pauli/Clifford, parameterised
+/// rotations, a dense U, controls, swaps).
+fn gate() -> impl Strategy<Value = Gate> {
+    (
+        0..15usize,
+        0..N_QUBITS,
+        0..N_QUBITS,
+        0..N_QUBITS,
+        -3.0f64..3.0,
+        -1.0f64..1.0,
+    )
+        .prop_map(|(kind, q1, q2, q3, theta, u)| {
+            let b = if q2 == q1 { (q1 + 1) % N_QUBITS } else { q2 };
+            let c = if q3 == q1 || q3 == b {
+                (b + 1) % N_QUBITS
+            } else {
+                q3
+            };
+            let op = match kind {
+                0 => GateOp::X,
+                1 => GateOp::Y,
+                2 => GateOp::Z,
+                3 => GateOp::H,
+                4 => GateOp::S,
+                5 => GateOp::Sdg,
+                6 => GateOp::T,
+                7 => GateOp::Tdg,
+                8 => GateOp::Rx(theta),
+                9 => GateOp::Ry(theta),
+                10 => GateOp::Rz(theta),
+                11 => GateOp::Phase(theta),
+                12 => GateOp::U([
+                    [c64(u, theta), c64(-theta, u)],
+                    [c64(theta, -u), c64(u, -theta)],
+                ]),
+                _ => GateOp::H,
+            };
+            match kind {
+                13 => Gate::Swap {
+                    a: q1,
+                    b,
+                    controls: vec![c],
+                },
+                14 => Gate::Unary {
+                    op: GateOp::X,
+                    target: q1,
+                    controls: vec![b, c],
+                },
+                _ => Gate::Unary {
+                    op,
+                    target: q1,
+                    controls: Vec::new(),
+                },
+            }
+        })
+}
+
+/// Strategy: one wire op across the whole op set.
+fn op() -> impl Strategy<Value = WireOp> {
+    (
+        0..10usize,
+        0..4u16,
+        0..3u16,
+        collection::vec(gate(), 1..6),
+        -2.0f64..2.0,
+        0..64u64,
+    )
+        .prop_map(|(kind, any_reg, arith_reg, gates, x, value)| match kind {
+            0 => WireOp::Gates(gates),
+            1 => WireOp::Hadamard(any_reg),
+            2 => WireOp::SetConstant(arith_reg, value % 4),
+            3 => WireOp::Qft(arith_reg),
+            4 => WireOp::InverseQft(arith_reg),
+            5 => WireOp::Add {
+                a: arith_reg,
+                b: (arith_reg + 1) % 3,
+            },
+            6 => WireOp::Multiply { a: 0, b: 1, c: 2 },
+            7 => WireOp::Rotation {
+                x: arith_reg,
+                target: 3,
+                slope: x,
+                intercept: -x / 2.0,
+            },
+            8 => WireOp::MarkValue {
+                reg: arith_reg,
+                value: value % 4,
+                phase: x,
+            },
+            _ => WireOp::Divide {
+                a: 0,
+                b: 1,
+                q: 2,
+                r: 2,
+            },
+        })
+}
+
+fn program() -> impl Strategy<Value = WireProgram> {
+    collection::vec(op(), 1..8).prop_map(|ops| WireProgram {
+        registers: registers(),
+        ops,
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn programs_roundtrip_losslessly(prog in program(), shots in 0u32..64, seed in 0u64..1000) {
+        let decoded = WireProgram::decode(&prog.encode()).unwrap();
+        prop_assert_eq!(&decoded, &prog);
+
+        // And through a full submit frame.
+        let options = SubmitOptions { shots, seed, want_amplitudes: seed % 2 == 0 };
+        let payload = wire::encode_submit(&prog, &options);
+        let mut buf = Vec::new();
+        wire::write_frame(&mut buf, FrameKind::Submit, &payload).unwrap();
+        let (kind, body) = wire::read_frame(&mut buf.as_slice()).unwrap().unwrap();
+        prop_assert_eq!(kind, FrameKind::Submit);
+        let (p2, o2) = wire::decode_submit(&body).unwrap();
+        prop_assert_eq!(&p2, &prog);
+        prop_assert_eq!(o2, options);
+    }
+
+    #[test]
+    fn truncated_frames_error_instead_of_panicking(prog in program(), frac in 0.0f64..1.0) {
+        let payload = wire::encode_submit(&prog, &SubmitOptions::default());
+        let mut buf = Vec::new();
+        wire::write_frame(&mut buf, FrameKind::Submit, &payload).unwrap();
+        let cut = ((buf.len() - 1) as f64 * frac) as usize;
+        match wire::read_frame(&mut &buf[..cut]) {
+            Ok(None) => prop_assert_eq!(cut, 0),
+            Ok(Some(_)) => prop_assert!(false, "truncated frame decoded"),
+            Err(_) => {}
+        }
+    }
+
+    #[test]
+    fn corrupted_payloads_fail_the_checksum(prog in program(), pos_frac in 0.0f64..1.0, flip in 1u8..255) {
+        let payload = wire::encode_submit(&prog, &SubmitOptions::default());
+        let mut buf = Vec::new();
+        wire::write_frame(&mut buf, FrameKind::Submit, &payload).unwrap();
+        // Flip one byte anywhere past the header (payload or checksum):
+        // the FNV check must catch it.
+        let pos = 8 + ((buf.len() - 9) as f64 * pos_frac) as usize;
+        buf[pos] ^= flip;
+        prop_assert_eq!(
+            wire::read_frame(&mut buf.as_slice()).err(),
+            Some(WireError::ChecksumMismatch)
+        );
+    }
+
+    #[test]
+    fn truncated_payload_bodies_error_cleanly(prog in program(), frac in 0.0f64..1.0) {
+        // Cut *inside* the payload encoding itself (no frame): the
+        // structural decoder must report Truncated/TrailingBytes-class
+        // errors, not panic.
+        let bytes = prog.encode();
+        let cut = ((bytes.len() - 1) as f64 * frac) as usize;
+        if cut < bytes.len() {
+            prop_assert!(WireProgram::decode(&bytes[..cut]).is_err());
+        }
+    }
+}
+
+#[test]
+fn bad_magic_version_and_kind_are_typed_errors() {
+    let payload = wire::encode_submit(
+        &WireProgram {
+            registers: registers(),
+            ops: vec![WireOp::Hadamard(0)],
+        },
+        &SubmitOptions::default(),
+    );
+    let mut buf = Vec::new();
+    wire::write_frame(&mut buf, FrameKind::Submit, &payload).unwrap();
+
+    let mut bad = buf.clone();
+    bad[0] = b'X';
+    assert_eq!(
+        wire::read_frame(&mut bad.as_slice()).err(),
+        Some(WireError::BadMagic)
+    );
+
+    let mut bad = buf.clone();
+    bad[2] = 9;
+    assert_eq!(
+        wire::read_frame(&mut bad.as_slice()).err(),
+        Some(WireError::BadVersion { got: 9 })
+    );
+
+    let mut bad = buf.clone();
+    bad[3] = 0x33;
+    assert_eq!(
+        wire::read_frame(&mut bad.as_slice()).err(),
+        Some(WireError::BadKind { got: 0x33 })
+    );
+}
+
+#[test]
+fn declared_lengths_beyond_the_caps_are_rejected() {
+    // A payload whose register count claims 65535 entries must fail on
+    // the cap, not attempt a 65535-element allocation loop.
+    let mut bytes = Vec::new();
+    bytes.extend_from_slice(&u16::MAX.to_le_bytes());
+    assert_eq!(
+        WireProgram::decode(&bytes).err(),
+        Some(WireError::CapExceeded { what: "registers" })
+    );
+}

@@ -25,10 +25,12 @@
 //!
 //! The drivers below mirror `crate::kernels` one-to-one (pair / one-bit /
 //! swap enumeration with controls folded into the index space); the fused
-//! batched appliers mirror the blocked kernels, except that *dense* blocks
-//! replay their precompiled `LocalOp`s instead of running a mat-vec —
-//! the gathered runs are batch-interleaved, so matrix rows no longer meet
-//! contiguous vectors, while the replay stays on slice primitives.
+//! batched appliers mirror the blocked kernels. *Dense* blocks run a
+//! batch-major mat-mat product against the composed block unitary
+//! (`out[r·batch+j] = Σ_c M[r,c]·in[c·batch+j]`), so a block fused from
+//! thousands of gates costs one `2^k × 2^k` GEMM per group regardless of
+//! its original depth; *general* blocks (fewer gates than `2^k`) replay
+//! their precompiled `LocalOp`s on the gathered runs instead.
 //!
 //! Equivalence with N independent sequential runs (≤1e-12, every gate
 //! class × fusion policy × SIMD/scalar × ragged batch sizes) is pinned by
@@ -42,7 +44,7 @@ use crate::kernels::{
     StatePtr, PAR_THRESHOLD,
 };
 use crate::statevector::StateVector;
-use qcemu_linalg::{simd, C64};
+use qcemu_linalg::{simd, CMatrix, C64};
 use rayon::prelude::*;
 
 /// Index-tile width for the interleave/de-interleave transposes. A tile of
@@ -240,11 +242,20 @@ impl BatchStateVector {
 
     /// Applies one gate to every member (validated against the qubit
     /// count).
+    ///
+    /// Panics on an invalid gate; use [`BatchStateVector::try_apply`]
+    /// where a malformed gate must be a recoverable error.
     pub fn apply(&mut self, gate: &Gate) {
-        if let Err(e) = gate.validate(self.n_qubits) {
-            panic!("invalid gate: {e}");
-        }
+        self.try_apply(gate)
+            .unwrap_or_else(|e| panic!("invalid gate: {e}"));
+    }
+
+    /// Applies one gate to every member, returning the validation error
+    /// instead of panicking when the gate does not fit this batch.
+    pub fn try_apply(&mut self, gate: &Gate) -> Result<(), String> {
+        gate.validate(self.n_qubits)?;
         apply_gate_batch(&mut self.amps, self.batch, gate, PAR_THRESHOLD);
+        Ok(())
     }
 
     /// Runs a circuit on every member under an execution configuration —
@@ -724,6 +735,101 @@ pub(crate) fn apply_fused_local_batch(
     }
 }
 
+/// Fused **dense** block on every member: gathers each group's `2^k`
+/// batch runs and multiplies them through the block's composed unitary
+/// batch-major — `out[r·batch+j] = Σ_c M[r,c]·in[c·batch+j]`, a
+/// `(2^k × 2^k) × (2^k × batch)` mat-mat product whose inner loop runs
+/// along the contiguous batch axis. This is the batched twin of the
+/// per-state dense mat-vec: cost per group is `4^k·batch` multiply-adds
+/// *independent of the block's original gate depth*, where replaying the
+/// `LocalOp` list (as [`apply_fused_local_batch`] does) scales with every
+/// fused gate. Zero matrix entries are skipped, so block-sparse unitaries
+/// (e.g. controlled sub-blocks) pay only their live columns. Workers
+/// allocate gather + accumulator scratch once and sweep contiguous group
+/// ranges, keeping the hot loop allocation-free.
+pub(crate) fn apply_fused_dense_batch(
+    state: &mut [C64],
+    batch: usize,
+    qubits: &[usize],
+    matrix: &CMatrix,
+    par_threshold: usize,
+) {
+    let n_bits = batch_bits(state.len(), batch);
+    check_fused_qubits(n_bits, qubits);
+    let dim = 1usize << qubits.len();
+    assert_eq!(matrix.nrows(), dim, "dense block needs a 2^k x 2^k unitary");
+    let offs: Vec<usize> = (0..dim).map(|v| scatter_index(v, qubits)).collect();
+    let count = 1usize << (n_bits - qubits.len());
+    let parallel = state.len() >= par_threshold && count > 1 && rayon::current_num_threads() > 1;
+    let workers = if parallel {
+        rayon::current_num_threads().min(count)
+    } else {
+        1
+    };
+    let chunk = count.div_ceil(workers);
+    let ptr = StatePtr(state.as_mut_ptr());
+    let body = |w: usize| {
+        let mut gathered = vec![C64::ZERO; dim * batch];
+        let mut out = vec![C64::ZERO; dim * batch];
+        for g in (w * chunk)..((w + 1) * chunk).min(count) {
+            let base = expand_index(g, qubits);
+            // SAFETY: disjoint groups (injective expansion, offsets
+            // confined to the block's qubit bits); scratch is worker-local.
+            unsafe {
+                let p = ptr;
+                for (v, &off) in offs.iter().enumerate() {
+                    std::ptr::copy_nonoverlapping(
+                        p.0.add((base | off) * batch) as *const C64,
+                        gathered.as_mut_ptr().add(v * batch),
+                        batch,
+                    );
+                }
+                dense_mat_runs(matrix, dim, &gathered, &mut out, batch);
+                for (v, &off) in offs.iter().enumerate() {
+                    std::ptr::copy_nonoverlapping(
+                        out.as_ptr().add(v * batch),
+                        p.0.add((base | off) * batch),
+                        batch,
+                    );
+                }
+            }
+        }
+    };
+    if parallel {
+        (0..workers).into_par_iter().for_each(body);
+    } else {
+        body(0);
+    }
+}
+
+/// The batch-major mat-mat core shared by [`apply_fused_dense_batch`] and
+/// [`crate::fusion::FusedGate::apply_buffer_batch`]:
+/// `out[r·batch+j] = Σ_c M[r,c]·input[c·batch+j]`. Accumulates column by
+/// column (axpy along the contiguous batch runs, auto-vectorised),
+/// skipping zero entries.
+pub(crate) fn dense_mat_runs(
+    matrix: &CMatrix,
+    dim: usize,
+    input: &[C64],
+    out: &mut [C64],
+    batch: usize,
+) {
+    out.fill(C64::ZERO);
+    for col in 0..dim {
+        let src = &input[col * batch..(col + 1) * batch];
+        for row in 0..dim {
+            let m = matrix[(row, col)];
+            if m == C64::ZERO {
+                continue;
+            }
+            let dst = &mut out[row * batch..(row + 1) * batch];
+            for (d, &s) in dst.iter_mut().zip(src) {
+                *d += m * s;
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -746,6 +852,20 @@ mod tests {
             .enumerate()
             .map(|(j, s)| bsv.member_max_diff(j, s))
             .fold(0.0f64, f64::max)
+    }
+
+    #[test]
+    fn try_apply_rejects_invalid_gates_without_panicking() {
+        let mut bsv = BatchStateVector::zero_state(2, 3);
+        assert!(bsv.try_apply(&Gate::x(5)).is_err());
+        // Every member is untouched and the batch still works.
+        for j in 0..3 {
+            assert_eq!(bsv.member(j).probability(0), 1.0);
+        }
+        bsv.try_apply(&Gate::x(0)).unwrap();
+        for j in 0..3 {
+            assert_eq!(bsv.member(j).probability(1), 1.0);
+        }
     }
 
     #[test]

@@ -37,10 +37,21 @@ impl Circuit {
     }
 
     /// Appends a gate after validating it.
+    ///
+    /// Panics on an invalid gate; use [`Circuit::try_push`] where a
+    /// malformed gate must be a recoverable error (e.g. when the gate
+    /// was decoded from untrusted input).
     pub fn push(&mut self, gate: Gate) {
-        gate.validate(self.n_qubits)
+        self.try_push(gate)
             .unwrap_or_else(|e| panic!("invalid gate: {e}"));
+    }
+
+    /// Appends a gate, returning the validation error instead of
+    /// panicking when the gate does not fit this circuit.
+    pub fn try_push(&mut self, gate: Gate) -> Result<(), String> {
+        gate.validate(self.n_qubits)?;
         self.gates.push(gate);
+        Ok(())
     }
 
     /// Appends all gates of another circuit (qubit counts must agree or the
@@ -282,6 +293,16 @@ mod tests {
         assert_eq!(census.swap, 1);
         assert_eq!(census.controlled, 2); // cnot, cphase
         assert_eq!(census.total(), 5);
+    }
+
+    #[test]
+    fn try_push_rejects_invalid_gates_without_panicking() {
+        let mut c = Circuit::new(2);
+        assert!(c.try_push(Gate::x(5)).is_err());
+        assert!(c.try_push(Gate::cnot(0, 0)).is_err());
+        assert_eq!(c.gate_count(), 0, "rejected gates are not appended");
+        c.try_push(Gate::x(1)).unwrap();
+        assert_eq!(c.gate_count(), 1);
     }
 
     #[test]

@@ -327,12 +327,12 @@ impl FusedGate {
     ///
     /// * diagonal blocks scale only the non-unit batch runs;
     /// * permutation blocks rotate batch runs along the cycles in place;
-    /// * general **and dense** blocks gather each group into worker-local
-    ///   scratch and replay the precompiled ops batched — the dense
-    ///   mat-vec path is skipped because gathered runs are
-    ///   batch-interleaved, so matrix rows no longer meet contiguous
-    ///   vectors; the replay performs the same arithmetic as unfused
-    ///   execution.
+    /// * dense blocks gather each group and run a batch-major mat-mat
+    ///   product against the composed unitary, so a block fused from
+    ///   thousands of gates costs one `2^k × 2^k` GEMM per group
+    ///   regardless of its original depth;
+    /// * general blocks (fewer gates than `2^k`) gather and replay the
+    ///   precompiled ops batched — cheaper than the GEMM at their depth.
     pub fn apply_batched_with(&self, state: &mut [C64], batch: usize, par_threshold: usize) {
         match &self.kind {
             BlockKind::Diagonal { factors } => crate::batch::apply_fused_diagonal_batch(
@@ -352,7 +352,14 @@ impl FusedGate {
                     par_threshold,
                 )
             }
-            BlockKind::General | BlockKind::Dense => crate::batch::apply_fused_local_batch(
+            BlockKind::Dense => crate::batch::apply_fused_dense_batch(
+                state,
+                batch,
+                &self.qubits,
+                &self.matrix,
+                par_threshold,
+            ),
+            BlockKind::General => crate::batch::apply_fused_local_batch(
                 state,
                 batch,
                 &self.qubits,
@@ -372,7 +379,8 @@ impl FusedGate {
     /// (local index `v` of member `j` at `buf[v·batch + j]`). Permutation
     /// blocks rotate the runs in place (no scratch — the buffer size is
     /// `2^k·batch`, too large for the stack copy `apply_buffer` uses);
-    /// dense blocks replay their ops, as in
+    /// dense blocks run the batch-major mat-mat product against the
+    /// composed unitary and general blocks replay their ops, as in
     /// [`FusedGate::apply_batched_with`].
     ///
     /// # Panics
@@ -441,7 +449,11 @@ impl FusedGate {
                     }
                 }
             }
-            BlockKind::General | BlockKind::Dense => {
+            BlockKind::Dense => {
+                let gathered = buf.to_vec();
+                crate::batch::dense_mat_runs(&self.matrix, dim, &gathered, buf, batch);
+            }
+            BlockKind::General => {
                 for op in &self.local_ops {
                     op.apply_batch(buf, batch);
                 }

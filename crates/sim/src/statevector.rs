@@ -112,11 +112,21 @@ impl StateVector {
     }
 
     /// Applies one gate (validated against this state's qubit count).
+    ///
+    /// Panics on an invalid gate; use [`StateVector::try_apply`] where a
+    /// malformed gate must be a recoverable error (e.g. at a service
+    /// boundary handling untrusted input).
     pub fn apply(&mut self, gate: &Gate) {
-        if let Err(e) = gate.validate(self.n_qubits) {
-            panic!("invalid gate: {e}");
-        }
+        self.try_apply(gate)
+            .unwrap_or_else(|e| panic!("invalid gate: {e}"));
+    }
+
+    /// Applies one gate, returning the validation error instead of
+    /// panicking when the gate does not fit this state.
+    pub fn try_apply(&mut self, gate: &Gate) -> Result<(), String> {
+        gate.validate(self.n_qubits)?;
         apply_gate_slice(&mut self.amps, gate);
+        Ok(())
     }
 
     /// Applies every gate of a circuit in order.
@@ -301,6 +311,16 @@ mod tests {
     fn out_of_range_gate_panics() {
         let mut sv = StateVector::zero_state(2);
         sv.apply(&Gate::x(5));
+    }
+
+    #[test]
+    fn try_apply_rejects_invalid_gates_without_panicking() {
+        let mut sv = StateVector::zero_state(2);
+        assert!(sv.try_apply(&Gate::x(5)).is_err());
+        // The state is untouched and still usable afterwards.
+        assert_eq!(sv.probability(0), 1.0);
+        sv.try_apply(&Gate::x(1)).unwrap();
+        assert_eq!(sv.probability(0b10), 1.0);
     }
 
     #[test]

@@ -19,6 +19,7 @@
 //! | [`qcemu_fft`] | radix-2 and four-step FFTs, subspace transforms (FFTW/MKL stand-in) |
 //! | [`qcemu_cluster`] | virtual cluster, distributed state & FFT, Eq. (5)/(6) machine models |
 //! | [`qcemu_baselines`] | qHiPSTER-like and LIQUi|⟩-like reference simulators |
+//! | [`qcemu_serve`] | multi-tenant daemon: wire protocol, admission control, cross-request plan cache |
 //!
 //! ## Quickstart
 //!
@@ -52,6 +53,7 @@ pub use qcemu_core;
 pub use qcemu_fft;
 pub use qcemu_linalg;
 pub use qcemu_revarith;
+pub use qcemu_serve;
 pub use qcemu_sim;
 
 /// One-stop imports for applications.
@@ -60,8 +62,13 @@ pub mod prelude {
         stdops, Backend, BatchExecutor, BatchReport, ClassicalMap, CostModel, EmuError, Emulator,
         ExecutionPlan, Executor, GateLevelSimulator, HighLevelOp, HybridExecutor, MapKind,
         PlanReport, ProgramBuilder, QpeOp, QpeStrategy, QpeTimings, QuantumProgram, RegisterId,
+        SharedPlanCache,
     };
     pub use qcemu_linalg::{c64, CMatrix, C64};
+    pub use qcemu_serve::{
+        AdmissionPolicy, EmuClient, EmuServer, ServeError, ServerConfig, SubmitOptions, WireOp,
+        WireProgram, WireRegister,
+    };
     pub use qcemu_sim::{
         measure, BatchStateVector, Circuit, FusionPolicy, Gate, GateOp, SimConfig, StateVector,
     };

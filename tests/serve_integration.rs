@@ -1,0 +1,346 @@
+//! Black-box integration tests for the serving daemon: an in-process
+//! [`EmuServer`] exercised over real TCP connections by concurrent
+//! clients.
+//!
+//! The load-bearing assertion: N structurally identical (but
+//! differently parameterised) concurrent requests produce results
+//! matching a local [`HybridExecutor`] to ≤1e-12 while incurring
+//! **exactly one** plan-cache miss — the cross-request cache with
+//! single-flight lowering doing its job.
+
+use qcemu::prelude::*;
+use qcemu::qcemu_serve::wire::{self, ErrorCode, FrameKind};
+use qcemu::qcemu_serve::ServeError;
+use std::io::Write;
+use std::net::TcpStream;
+use std::thread;
+use std::time::Duration;
+
+/// A parameter sweep's program: same structure for every `slope`, so the
+/// daemon should plan it once.
+fn sweep_program(slope: f64) -> WireProgram {
+    WireProgram {
+        registers: vec![
+            WireRegister {
+                name: "x".into(),
+                len: 3,
+            },
+            WireRegister {
+                name: "ind".into(),
+                len: 1,
+            },
+        ],
+        ops: vec![
+            WireOp::Hadamard(0),
+            WireOp::Rotation {
+                x: 0,
+                target: 1,
+                slope,
+                intercept: 0.1,
+            },
+            WireOp::Qft(0),
+        ],
+    }
+}
+
+fn start_server(config: ServerConfig) -> qcemu::qcemu_serve::ServerHandle {
+    EmuServer::bind("127.0.0.1:0", config)
+        .expect("bind")
+        .start()
+        .expect("start")
+}
+
+#[test]
+fn concurrent_same_structure_requests_cost_one_plan_miss_and_match_local_runs() {
+    let handle = start_server(ServerConfig {
+        workers: 2,
+        batch_window: Duration::from_millis(3),
+        ..ServerConfig::default()
+    });
+    let addr = handle.addr();
+
+    let n_clients = 8;
+    let slopes: Vec<f64> = (0..n_clients).map(|i| 0.2 + 0.15 * i as f64).collect();
+
+    let results: Vec<_> = thread::scope(|scope| {
+        let handles: Vec<_> = slopes
+            .iter()
+            .map(|&slope| {
+                scope.spawn(move || {
+                    let mut client = EmuClient::connect(addr).expect("connect");
+                    let options = SubmitOptions {
+                        shots: 32,
+                        seed: slope.to_bits(),
+                        want_amplitudes: true,
+                    };
+                    client
+                        .submit(&sweep_program(slope), &options)
+                        .expect("submit")
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    // Every response matches a from-scratch local run to 1e-12.
+    for (slope, result) in slopes.iter().zip(&results) {
+        let program = sweep_program(*slope).to_program().expect("valid program");
+        let local = HybridExecutor::new()
+            .run_structural(&program, StateVector::zero_state(program.n_qubits()))
+            .expect("local run")
+            .0;
+        let amps = result.amplitudes.as_ref().expect("amplitudes requested");
+        assert_eq!(amps.len(), local.dim());
+        let max_diff = amps
+            .iter()
+            .zip(local.amplitudes())
+            .map(|(a, b)| ((a.re - b.re).powi(2) + (a.im - b.im).powi(2)).sqrt())
+            .fold(0.0f64, f64::max);
+        assert!(
+            max_diff <= 1e-12,
+            "served result diverged from local run: {max_diff:e}"
+        );
+        assert_eq!(result.shots.len(), 32);
+        assert!(result.shots.iter().all(|&s| s < 16));
+        assert!(!result.report.is_empty(), "plan report must be attached");
+    }
+
+    // The core tentpole claim: 8 concurrent same-structure requests,
+    // exactly one lowering.
+    let stats = handle.stats();
+    assert_eq!(stats.requests, n_clients as u64);
+    assert_eq!(stats.served, n_clients as u64);
+    assert_eq!(
+        stats.plan_misses, 1,
+        "structurally identical requests must share one lowering, got {stats:?}"
+    );
+    assert!(stats.plan_hits >= n_clients as u64 - 1);
+    assert_eq!(stats.plan_entries, 1);
+    handle.shutdown();
+}
+
+#[test]
+fn coalescing_window_batches_simultaneous_requests() {
+    let handle = start_server(ServerConfig {
+        workers: 1,
+        batch_window: Duration::from_millis(200),
+        ..ServerConfig::default()
+    });
+    let addr = handle.addr();
+
+    let results: Vec<_> = thread::scope(|scope| {
+        let handles: Vec<_> = (0..4)
+            .map(|i| {
+                scope.spawn(move || {
+                    let mut client = EmuClient::connect(addr).expect("connect");
+                    client
+                        .submit(
+                            &sweep_program(0.3 + 0.1 * i as f64),
+                            &SubmitOptions::default(),
+                        )
+                        .expect("submit")
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    // With one worker and a generous window, the simultaneous arrivals
+    // coalesce: at least one response reports batched execution, and the
+    // batched members still match local runs.
+    assert!(
+        results.iter().any(|r| r.batched && r.batch_size >= 2),
+        "expected at least one coalesced batch"
+    );
+    for (i, result) in results.iter().enumerate() {
+        let program = sweep_program(0.3 + 0.1 * i as f64).to_program().unwrap();
+        let local = HybridExecutor::new()
+            .run_structural(&program, StateVector::zero_state(program.n_qubits()))
+            .unwrap()
+            .0;
+        let amps = result.amplitudes.as_ref().unwrap();
+        for (a, b) in amps.iter().zip(local.amplitudes()) {
+            assert!((a.re - b.re).abs() <= 1e-12 && (a.im - b.im).abs() <= 1e-12);
+        }
+    }
+    let stats = handle.stats();
+    assert!(stats.batches >= 1);
+    assert_eq!(stats.plan_misses, 1);
+    handle.shutdown();
+}
+
+#[test]
+fn malformed_frames_get_a_typed_reply_and_do_not_kill_the_daemon() {
+    let handle = start_server(ServerConfig::default());
+    let addr = handle.addr();
+
+    // Garbage bytes: the daemon answers with a Malformed error frame and
+    // drops that connection.
+    let mut raw = TcpStream::connect(addr).unwrap();
+    raw.write_all(b"this is not a qcemu frame at all....")
+        .unwrap();
+    raw.flush().unwrap();
+    let (kind, body) = wire::read_frame(&mut raw)
+        .expect("error frame expected")
+        .expect("reply expected");
+    assert_eq!(kind, FrameKind::Error);
+    let (code, _) = wire::decode_error(&body).unwrap();
+    assert_eq!(code, ErrorCode::Malformed);
+    drop(raw);
+
+    // A truncated frame (valid header, missing payload) likewise.
+    let mut raw = TcpStream::connect(addr).unwrap();
+    let mut frame = Vec::new();
+    wire::write_frame(&mut frame, FrameKind::Submit, &[1, 2, 3, 4, 5, 6, 7, 8]).unwrap();
+    raw.write_all(&frame[..frame.len() - 6]).unwrap();
+    raw.flush().unwrap();
+    drop(raw);
+
+    // The daemon is still fully serviceable afterwards.
+    let mut client = EmuClient::connect(addr).unwrap();
+    let result = client
+        .submit(&sweep_program(0.4), &SubmitOptions::default())
+        .expect("daemon must survive malformed input");
+    assert!(result.amplitudes.is_some());
+    assert!(handle.stats().malformed >= 1);
+    handle.shutdown();
+}
+
+#[test]
+fn invalid_programs_are_rejected_without_dropping_the_connection() {
+    let handle = start_server(ServerConfig::default());
+    let mut client = EmuClient::connect(handle.addr()).unwrap();
+
+    // An out-of-range gate used to be a panic deep in the state-vector
+    // kernels; at the daemon boundary it must be a typed error on a
+    // connection that stays open.
+    let mut bad = sweep_program(0.5);
+    bad.ops.push(WireOp::Gates(vec![Gate::x(99)]));
+    match client.submit(&bad, &SubmitOptions::default()) {
+        Err(ServeError::Server { code, .. }) => assert_eq!(code, ErrorCode::InvalidProgram),
+        other => panic!("expected InvalidProgram, got {other:?}"),
+    }
+
+    // Same connection, valid program: still served.
+    let result = client
+        .submit(&sweep_program(0.5), &SubmitOptions::default())
+        .expect("connection must remain usable");
+    assert!(result.amplitudes.is_some());
+    handle.shutdown();
+}
+
+#[test]
+fn qubit_bound_rejects_above_and_admits_at_the_boundary() {
+    let handle = start_server(ServerConfig {
+        policy: AdmissionPolicy {
+            max_qubits: 4,
+            ..AdmissionPolicy::default()
+        },
+        ..ServerConfig::default()
+    });
+    let mut client = EmuClient::connect(handle.addr()).unwrap();
+
+    // 5 qubits: one over the bound → typed rejection.
+    let wide = WireProgram {
+        registers: vec![WireRegister {
+            name: "w".into(),
+            len: 5,
+        }],
+        ops: vec![WireOp::Hadamard(0)],
+    };
+    match client.submit(&wide, &SubmitOptions::default()) {
+        Err(ServeError::Server { code, .. }) => assert_eq!(code, ErrorCode::TooManyQubits),
+        other => panic!("expected TooManyQubits, got {other:?}"),
+    }
+
+    // Exactly at the bound: admitted.
+    let at_bound = sweep_program(0.7); // 4 qubits
+    client
+        .submit(&at_bound, &SubmitOptions::default())
+        .expect("program at the qubit bound must be admitted");
+    assert_eq!(handle.stats().rejected_qubits, 1);
+    handle.shutdown();
+}
+
+#[test]
+fn over_budget_programs_are_rejected_with_a_typed_error() {
+    let handle = start_server(ServerConfig {
+        policy: AdmissionPolicy {
+            max_cost_s: 1e-15, // everything costs more than this
+            ..AdmissionPolicy::default()
+        },
+        ..ServerConfig::default()
+    });
+    let mut client = EmuClient::connect(handle.addr()).unwrap();
+    match client.submit(&sweep_program(0.9), &SubmitOptions::default()) {
+        Err(ServeError::Server { code, .. }) => assert_eq!(code, ErrorCode::OverBudget),
+        other => panic!("expected OverBudget, got {other:?}"),
+    }
+    // Stats keep flowing even when everything is over budget.
+    let stats = handle.stats();
+    assert_eq!(stats.rejected_cost, 1);
+    assert_eq!(stats.served, 0);
+    handle.shutdown();
+}
+
+#[test]
+fn queue_overflow_is_a_typed_error_and_the_daemon_recovers() {
+    // One worker, everything forced onto the queued lane, queue bounded
+    // at a single waiter, and a long batching window to hold the worker
+    // occupied deterministically.
+    let handle = start_server(ServerConfig {
+        workers: 1,
+        batch_window: Duration::from_millis(400),
+        policy: AdmissionPolicy {
+            fast_lane_cost_s: -1.0, // nothing qualifies as fast
+            max_queue_depth: 1,
+            ..AdmissionPolicy::default()
+        },
+        ..ServerConfig::default()
+    });
+    let addr = handle.addr();
+
+    thread::scope(|scope| {
+        // Job A: popped immediately; the worker then sits in its
+        // batching window for 400ms.
+        let a = scope.spawn(move || {
+            EmuClient::connect(addr)
+                .unwrap()
+                .submit(&sweep_program(0.1), &SubmitOptions::default())
+        });
+        thread::sleep(Duration::from_millis(100));
+        // Job B (different structure — it will not be coalesced into A):
+        // occupies the single queue slot.
+        let b = scope.spawn(move || {
+            let mut p = sweep_program(0.2);
+            p.ops.push(WireOp::Qft(0));
+            EmuClient::connect(addr)
+                .unwrap()
+                .submit(&p, &SubmitOptions::default())
+        });
+        thread::sleep(Duration::from_millis(100));
+        // Job C: the queue is full → typed overflow rejection.
+        let mut p = sweep_program(0.3);
+        p.ops.push(WireOp::Qft(0));
+        match EmuClient::connect(addr)
+            .unwrap()
+            .submit(&p, &SubmitOptions::default())
+        {
+            Err(ServeError::Server { code, .. }) => assert_eq!(code, ErrorCode::QueueFull),
+            other => panic!("expected QueueFull, got {other:?}"),
+        }
+        // A and B were unaffected by the rejection.
+        assert!(a.join().unwrap().is_ok());
+        assert!(b.join().unwrap().is_ok());
+    });
+
+    // After the burst drains, the daemon admits queued work again.
+    let mut client = EmuClient::connect(addr).unwrap();
+    client
+        .submit(&sweep_program(0.4), &SubmitOptions::default())
+        .expect("daemon must stay serviceable after a queue overflow");
+    let stats = handle.stats();
+    assert_eq!(stats.rejected_queue_full, 1);
+    assert!(stats.served >= 3);
+    handle.shutdown();
+}
