@@ -1,0 +1,249 @@
+//! On-disk persistence for the calibrated cost model.
+//!
+//! [`CostModel::calibrated`](crate::crossover::CostModel::calibrated)
+//! micro-benchmarks every rate on first use — tens of milliseconds that
+//! every short-lived process would otherwise pay again. This module
+//! caches the measured rates in a small hand-rolled JSON file (std-only,
+//! no serde) keyed by a **host fingerprint**, so a cached model is only
+//! ever reused on the machine/build combination that measured it:
+//!
+//! * the schema version (bumped when rates are added or re-defined),
+//! * the CPU model name from `/proc/cpuinfo` (absent on non-Linux hosts,
+//!   which simply narrows the fingerprint),
+//! * the available hardware parallelism,
+//! * the active SIMD backend (`qcemu_linalg::simd::backend_name`), which
+//!   changes with the `simd` feature and therefore with the kernels'
+//!   per-entry arithmetic cost.
+//!
+//! The cache lives at `$XDG_CACHE_HOME/qcemu/calibration.json` (falling
+//! back to `$HOME/.cache/qcemu/calibration.json`). `QCEMU_CALIB_CACHE`
+//! overrides the path; setting it to `off`, `0`, or the empty string
+//! disables persistence. Every failure mode — unreadable file, schema or
+//! fingerprint mismatch, non-finite or non-positive rate — silently
+//! falls back to re-measuring; a stale cache can cost one recalibration,
+//! never a wrong model.
+
+use crate::crossover::{CostModel, QpeCostModel};
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// Bumped whenever a rate is added, removed, or re-defined; folded into
+/// the fingerprint so older cache files are ignored rather than parsed.
+const SCHEMA_VERSION: u32 = 1;
+
+/// FNV-1a, good enough for a cache key and dependency-free.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Hex digest identifying (schema, CPU, thread count, SIMD backend).
+pub(crate) fn host_fingerprint() -> String {
+    let cpu = fs::read_to_string("/proc/cpuinfo")
+        .ok()
+        .and_then(|s| {
+            s.lines()
+                .find(|l| l.starts_with("model name"))
+                .map(str::to_owned)
+        })
+        .unwrap_or_default();
+    let threads = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1);
+    let backend = qcemu_linalg::simd::backend_name();
+    let key = format!("v{SCHEMA_VERSION}|{cpu}|{threads}|{backend}");
+    format!("{:016x}", fnv1a(key.as_bytes()))
+}
+
+/// Resolved cache file path, or `None` when persistence is disabled
+/// (explicitly via `QCEMU_CALIB_CACHE`, or because no home directory is
+/// known).
+pub(crate) fn cache_path() -> Option<PathBuf> {
+    match std::env::var("QCEMU_CALIB_CACHE") {
+        Ok(v) if v.is_empty() || v == "0" || v.eq_ignore_ascii_case("off") => None,
+        Ok(v) => Some(PathBuf::from(v)),
+        Err(_) => {
+            let base = std::env::var_os("XDG_CACHE_HOME")
+                .map(PathBuf::from)
+                .filter(|p| !p.as_os_str().is_empty())
+                .or_else(|| std::env::var_os("HOME").map(|h| PathBuf::from(h).join(".cache")))?;
+            Some(base.join("qcemu").join("calibration.json"))
+        }
+    }
+}
+
+/// Loads the cached model for this host, if a valid one exists.
+pub(crate) fn load_cached() -> Option<CostModel> {
+    load_from(&cache_path()?, &host_fingerprint())
+}
+
+/// Persists `m` for this host. Failures (read-only filesystem, missing
+/// home, races) are deliberately ignored: persistence is an optimisation.
+pub(crate) fn store_cached(m: &CostModel) {
+    if let Some(path) = cache_path() {
+        let _ = store_to(&path, &host_fingerprint(), m);
+    }
+}
+
+/// `"key": value` scanner for the flat single-object JSON we emit.
+fn field<'a>(src: &'a str, key: &str) -> Option<&'a str> {
+    let pat = format!("\"{key}\":");
+    let start = src.find(&pat)? + pat.len();
+    let rest = src[start..].trim_start();
+    let end = rest.find([',', '}']).unwrap_or(rest.len());
+    Some(rest[..end].trim())
+}
+
+fn field_str<'a>(src: &'a str, key: &str) -> Option<&'a str> {
+    field(src, key)?
+        .strip_prefix('"')
+        .and_then(|v| v.strip_suffix('"'))
+}
+
+/// A rate is only accepted if it parses as a finite, strictly positive
+/// float — the single invariant the planner's divisions rely on.
+fn field_rate(src: &str, key: &str) -> Option<f64> {
+    field(src, key)?
+        .parse::<f64>()
+        .ok()
+        .filter(|r| r.is_finite() && *r > 0.0)
+}
+
+fn to_json(fingerprint: &str, m: &CostModel) -> String {
+    // `{:?}` on f64 is Rust's shortest round-trip representation.
+    format!(
+        "{{\n  \"fingerprint\": \"{fingerprint}\",\n  \
+         \"entry_rate\": {:?},\n  \
+         \"fused_entry_rate\": {:?},\n  \
+         \"cache_rate\": {:?},\n  \
+         \"table_rate\": {:?},\n  \
+         \"fuse_per_gate\": {:?},\n  \
+         \"gate_rate\": {:?},\n  \
+         \"build_rate\": {:?},\n  \
+         \"gemm_flops\": {:?},\n  \
+         \"eig_flops\": {:?}\n}}\n",
+        m.entry_rate,
+        m.fused_entry_rate,
+        m.cache_rate,
+        m.table_rate,
+        m.fuse_per_gate,
+        m.qpe.gate_rate,
+        m.qpe.build_rate,
+        m.qpe.gemm_flops,
+        m.qpe.eig_flops,
+    )
+}
+
+fn load_from(path: &Path, fingerprint: &str) -> Option<CostModel> {
+    let src = fs::read_to_string(path).ok()?;
+    if field_str(&src, "fingerprint")? != fingerprint {
+        return None;
+    }
+    Some(CostModel {
+        entry_rate: field_rate(&src, "entry_rate")?,
+        fused_entry_rate: field_rate(&src, "fused_entry_rate")?,
+        cache_rate: field_rate(&src, "cache_rate")?,
+        table_rate: field_rate(&src, "table_rate")?,
+        fuse_per_gate: field_rate(&src, "fuse_per_gate")?,
+        qpe: QpeCostModel {
+            gate_rate: field_rate(&src, "gate_rate")?,
+            build_rate: field_rate(&src, "build_rate")?,
+            gemm_flops: field_rate(&src, "gemm_flops")?,
+            eig_flops: field_rate(&src, "eig_flops")?,
+        },
+    })
+}
+
+fn store_to(path: &Path, fingerprint: &str, m: &CostModel) -> std::io::Result<()> {
+    if let Some(dir) = path.parent() {
+        fs::create_dir_all(dir)?;
+    }
+    // Temp-file + rename keeps concurrent readers from ever seeing a
+    // half-written model (rename is atomic on the same filesystem).
+    let tmp = path.with_extension("json.tmp");
+    fs::write(&tmp, to_json(fingerprint, m))?;
+    fs::rename(&tmp, path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Fresh per-test file under the workspace target dir — the tests
+    /// never touch the real per-user cache location.
+    fn test_path(name: &str) -> PathBuf {
+        let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../target/calibration-tests");
+        fs::create_dir_all(&dir).unwrap();
+        dir.join(format!("{name}.json"))
+    }
+
+    fn model() -> CostModel {
+        CostModel {
+            entry_rate: 3.25e8,
+            fused_entry_rate: 5.5e8,
+            cache_rate: 2.125e9,
+            table_rate: 4.75e7,
+            fuse_per_gate: 1.5e-6,
+            qpe: QpeCostModel {
+                gate_rate: 3.25e8,
+                build_rate: 4.0e8,
+                gemm_flops: 5.0e9,
+                eig_flops: 1.0e9,
+            },
+        }
+    }
+
+    #[test]
+    fn round_trips_exactly() {
+        let path = test_path("round-trip");
+        let m = model();
+        store_to(&path, "fp-abc", &m).unwrap();
+        assert_eq!(load_from(&path, "fp-abc"), Some(m));
+        fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn rejects_fingerprint_mismatch() {
+        let path = test_path("fingerprint-mismatch");
+        store_to(&path, "fp-old-host", &model()).unwrap();
+        assert_eq!(load_from(&path, "fp-new-host"), None);
+        fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn rejects_corrupt_and_invalid_rates() {
+        let path = test_path("corrupt");
+        fs::write(&path, "not json at all").unwrap();
+        assert_eq!(load_from(&path, "fp"), None);
+
+        // A well-formed file with one non-positive rate must be refused
+        // outright — a zero rate would divide the planner's costs by 0.
+        let bad = to_json("fp", &model()).replace("2125000000.0", "0.0");
+        assert!(bad.contains("\"cache_rate\": 0.0"), "edit must hit");
+        fs::write(&path, bad).unwrap();
+        assert_eq!(load_from(&path, "fp"), None);
+
+        // Missing field: same refusal.
+        let missing = to_json("fp", &model()).replace("\"table_rate\"", "\"renamed\"");
+        fs::write(&path, missing).unwrap();
+        assert_eq!(load_from(&path, "fp"), None);
+        fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn missing_file_is_a_clean_miss() {
+        assert_eq!(load_from(&test_path("never-written"), "fp"), None);
+    }
+
+    #[test]
+    fn fingerprint_is_stable_and_hex() {
+        let fp = host_fingerprint();
+        assert_eq!(fp.len(), 16);
+        assert!(fp.chars().all(|c| c.is_ascii_hexdigit()));
+        assert_eq!(fp, host_fingerprint());
+    }
+}

@@ -31,8 +31,8 @@ use qcemu_fft::{inverse_qft_subspace, qft_subspace};
 use qcemu_linalg::C64;
 use qcemu_sim::circuits::qft::{inverse_qft_circuit, qft_circuit};
 use qcemu_sim::{
-    Circuit, FusedCircuit, FusionPolicy, Gate, GateOp, SimConfig, StateVector,
-    DEFAULT_MAX_FUSED_QUBITS,
+    segment_circuit, Circuit, FusedCircuit, FusionPolicy, Gate, GateOp, SegmentPolicy, SimConfig,
+    StateVector, DEFAULT_BLOCK_BITS, DEFAULT_MAX_FUSED_QUBITS,
 };
 use std::fmt;
 use std::time::Instant;
@@ -58,6 +58,11 @@ pub enum Backend {
     /// Gate-level simulation through the fusion engine (cache-blocked
     /// multi-qubit sweeps).
     SimulateFused,
+    /// Gate-level simulation through the segment executor
+    /// (`qcemu_sim::segment`): the circuit is partitioned into blocked
+    /// segments whose ops replay against L2-resident blocks, so deep
+    /// compatible runs cross memory once instead of once per gate.
+    SimulateSegmented,
     /// Plain gate-by-gate simulation through the structural kernels.
     SimulateGateLevel,
 }
@@ -65,7 +70,10 @@ pub enum Backend {
 impl Backend {
     /// `true` if this backend lowers the op to elementary-gate execution.
     pub fn is_simulate(&self) -> bool {
-        matches!(self, Backend::SimulateFused | Backend::SimulateGateLevel)
+        matches!(
+            self,
+            Backend::SimulateFused | Backend::SimulateSegmented | Backend::SimulateGateLevel
+        )
     }
 }
 
@@ -80,6 +88,7 @@ impl fmt::Display for Backend {
                 QpeStrategy::Eigendecomposition => write!(f, "qpe:eigen"),
             },
             Backend::SimulateFused => write!(f, "simulate:fused"),
+            Backend::SimulateSegmented => write!(f, "simulate:segmented"),
             Backend::SimulateGateLevel => write!(f, "simulate:gates"),
         }
     }
@@ -313,19 +322,30 @@ pub fn truncate_ancillas(state: StateVector, n_program: usize) -> Result<StateVe
 struct SimCosts {
     unfused: Option<f64>,
     fused: Option<f64>,
+    segmented: Option<f64>,
     n_ancilla: usize,
     circuit: Option<Circuit>,
     fused_circuit: Option<FusedCircuit>,
 }
 
 impl SimCosts {
-    fn none_built(unfused: Option<f64>, fused: Option<f64>) -> SimCosts {
+    fn none_built(unfused: Option<f64>, fused: Option<f64>, segmented: Option<f64>) -> SimCosts {
         SimCosts {
             unfused,
             fused,
+            segmented,
             n_ancilla: 0,
             circuit: None,
             fused_circuit: None,
+        }
+    }
+
+    /// The flavour `backend` executes with.
+    fn for_backend(&self, backend: Backend) -> Option<f64> {
+        match backend {
+            Backend::SimulateFused => self.fused,
+            Backend::SimulateSegmented => self.segmented,
+            _ => self.unfused,
         }
     }
 }
@@ -367,6 +387,7 @@ fn circuit_costs(
     window: usize,
     want_unfused: bool,
     want_fused: bool,
+    want_segmented: bool,
 ) -> SimCosts {
     let unfused = want_unfused.then(|| model.t_gates(c.touched_entries(n_state)));
     let (fused, fused_circuit) = if want_fused {
@@ -378,9 +399,22 @@ fn circuit_costs(
     } else {
         (None, None)
     };
+    // Price segmentation with the same policy `SimConfig::segmented()`
+    // executes with, splitting traffic into its streamed and in-cache
+    // terms. The compiled `SegmentedCircuit` is not carried: execution
+    // re-segments, paying the per-gate compile cost the model includes.
+    let segmented = want_segmented.then(|| {
+        let seg = segment_circuit(c, DEFAULT_BLOCK_BITS, &FusionPolicy::greedy());
+        model.t_gates_segmented(
+            seg.streamed_entries(n_state),
+            seg.incache_entries(n_state),
+            c.gate_count(),
+        )
+    });
     SimCosts {
         unfused,
         fused,
+        segmented,
         n_ancilla: 0,
         circuit: None,
         fused_circuit,
@@ -399,10 +433,19 @@ fn gate_impl_sim_costs(
     window: usize,
     want_unfused: bool,
     want_fused: bool,
+    want_segmented: bool,
 ) -> SimCosts {
     let c = (gi.build)(program);
     let n_sim = program.n_qubits() + n_anc_plan.max(gi.n_ancilla);
-    let costs = circuit_costs(model, &c, n_sim, window, want_unfused, want_fused);
+    let costs = circuit_costs(
+        model,
+        &c,
+        n_sim,
+        window,
+        want_unfused,
+        want_fused,
+        want_segmented,
+    );
     SimCosts {
         n_ancilla: gi.n_ancilla,
         circuit: Some(c),
@@ -472,6 +515,7 @@ fn sim_costs(
     n_anc_plan: usize,
     want_unfused: bool,
     want_fused: bool,
+    want_segmented: bool,
 ) -> Option<SimCosts> {
     let n = program.n_qubits();
     let n_state = n + n_anc_plan;
@@ -483,6 +527,7 @@ fn sim_costs(
             window,
             want_unfused,
             want_fused,
+            want_segmented,
         )),
         HighLevelOp::Classical(cm) => cm.gate_impl.as_ref().map(|gi| {
             gate_impl_sim_costs(
@@ -493,6 +538,7 @@ fn sim_costs(
                 window,
                 want_unfused,
                 want_fused,
+                want_segmented,
             )
         }),
         HighLevelOp::Phase(po) => po.gate_impl.as_ref().map(|gi| {
@@ -504,6 +550,7 @@ fn sim_costs(
                 window,
                 want_unfused,
                 want_fused,
+                want_segmented,
             )
         }),
         HighLevelOp::Rotation(ro) => Some(match &ro.gate_impl {
@@ -515,13 +562,15 @@ fn sim_costs(
                 window,
                 want_unfused,
                 want_fused,
+                want_segmented,
             ),
             None => {
                 // The generic per-value expansion is exponential in the
                 // control register; cost it analytically instead of
-                // materialising it just to reject it.
+                // materialising it just to reject it (so every gate
+                // flavour shares the same analytic estimate).
                 let t = model.t_rotation_simulated(n_state, program.register(ro.x).len);
-                SimCosts::none_built(Some(t), Some(t))
+                SimCosts::none_built(Some(t), Some(t), Some(t))
             }
         }),
         HighLevelOp::Qft(r) | HighLevelOp::InverseQft(r) => {
@@ -533,20 +582,25 @@ fn sim_costs(
                 window,
                 want_unfused,
                 want_fused,
+                want_segmented,
             );
             // The costed circuit addresses the register's *relative*
             // qubits; execution remaps it onto the program — don't carry
             // the unremapped artifacts.
-            Some(SimCosts::none_built(costs.unfused, costs.fused))
+            Some(SimCosts::none_built(
+                costs.unfused,
+                costs.fused,
+                costs.segmented,
+            ))
         }
         HighLevelOp::Qpe(qpe) => {
             // QPE's gate-level path runs through `apply_qpe`, not the
-            // fusion engine — one candidate, same cost either way.
+            // fusion engine — one candidate, same cost on every flavour.
             let m = program.register(qpe.target).len;
             let b = program.register(qpe.phase).len;
             let g = qpe.unitary.gate_count().max(1);
             let t = model.t_qpe(n_state, m, g, b, QpeStrategy::GateLevel);
-            Some(SimCosts::none_built(Some(t), Some(t)))
+            Some(SimCosts::none_built(Some(t), Some(t), Some(t)))
         }
     }
 }
@@ -556,7 +610,13 @@ fn sim_costs(
 // ---------------------------------------------------------------------------
 
 /// Backend a `config`-driven simulation step uses for raw circuits.
+/// Segmentation is checked first: a blocked segment policy subsumes the
+/// fusion policy (the sweeps between blocked segments still fuse under
+/// the config's own `FusionPolicy`).
 fn sim_backend(config: &SimConfig) -> Backend {
+    if matches!(config.segments, SegmentPolicy::Blocked { .. }) {
+        return Backend::SimulateSegmented;
+    }
     match config.fusion {
         FusionPolicy::Disabled => Backend::SimulateGateLevel,
         FusionPolicy::Greedy { .. } => Backend::SimulateFused,
@@ -584,9 +644,11 @@ pub fn plan_emulated(
                 HighLevelOp::Gates(_) => {
                     let backend = sim_backend(config);
                     let fused = backend == Backend::SimulateFused;
-                    let costs = sim_costs(model, program, op, window, 0, !fused, fused)
-                        .expect("raw gates always have a gate path");
-                    let cost = if fused { costs.fused } else { costs.unfused };
+                    let seg = backend == Backend::SimulateSegmented;
+                    let costs =
+                        sim_costs(model, program, op, window, 0, !fused && !seg, fused, seg)
+                            .expect("raw gates always have a gate path");
+                    let cost = costs.for_backend(backend);
                     (backend, cost.unwrap_or(f64::INFINITY), costs.fused_circuit)
                 }
                 HighLevelOp::Qpe(qpe) => {
@@ -633,16 +695,26 @@ pub fn plan_simulated(
     let n_anc_all = program.max_gate_ancillas();
     let backend = sim_backend(config);
     let fused = backend == Backend::SimulateFused;
+    let seg = backend == Backend::SimulateSegmented;
     let window = plan_window(config);
     let steps = program
         .ops()
         .iter()
         .enumerate()
         .map(|(i, op)| {
-            let costs = sim_costs(model, program, op, window, n_anc_all, !fused, fused);
+            let costs = sim_costs(
+                model,
+                program,
+                op,
+                window,
+                n_anc_all,
+                !fused && !seg,
+                fused,
+                seg,
+            );
             let (cost, n_ancilla, circuit, fused_circuit) = match costs {
                 Some(c) => (
-                    if fused { c.fused } else { c.unfused }.unwrap_or(f64::INFINITY),
+                    c.for_backend(backend).unwrap_or(f64::INFINITY),
                     c.n_ancilla,
                     c.circuit,
                     c.fused_circuit,
@@ -740,11 +812,18 @@ fn recost_step(
             ),
             _ => f64::INFINITY,
         },
-        Backend::SimulateFused => sim_costs(model, program, op, window, n_anc_exec, false, true)
-            .and_then(|c| c.fused)
-            .unwrap_or(f64::INFINITY),
+        Backend::SimulateFused => {
+            sim_costs(model, program, op, window, n_anc_exec, false, true, false)
+                .and_then(|c| c.fused)
+                .unwrap_or(f64::INFINITY)
+        }
+        Backend::SimulateSegmented => {
+            sim_costs(model, program, op, window, n_anc_exec, false, false, true)
+                .and_then(|c| c.segmented)
+                .unwrap_or(f64::INFINITY)
+        }
         Backend::SimulateGateLevel => {
-            sim_costs(model, program, op, window, n_anc_exec, true, false)
+            sim_costs(model, program, op, window, n_anc_exec, true, false, false)
                 .and_then(|c| c.unfused)
                 .unwrap_or(f64::INFINITY)
         }
@@ -764,17 +843,20 @@ fn plan_hybrid_once(
         .map(|(i, op)| {
             let n_state = program.n_qubits() + n_anc_plan;
             let window = plan_window(config);
-            let mut candidates: Vec<(Backend, f64, usize)> = Vec::with_capacity(3);
+            let mut candidates: Vec<(Backend, f64, usize)> = Vec::with_capacity(4);
             if let Some((backend, cost)) = emulate_candidate(model, program, op, n_state) {
                 candidates.push((backend, cost, 0));
             }
-            let sim = sim_costs(model, program, op, window, n_anc_plan, true, true);
+            let sim = sim_costs(model, program, op, window, n_anc_plan, true, true, true);
             if let Some(costs) = &sim {
                 if let Some(cost) = costs.fused {
                     candidates.push((Backend::SimulateFused, cost, costs.n_ancilla));
                 }
                 if let Some(cost) = costs.unfused {
                     candidates.push((Backend::SimulateGateLevel, cost, costs.n_ancilla));
+                }
+                if let Some(cost) = costs.segmented {
+                    candidates.push((Backend::SimulateSegmented, cost, costs.n_ancilla));
                 }
             }
             let (backend, predicted_s, n_ancilla) = candidates
@@ -883,13 +965,16 @@ impl PlanInterpreter {
 
     /// `SimConfig` a simulation step runs under: `SimulateFused` uses the
     /// interpreter's own fused config (or the default window if the
-    /// interpreter is unfused); `SimulateGateLevel` is always unfused.
+    /// interpreter is unfused); `SimulateSegmented` always runs
+    /// [`SimConfig::segmented`] — the configuration its cost was priced
+    /// with; `SimulateGateLevel` is always unfused.
     pub(crate) fn step_config(&self, backend: Backend) -> SimConfig {
         match backend {
             Backend::SimulateFused => match self.config.fusion {
                 FusionPolicy::Greedy { .. } => self.config,
                 FusionPolicy::Disabled => SimConfig::fused(DEFAULT_MAX_FUSED_QUBITS),
             },
+            Backend::SimulateSegmented => SimConfig::segmented(),
             Backend::SimulateGateLevel => SimConfig::unfused(),
             // Raw-gate steps on an emulated plan inherit the config.
             _ => self.config,
@@ -1155,6 +1240,60 @@ mod tests {
             "a 2-bit QFT is 3 gates — cheaper than 2 full FFT passes, got {}",
             plan.steps()[0].backend
         );
+    }
+
+    #[test]
+    fn hybrid_routes_cache_resident_qft_gates_to_segments() {
+        // PR 5's ablation found greedy fusion *losing* on cache-resident
+        // QFTs; the segmented tier wins that regime by replaying every
+        // compatible gate against resident blocks. A raw QFT gate run
+        // (no FFT shortcut available for raw gates) must now lower to
+        // the segment executor, and its predicted cost must not regress
+        // against plain unfused sweeps.
+        let n = 16;
+        let mut pb = ProgramBuilder::new();
+        let _r = pb.register("r", n);
+        pb.gates(|c| c.extend(&qft_circuit(n)));
+        let prog = pb.build().unwrap();
+        let m = model();
+        let plan = plan_hybrid(&prog, &m, &SimConfig::fused(4));
+        assert_eq!(
+            plan.steps()[0].backend,
+            Backend::SimulateSegmented,
+            "cache-resident QFT must pick the segment tier"
+        );
+        let unfused = m.t_gates(qft_circuit(n).touched_entries(n));
+        assert!(
+            plan.steps()[0].predicted_s <= unfused,
+            "segmented {} must not regress vs unfused {}",
+            plan.steps()[0].predicted_s,
+            unfused
+        );
+
+        // And the interpreter actually runs the segmented plan to the
+        // same state the unfused path produces.
+        let initial = StateVector::uniform_superposition(n);
+        let (seg_state, report) = PlanInterpreter::default()
+            .execute(&prog, &plan, initial.clone())
+            .unwrap();
+        let mut reference = initial;
+        reference.run(&qft_circuit(n), &SimConfig::unfused());
+        assert!(seg_state.max_diff_up_to_phase(&reference) < 1e-10);
+        assert_eq!(report.steps[0].backend, Backend::SimulateSegmented);
+    }
+
+    #[test]
+    fn segmented_config_drives_fixed_plans() {
+        // A segment-policy interpreter config flips every raw-gate step
+        // of the fixed plans onto the segment backend.
+        let prog = mixed_program(3);
+        let plan = plan_simulated(&prog, &model(), &SimConfig::segmented());
+        assert_eq!(plan.steps()[0].backend, Backend::SimulateSegmented);
+        assert!(plan.steps()[0].predicted_s.is_finite());
+        let emu = plan_emulated(&prog, &model(), &SimConfig::segmented(), |_, _| {
+            QpeStrategy::RepeatedSquaring
+        });
+        assert_eq!(emu.steps()[0].backend, Backend::SimulateSegmented);
     }
 
     #[test]

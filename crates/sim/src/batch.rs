@@ -43,6 +43,7 @@ use crate::kernels::{
     check_fused_qubits, control_layout, expand_index, parallel_ok, scatter_index, LocalOp,
     StatePtr, PAR_THRESHOLD,
 };
+use crate::segment::SegmentPolicy;
 use crate::statevector::StateVector;
 use qcemu_linalg::{simd, CMatrix, C64};
 use rayon::prelude::*;
@@ -261,8 +262,10 @@ impl BatchStateVector {
     /// Runs a circuit on every member under an execution configuration —
     /// the batched twin of [`StateVector::run`]: gate-by-gate through the
     /// batched structural kernels when fusion is disabled, fused blocked
-    /// sweeps otherwise. Fusion (and every other per-gate precompute) is
-    /// paid once for the whole ensemble.
+    /// sweeps otherwise, cache-blocked segments first when
+    /// [`SegmentPolicy::Blocked`] is set (see [`crate::segment`]). Fusion,
+    /// segmentation, and every other per-gate precompute are paid once
+    /// for the whole ensemble.
     pub fn run(&mut self, circuit: &Circuit, config: &SimConfig) {
         assert!(
             circuit.n_qubits() <= self.n_qubits,
@@ -270,6 +273,11 @@ impl BatchStateVector {
             circuit.n_qubits(),
             self.n_qubits
         );
+        if let SegmentPolicy::Blocked { block_bits } = config.segments {
+            let seg = crate::segment::segment_circuit(circuit, block_bits, &config.fusion);
+            seg.apply_batched_with(&mut self.amps, self.batch, config.par_threshold);
+            return;
+        }
         match config.fusion {
             FusionPolicy::Disabled => {
                 for gate in circuit.gates() {

@@ -44,6 +44,7 @@ use crate::kernels::{
     apply_gate_slice_with, fused_touched_entries, touched_entries, LocalOp, MAX_FUSED_QUBITS,
     PAR_THRESHOLD,
 };
+use crate::segment::SegmentPolicy;
 use qcemu_linalg::{simd, CMatrix, C64};
 
 /// Default fusion window: 4 qubits (16-amplitude groups) balances sweep
@@ -97,6 +98,11 @@ impl FusionPolicy {
 pub struct SimConfig {
     /// Gate-fusion policy for gate-level circuit execution.
     pub fusion: FusionPolicy,
+    /// Cache-blocked segmentation policy, layered above fusion: when
+    /// enabled, runs of block-compatible gates execute as one blocked
+    /// pass and only the leftover runs go through `fusion` (see
+    /// [`crate::segment`]).
+    pub segments: SegmentPolicy,
     /// State size (in amplitudes) from which kernels parallelise —
     /// defaults to [`PAR_THRESHOLD`]. Overridable so calibration
     /// harnesses can sweep the handoff point on the host instead of
@@ -109,6 +115,7 @@ impl Default for SimConfig {
     fn default() -> SimConfig {
         SimConfig {
             fusion: FusionPolicy::default(),
+            segments: SegmentPolicy::default(),
             par_threshold: PAR_THRESHOLD,
         }
     }
@@ -124,6 +131,18 @@ impl SimConfig {
     pub fn fused(max_fused_qubits: usize) -> SimConfig {
         SimConfig {
             fusion: FusionPolicy::Greedy { max_fused_qubits },
+            ..SimConfig::default()
+        }
+    }
+
+    /// Cache-blocked segment execution at the default L2-sized block,
+    /// with greedy fusion for the runs that fall out of segments — the
+    /// configuration `qcemu-core`'s `SimulateSegmented` planner steps
+    /// lower to.
+    pub fn segmented() -> SimConfig {
+        SimConfig {
+            fusion: FusionPolicy::greedy(),
+            segments: SegmentPolicy::blocked(),
             ..SimConfig::default()
         }
     }

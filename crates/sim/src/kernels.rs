@@ -584,8 +584,14 @@ pub fn apply_fused(state: &mut [C64], qubits: &[usize], m: &CMatrix) {
 /// [`apply_fused`] with an explicit parallelism threshold. The per-group
 /// mat-vec — the FLOP-dense loop of the whole fusion engine — reduces
 /// each (contiguous) matrix row against the gathered block through the
-/// vectorised [`simd::cdot`].
+/// vectorised [`simd::cdot`], and the gather/scatter itself moves
+/// memcpy-class runs: the block's low qubits `0..run_bits` (those equal
+/// to their own position) address a contiguous `2^run_bits`-amplitude
+/// prefix of every group, so only the remaining high qubits pay a
+/// strided offset.
 pub fn apply_fused_with(state: &mut [C64], qubits: &[usize], m: &CMatrix, par_threshold: usize) {
+    let n_bits = log2_len(state) as usize;
+    check_fused_qubits(n_bits, qubits);
     let dim = 1usize << qubits.len();
     assert_eq!(
         m.shape(),
@@ -593,20 +599,58 @@ pub fn apply_fused_with(state: &mut [C64], qubits: &[usize], m: &CMatrix, par_th
         "fused matrix must be 2^k x 2^k for k = {}",
         qubits.len()
     );
-    let offs: Vec<usize> = (0..dim).map(|v| scatter_index(v, qubits)).collect();
-    for_each_group(state, qubits, par_threshold, |p, base| {
+    let run_bits = qubits
+        .iter()
+        .enumerate()
+        .take_while(|&(i, &q)| q == i)
+        .count();
+    let run = 1usize << run_bits;
+    let hi_offs: Vec<usize> = (0..dim >> run_bits)
+        .map(|w| scatter_index(w, &qubits[run_bits..]))
+        .collect();
+    let count = 1usize << (n_bits - qubits.len());
+    if state.len() >= par_threshold && count > 1 && rayon::current_num_threads() > 1 {
+        let ptr = StatePtr(state.as_mut_ptr());
+        (0..count).into_par_iter().for_each(|g| {
+            let p = ptr;
+            let base = expand_index(g, qubits);
+            let mut x = [C64::ZERO; MAX_FUSED_DIM];
+            let mut out = [C64::ZERO; MAX_FUSED_DIM];
+            // SAFETY: distinct groups own disjoint state indices (see
+            // `for_each_group`), and every run `base + off .. + run` stays
+            // confined to this group's qubit-bit offsets.
+            unsafe {
+                for (w, &off) in hi_offs.iter().enumerate() {
+                    std::ptr::copy_nonoverlapping(
+                        p.0.add(base + off),
+                        x.as_mut_ptr().add(w * run),
+                        run,
+                    );
+                }
+                for (r, o) in out[..dim].iter_mut().enumerate() {
+                    *o = simd::cdot(m.row(r), &x[..dim]);
+                }
+                for (w, &off) in hi_offs.iter().enumerate() {
+                    std::ptr::copy_nonoverlapping(
+                        out.as_ptr().add(w * run),
+                        p.0.add(base + off),
+                        run,
+                    );
+                }
+            }
+        });
+    } else {
         let mut x = [C64::ZERO; MAX_FUSED_DIM];
-        // SAFETY: all indices are `base | off` with `off` confined to the
-        // block's qubit bits — disjoint across groups (see for_each_group).
-        unsafe {
-            for (v, &off) in offs.iter().enumerate() {
-                x[v] = *p.0.add(base | off);
+        let mut out = [C64::ZERO; MAX_FUSED_DIM];
+        for g in 0..count {
+            let base = expand_index(g, qubits);
+            simd::gather_runs(state, base, &hi_offs, run, &mut x[..dim]);
+            for (r, o) in out[..dim].iter_mut().enumerate() {
+                *o = simd::cdot(m.row(r), &x[..dim]);
             }
-            for (r, &off) in offs.iter().enumerate() {
-                *p.0.add(base | off) = simd::cdot(m.row(r), &x[..dim]);
-            }
+            simd::scatter_runs(&out[..dim], state, base, &hi_offs, run);
         }
-    });
+    }
 }
 
 /// Applies a fused **diagonal** block `diag(factors)` over `qubits`: only
@@ -799,11 +843,17 @@ impl LocalOp {
         }
     }
 
-    /// Applies the op to a gathered block (`buf.len() = 2^k`). Per-entry
-    /// control checks are fine here: the block lives in L1 — but
-    /// uncontrolled rotations/diagonals on a high local bit still form
-    /// vector-length contiguous runs within the buffer, so the in-cache
-    /// replay of general blocks goes through the SIMD primitives too.
+    /// Applies the op to a gathered block (`buf.len() = 2^k`).
+    ///
+    /// The index space decomposes into contiguous runs of `2^p`
+    /// elements, where `p` is the lowest bit the op's masks constrain
+    /// (controls *and* targets — every mask bit is constant within such
+    /// a run). Runs of at least [`simd::LANES`] go through the SIMD
+    /// slice primitives — including *controlled* ops, which PR 5 left on
+    /// the scalar per-entry loop: a control on a high local bit merely
+    /// deselects whole runs, it does not break them up. Ops whose lowest
+    /// constrained bit sits under the vector width keep the scalar
+    /// per-entry loops.
     pub(crate) fn apply(&self, buf: &mut [C64]) {
         match *self {
             LocalOp::Diag {
@@ -812,17 +862,18 @@ impl LocalOp {
                 d0,
                 d1,
             } => {
-                if cmask == 0 && tbit >= simd::LANES {
+                let lowest = (cmask | tbit) & (cmask | tbit).wrapping_neg();
+                if lowest >= simd::LANES {
+                    let run = lowest;
                     let mut base = 0;
                     while base < buf.len() {
-                        let (lo, hi) = buf[base..base + 2 * tbit].split_at_mut(tbit);
-                        if d0 != C64::ONE {
-                            simd::scale_slice(lo, d0);
+                        if base & cmask == cmask {
+                            let f = if base & tbit != 0 { d1 } else { d0 };
+                            if f != C64::ONE {
+                                simd::scale_slice(&mut buf[base..base + run], f);
+                            }
                         }
-                        if d1 != C64::ONE {
-                            simd::scale_slice(hi, d1);
-                        }
-                        base += 2 * tbit;
+                        base += run;
                     }
                     return;
                 }
@@ -833,6 +884,21 @@ impl LocalOp {
                 }
             }
             LocalOp::Flip { cmask, tbit } => {
+                let lowest = (cmask | tbit) & (cmask | tbit).wrapping_neg();
+                if lowest >= simd::LANES {
+                    let run = lowest;
+                    let mut base = 0;
+                    while base < buf.len() {
+                        if base & cmask == cmask && base & tbit == 0 {
+                            // Both runs are run-aligned and fully inside
+                            // the buffer; tbit ≥ run keeps them disjoint.
+                            let (lo_half, hi_half) = buf.split_at_mut(base + tbit);
+                            simd::swap_slices(&mut lo_half[base..base + run], &mut hi_half[..run]);
+                        }
+                        base += run;
+                    }
+                    return;
+                }
                 for i in 0..buf.len() {
                     if i & cmask == cmask && i & tbit == 0 {
                         buf.swap(i, i | tbit);
@@ -840,12 +906,20 @@ impl LocalOp {
                 }
             }
             LocalOp::Rot { cmask, tbit, m } => {
-                if cmask == 0 && tbit >= simd::LANES {
+                let lowest = (cmask | tbit) & (cmask | tbit).wrapping_neg();
+                if lowest >= simd::LANES {
+                    let run = lowest;
                     let mut base = 0;
                     while base < buf.len() {
-                        let (lo, hi) = buf[base..base + 2 * tbit].split_at_mut(tbit);
-                        simd::butterfly_slices(lo, hi, &m);
-                        base += 2 * tbit;
+                        if base & cmask == cmask && base & tbit == 0 {
+                            let (lo_half, hi_half) = buf.split_at_mut(base + tbit);
+                            simd::butterfly_slices(
+                                &mut lo_half[base..base + run],
+                                &mut hi_half[..run],
+                                &m,
+                            );
+                        }
+                        base += run;
                     }
                     return;
                 }
@@ -859,6 +933,23 @@ impl LocalOp {
                 }
             }
             LocalOp::Swap { cmask, abit, bbit } => {
+                let mask = cmask | abit | bbit;
+                let lowest = mask & mask.wrapping_neg();
+                if lowest >= simd::LANES {
+                    let run = lowest;
+                    let mut base = 0;
+                    while base < buf.len() {
+                        if base & cmask == cmask && base & abit != 0 && base & bbit == 0 {
+                            let j = (base & !abit) | bbit;
+                            let (x, y) = (base.min(j), base.max(j));
+                            // |base − j| = |abit − bbit| ≥ run: disjoint.
+                            let (lo_half, hi_half) = buf.split_at_mut(y);
+                            simd::swap_slices(&mut lo_half[x..x + run], &mut hi_half[..run]);
+                        }
+                        base += run;
+                    }
+                    return;
+                }
                 for i in 0..buf.len() {
                     if i & cmask == cmask && i & abit != 0 && i & bbit == 0 {
                         buf.swap(i, (i & !abit) | bbit);
@@ -946,30 +1037,69 @@ pub(crate) fn run_pair_mut(
 /// Applies a fused block by gathering each group into a stack buffer,
 /// running the block's precompiled ops on it in cache, and scattering the
 /// result back — one memory sweep for the whole gate run, with exactly the
-/// same per-amplitude arithmetic as unfused execution.
+/// same per-amplitude arithmetic as unfused execution. As in
+/// [`apply_fused_with`], the gather/scatter moves contiguous
+/// `2^run_bits`-amplitude runs (one per *high* block qubit combination)
+/// rather than `2^k` strided single elements.
 pub(crate) fn apply_fused_local(
     state: &mut [C64],
     qubits: &[usize],
     ops: &[LocalOp],
     par_threshold: usize,
 ) {
+    let n_bits = log2_len(state) as usize;
+    check_fused_qubits(n_bits, qubits);
     let dim = 1usize << qubits.len();
-    let offs: Vec<usize> = (0..dim).map(|v| scatter_index(v, qubits)).collect();
-    for_each_group(state, qubits, par_threshold, |p, base| {
-        let mut buf = [C64::ZERO; MAX_FUSED_DIM];
-        // SAFETY: disjoint groups as in `for_each_group`.
-        unsafe {
-            for (v, &off) in offs.iter().enumerate() {
-                buf[v] = *p.0.add(base | off);
+    let run_bits = qubits
+        .iter()
+        .enumerate()
+        .take_while(|&(i, &q)| q == i)
+        .count();
+    let run = 1usize << run_bits;
+    let hi_offs: Vec<usize> = (0..dim >> run_bits)
+        .map(|w| scatter_index(w, &qubits[run_bits..]))
+        .collect();
+    let count = 1usize << (n_bits - qubits.len());
+    if state.len() >= par_threshold && count > 1 && rayon::current_num_threads() > 1 {
+        let ptr = StatePtr(state.as_mut_ptr());
+        (0..count).into_par_iter().for_each(|g| {
+            let p = ptr;
+            let base = expand_index(g, qubits);
+            let mut buf = [C64::ZERO; MAX_FUSED_DIM];
+            // SAFETY: distinct groups own disjoint state indices (see
+            // `for_each_group`), and every run `base + off .. + run` stays
+            // confined to this group's qubit-bit offsets.
+            unsafe {
+                for (w, &off) in hi_offs.iter().enumerate() {
+                    std::ptr::copy_nonoverlapping(
+                        p.0.add(base + off),
+                        buf.as_mut_ptr().add(w * run),
+                        run,
+                    );
+                }
+                for op in ops {
+                    op.apply(&mut buf[..dim]);
+                }
+                for (w, &off) in hi_offs.iter().enumerate() {
+                    std::ptr::copy_nonoverlapping(
+                        buf.as_ptr().add(w * run),
+                        p.0.add(base + off),
+                        run,
+                    );
+                }
             }
+        });
+    } else {
+        let mut buf = [C64::ZERO; MAX_FUSED_DIM];
+        for g in 0..count {
+            let base = expand_index(g, qubits);
+            simd::gather_runs(state, base, &hi_offs, run, &mut buf[..dim]);
             for op in ops {
                 op.apply(&mut buf[..dim]);
             }
-            for (v, &off) in offs.iter().enumerate() {
-                *p.0.add(base | off) = buf[v];
-            }
+            simd::scatter_runs(&buf[..dim], state, base, &hi_offs, run);
         }
-    });
+    }
 }
 
 /// Applies one [`Gate`] to a raw state slice, dispatching on structure.

@@ -17,6 +17,9 @@
 //! * [`fusion`] — the gate-fusion engine: merge runs of adjacent gates
 //!   into k-qubit blocks applied in one cache-blocked sweep, behind a
 //!   [`SimConfig`]/[`FusionPolicy`] (see `docs/PERFORMANCE.md`);
+//! * [`segment`] — cache-blocked segment sweeps: runs of block-compatible
+//!   gates replayed against one L2-resident block of amplitudes at a
+//!   time, turning d full-state traversals into ~1 ([`SegmentPolicy`]);
 //! * [`statevector`] — the 2ⁿ-amplitude wave function (paper Eq. 1);
 //! * [`circuit`] — gate sequences with inverse / controlled / remap
 //!   transforms (uncomputation and QPE building blocks);
@@ -41,6 +44,7 @@ pub mod fusion;
 pub mod gate;
 pub mod kernels;
 pub mod measure;
+pub mod segment;
 pub mod statevector;
 
 pub use batch::{apply_gate_batch, BatchStateVector};
@@ -65,4 +69,5 @@ pub use measure::{
     prob_qubit_one, sample_histogram, sample_histogram_batch, sample_once, sample_shots,
     sample_shots_batch,
 };
+pub use segment::{segment_circuit, SegmentPolicy, SegmentedCircuit, DEFAULT_BLOCK_BITS};
 pub use statevector::StateVector;

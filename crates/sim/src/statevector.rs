@@ -5,6 +5,7 @@ use crate::circuit::Circuit;
 use crate::fusion::{fuse_circuit, FusedCircuit, FusionPolicy, SimConfig};
 use crate::gate::Gate;
 use crate::kernels::apply_gate_slice;
+use crate::segment::{segment_circuit, SegmentPolicy};
 use qcemu_linalg::{inner, norm2, C64};
 
 /// State vector of an `n`-qubit register, little-endian: qubit `k` is bit
@@ -146,6 +147,9 @@ impl StateVector {
     /// fusion is disabled (bitwise identical to
     /// [`StateVector::apply_circuit`]), fused blocked sweeps otherwise —
     /// see [`crate::fusion`] for the policy and the performance model.
+    /// With [`SegmentPolicy::Blocked`] the circuit is first partitioned
+    /// into cache-blocked segments (see [`crate::segment`]); the fusion
+    /// policy then governs only the runs that fall out of segments.
     ///
     /// # Examples
     ///
@@ -159,6 +163,17 @@ impl StateVector {
     /// assert!((sv.probability(0b1111) - 0.5).abs() < 1e-12);
     /// ```
     pub fn run(&mut self, circuit: &Circuit, config: &SimConfig) {
+        if let SegmentPolicy::Blocked { block_bits } = config.segments {
+            assert!(
+                circuit.n_qubits() <= self.n_qubits,
+                "circuit needs {} qubits, state has {}",
+                circuit.n_qubits(),
+                self.n_qubits
+            );
+            let seg = segment_circuit(circuit, block_bits, &config.fusion);
+            seg.apply_slice_with(&mut self.amps, config.par_threshold);
+            return;
+        }
         match config.fusion {
             FusionPolicy::Disabled => {
                 assert!(

@@ -70,7 +70,8 @@ pub mod prelude {
         WireProgram, WireRegister,
     };
     pub use qcemu_sim::{
-        measure, BatchStateVector, Circuit, FusionPolicy, Gate, GateOp, SimConfig, StateVector,
+        measure, segment_circuit, BatchStateVector, Circuit, FusionPolicy, Gate, GateOp,
+        SegmentPolicy, SegmentedCircuit, SimConfig, StateVector, DEFAULT_BLOCK_BITS,
     };
 }
 

@@ -116,7 +116,12 @@ proptest! {
     #[test]
     fn batched_run_matches_sequential_members(circuit in random_circuit(6, 30)) {
         let _shared = scalar_lock();
-        for config in [SimConfig::unfused(), SimConfig::fused(3), SimConfig::fused(5)] {
+        for config in [
+            SimConfig::unfused(),
+            SimConfig::fused(3),
+            SimConfig::fused(5),
+            SimConfig::segmented(),
+        ] {
             for &batch in &RAGGED {
                 assert_batched_matches_sequential(&circuit, &config, batch);
             }
@@ -130,7 +135,11 @@ proptest! {
         circuit in random_circuit(5, 20)
     ) {
         let _scalar = ForcedScalar::engage();
-        for config in [SimConfig::unfused(), SimConfig::fused(4)] {
+        for config in [
+            SimConfig::unfused(),
+            SimConfig::fused(4),
+            SimConfig::segmented(),
+        ] {
             for &batch in &RAGGED {
                 assert_batched_matches_sequential(&circuit, &config, batch);
             }
@@ -336,6 +345,7 @@ fn calibrated_cost_model_is_finite_positive_and_thread_consistent() {
         [
             m.entry_rate,
             m.fused_entry_rate,
+            m.cache_rate,
             m.table_rate,
             m.fuse_per_gate,
             m.qpe.gate_rate,

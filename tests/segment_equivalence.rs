@@ -1,0 +1,197 @@
+//! Segment-sweep equivalence harness: the cache-blocked segment executor
+//! must be *invisible* to every observable. For random circuits over the
+//! full gate zoo, `segment ≡ per-gate ≡ fused` amplitude-for-amplitude
+//! (≤1e-12) across block sizes from degenerate (every gate a sweep)
+//! through L2-sized to whole-state (one resident block), with fusion on
+//! and off inside blocks, on both the build's default backend and with
+//! SIMD forced off — plus the named circuit families (QFT, GHZ) and the
+//! `SimConfig::segmented()` route through [`StateVector::run`].
+
+use proptest::prelude::*;
+use qcemu::prelude::*;
+use qcemu_sim::qft_circuit;
+use std::sync::{Mutex, MutexGuard};
+
+/// Serialises tests that toggle or depend on the global SIMD switch.
+fn scalar_lock() -> MutexGuard<'static, ()> {
+    static LOCK: Mutex<()> = Mutex::new(());
+    LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// RAII guard: forces the scalar backend for the guard's lifetime.
+struct ForcedScalar(#[allow(dead_code)] MutexGuard<'static, ()>);
+impl ForcedScalar {
+    fn engage() -> ForcedScalar {
+        let g = scalar_lock();
+        qcemu_linalg::simd::force_scalar(true);
+        ForcedScalar(g)
+    }
+}
+impl Drop for ForcedScalar {
+    fn drop(&mut self) {
+        qcemu_linalg::simd::force_scalar(false);
+    }
+}
+
+/// Strategy: a random circuit on `n` qubits over the full gate zoo —
+/// real (H, Ry), diagonal (Rz, phase, cphase), permutation (X, CNOT,
+/// Toffoli, SWAP) and generic unitaries all take distinct kernel paths.
+fn random_circuit(n: usize, max_gates: usize) -> impl Strategy<Value = Circuit> {
+    let gate =
+        (0..9usize, 0..n, 0..n, 0..n, -3.0f64..3.0).prop_map(move |(kind, q1, q2, q3, theta)| {
+            let distinct2 = |a: usize, b: usize| if a == b { (a, (b + 1) % n) } else { (a, b) };
+            let (a, b) = distinct2(q1, q2);
+            match kind {
+                0 => Gate::h(a),
+                1 => Gate::x(a),
+                2 => Gate::rz(a, theta),
+                3 => Gate::ry(a, theta),
+                4 => Gate::phase(a, theta),
+                5 => Gate::cnot(a, b),
+                6 => Gate::cphase(a, b, theta),
+                7 => Gate::swap(a, b),
+                _ => {
+                    let c = if q3 == a || q3 == b { (b + 1) % n } else { q3 };
+                    if c != a && c != b {
+                        Gate::toffoli(a, c, b)
+                    } else {
+                        Gate::ry(a, theta)
+                    }
+                }
+            }
+        });
+    proptest::collection::vec(gate, 1..max_gates).prop_map(move |gates| {
+        let mut c = Circuit::new(n);
+        for g in gates {
+            c.push(g);
+        }
+        c
+    })
+}
+
+/// Exact elementwise amplitude distance (no global-phase forgiveness:
+/// every execution tier applies the same matrices in the same order).
+fn max_diff(a: &StateVector, b: &StateVector) -> f64 {
+    a.amplitudes()
+        .iter()
+        .zip(b.amplitudes())
+        .map(|(x, y)| (*x - *y).abs())
+        .fold(0.0f64, f64::max)
+}
+
+/// Block sizes to sweep: degenerate tiny blocks (most gates forced to
+/// streamed sweeps), just-above-arity, whole-state (one resident block),
+/// and the production L2-sized default (clamped to `n` by the pass).
+fn block_sizes(n: usize) -> [usize; 4] {
+    [2, 3, n, DEFAULT_BLOCK_BITS]
+}
+
+/// Asserts segment ≡ per-gate ≡ fused on `circuit` from a start state
+/// with every amplitude live, across block sizes × in-block fusion, via
+/// both the direct [`SegmentedCircuit`] API and the `SimConfig` route.
+fn assert_segment_equivalence(circuit: &Circuit) {
+    let n = circuit.n_qubits();
+    let start = StateVector::uniform_superposition(n);
+
+    let mut reference = start.clone();
+    reference.run(circuit, &SimConfig::unfused());
+
+    let mut fused = start.clone();
+    fused.run(circuit, &SimConfig::fused(3));
+    let fdiff = max_diff(&fused, &reference);
+    assert!(
+        fdiff <= 1e-12,
+        "fused deviates from per-gate by {fdiff:.3e}"
+    );
+
+    for block_bits in block_sizes(n) {
+        for fusion in [
+            FusionPolicy::Disabled,
+            FusionPolicy::greedy(),
+            FusionPolicy::Greedy {
+                max_fused_qubits: 2,
+            },
+        ] {
+            let seg = segment_circuit(circuit, block_bits, &fusion);
+            let mut sv = start.clone();
+            seg.apply_slice(sv.amplitudes_mut());
+            let diff = max_diff(&sv, &reference);
+            assert!(
+                diff <= 1e-12,
+                "segmented (block_bits {block_bits}, fusion {fusion:?}) deviates by {diff:.3e} \
+                 [{} blocked / {} sweep segments]",
+                seg.blocked_segments(),
+                seg.sweep_segments(),
+            );
+        }
+
+        let config = SimConfig {
+            segments: SegmentPolicy::Blocked { block_bits },
+            ..SimConfig::segmented()
+        };
+        let mut sv = start.clone();
+        sv.run(circuit, &config);
+        let diff = max_diff(&sv, &reference);
+        assert!(
+            diff <= 1e-12,
+            "SimConfig segmented route (block_bits {block_bits}) deviates by {diff:.3e}"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Tentpole equivalence on the build's default backend: random gate-zoo
+    /// circuits, every block size, fusion on/off inside blocks.
+    #[test]
+    fn segmented_matches_per_gate_and_fused(circuit in random_circuit(6, 30)) {
+        let _shared = scalar_lock();
+        assert_segment_equivalence(&circuit);
+    }
+
+    /// Same equivalence with SIMD forced off: the scalar gather/scatter and
+    /// run-walk kernels inside blocks must be just as invisible.
+    #[test]
+    fn segmented_matches_per_gate_and_fused_forced_scalar(
+        circuit in random_circuit(5, 20)
+    ) {
+        let _scalar = ForcedScalar::engage();
+        assert_segment_equivalence(&circuit);
+    }
+}
+
+/// The named families the ablation measures: QFT's trailing swaps force
+/// sweep segments at every block size below `n`, and the GHZ ladder is one
+/// long compatible run — both must agree with per-gate execution exactly.
+#[test]
+fn named_circuits_segment_equivalence() {
+    let _shared = scalar_lock();
+    for n in [4, 8, 10] {
+        assert_segment_equivalence(&qft_circuit(n));
+        assert_segment_equivalence(&qcemu_sim::entangle_circuit(n));
+    }
+}
+
+/// Degenerate shapes: a single gate, a circuit touching only the top
+/// qubit (all sweeps), and a 1-qubit circuit (block covers the state).
+#[test]
+fn degenerate_circuits_segment_equivalence() {
+    let _shared = scalar_lock();
+
+    let mut single = Circuit::new(5);
+    single.push(Gate::h(2));
+    assert_segment_equivalence(&single);
+
+    let mut top = Circuit::new(6);
+    for _ in 0..4 {
+        top.push(Gate::h(5));
+        top.push(Gate::rz(5, 0.3));
+    }
+    assert_segment_equivalence(&top);
+
+    let mut tiny = Circuit::new(1);
+    tiny.push(Gate::h(0));
+    tiny.push(Gate::phase(0, 0.7));
+    assert_segment_equivalence(&tiny);
+}
