@@ -3,7 +3,10 @@
 //! circuits at out-of-cache sizes.
 //!
 //! Usage: `cargo run -p qcemu-bench --release --bin segment_ablation
-//!         [-- --min-n 20 --max-n 22 --block-bits 14 --fuse-k 4]`
+//!         [-- --min-n 20 --max-n 22 --block-bits 14 --fuse-k 4 --json]`
+//!
+//! `--json` additionally writes `BENCH_segment_ablation.json`, a
+//! machine-readable mirror of the printed table.
 //!
 //! No paper counterpart: the paper's simulator (§4.5) streams the state
 //! once per gate. Fusion (PR 5) collapses *adjacent* gates into one
@@ -15,7 +18,7 @@
 //! segment census. The traffic model and reference numbers live in
 //! `docs/PERFORMANCE.md` ("Cache-blocked segments").
 
-use qcemu_bench::{fmt_secs, header, time_median, time_once, Args};
+use qcemu_bench::{fmt_secs, header, time_median, time_once, Args, BenchReport, JsonObj};
 use qcemu_sim::{
     entangle_circuit, qft_circuit, segment_circuit, Circuit, FusionPolicy, Gate, StateVector,
     DEFAULT_BLOCK_BITS,
@@ -58,6 +61,14 @@ fn main() {
     let max_n: usize = args.get("max-n").unwrap_or(22);
     let block_bits: usize = args.get("block-bits").unwrap_or(DEFAULT_BLOCK_BITS);
     let fuse_k: usize = args.get("fuse-k").unwrap_or(4);
+    let mut report = BenchReport::new("segment_ablation");
+    report.set_config(
+        JsonObj::new()
+            .int("min_n", min_n as u64)
+            .int("max_n", max_n as u64)
+            .int("block_bits", block_bits as u64)
+            .int("fuse_k", fuse_k as u64),
+    );
 
     header(
         "Segment ablation — per-gate sweeps vs fusion vs cache-blocked segments",
@@ -103,6 +114,15 @@ fn main() {
                 1.0,
                 "-"
             );
+            report.push(
+                JsonObj::new()
+                    .int("n", n as u64)
+                    .str("circuit", name)
+                    .str("mode", "per-gate")
+                    .num("ns_per_op", t_gate * 1e9)
+                    .num("speedup_vs_gate", 1.0)
+                    .num("traffic_ratio", 1.0),
+            );
 
             let policy = FusionPolicy::Greedy {
                 max_fused_qubits: fuse_k,
@@ -126,6 +146,18 @@ fn main() {
                 "-",
                 fmt_secs(t_fuse),
             );
+            report.push(
+                JsonObj::new()
+                    .int("n", n as u64)
+                    .str("circuit", name)
+                    .str("mode", "fused")
+                    .num("ns_per_op", t_fused * 1e9)
+                    .num("speedup_vs_gate", t_gate / t_fused)
+                    .num(
+                        "traffic_ratio",
+                        fused.touched_entries(n) as f64 / unfused_traffic,
+                    ),
+            );
 
             let (t_seg_compile, seg) = time_once(|| segment_circuit(&circuit, block_bits, &policy));
             let t_seg = time_median(reps, || {
@@ -147,8 +179,22 @@ fn main() {
                 seg.sweep_segments(),
                 fmt_secs(t_seg_compile),
             );
+            report.push(
+                JsonObj::new()
+                    .int("n", n as u64)
+                    .str("circuit", name)
+                    .str("mode", "segmented")
+                    .num("ns_per_op", t_seg * 1e9)
+                    .num("speedup_vs_gate", t_gate / t_seg)
+                    .num("speedup_vs_fused", t_fused / t_seg)
+                    .num(
+                        "traffic_ratio",
+                        seg.streamed_entries(n) as f64 / unfused_traffic,
+                    ),
+            );
         }
     }
+    report.write_if(args.has("json"));
     println!();
     println!("note: 'depth' is circuit depth for per-gate, executable blocks for fused,");
     println!("      and in-block replay ops for segmented; 'traffic' is the modelled");

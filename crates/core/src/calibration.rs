@@ -19,17 +19,52 @@
 //! back to `$HOME/.cache/qcemu/calibration.json`). `QCEMU_CALIB_CACHE`
 //! overrides the path; setting it to `off`, `0`, or the empty string
 //! disables persistence. Every failure mode — unreadable file, schema or
-//! fingerprint mismatch, non-finite or non-positive rate — silently
-//! falls back to re-measuring; a stale cache can cost one recalibration,
-//! never a wrong model.
+//! fingerprint mismatch, non-finite or non-positive rate — falls back to
+//! re-measuring; a stale cache can cost one recalibration, never a wrong
+//! model. The fallback is silent by default but **observable**: every
+//! rejected (present-but-invalid) cache file bumps [`rejected_loads`],
+//! and setting `QCEMU_CALIB_DEBUG` to anything non-empty prints the
+//! rejection to stderr — so a cache that never hits (corrupt file,
+//! permissions churn, schema drift) shows up instead of silently costing
+//! a recalibration per process forever.
 
 use crate::crossover::{CostModel, QpeCostModel};
 use std::fs;
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Bumped whenever a rate is added, removed, or re-defined; folded into
 /// the fingerprint so older cache files are ignored rather than parsed.
-const SCHEMA_VERSION: u32 = 1;
+/// v2: added `mps_rate` (compressed-backend contraction rate) and
+/// `block_bits` (measured segment block size).
+const SCHEMA_VERSION: u32 = 2;
+
+/// Count of cache files that existed but were rejected (corrupt JSON,
+/// fingerprint/schema mismatch, invalid rate). Missing files are clean
+/// misses and do not count.
+static REJECTED_LOADS: AtomicUsize = AtomicUsize::new(0);
+
+/// How many calibration-cache loads found a file and refused it since
+/// process start. A monotonically growing value across runs that should
+/// be hitting the cache is the signature of a corrupt or stale file.
+pub fn rejected_loads() -> usize {
+    REJECTED_LOADS.load(Ordering::Relaxed)
+}
+
+/// Records (and, under `QCEMU_CALIB_DEBUG`, reports) a rejected cache
+/// file.
+fn note_rejected(path: &Path, why: &str) {
+    REJECTED_LOADS.fetch_add(1, Ordering::Relaxed);
+    let debug = std::env::var("QCEMU_CALIB_DEBUG")
+        .map(|v| !v.is_empty() && v != "0")
+        .unwrap_or(false);
+    if debug {
+        eprintln!(
+            "qcemu: calibration cache {} rejected ({why}); re-measuring",
+            path.display()
+        );
+    }
+}
 
 /// FNV-1a, good enough for a cache key and dependency-free.
 fn fnv1a(bytes: &[u8]) -> u64 {
@@ -76,9 +111,25 @@ pub(crate) fn cache_path() -> Option<PathBuf> {
     }
 }
 
-/// Loads the cached model for this host, if a valid one exists.
+/// Loads the cached model for this host, if a valid one exists. A file
+/// that exists but fails validation is counted via [`rejected_loads`]
+/// (and reported under `QCEMU_CALIB_DEBUG`); a missing file is a clean
+/// miss.
 pub(crate) fn load_cached() -> Option<CostModel> {
-    load_from(&cache_path()?, &host_fingerprint())
+    load_checked(&cache_path()?, &host_fingerprint())
+}
+
+/// [`load_from`] plus rejection accounting: only a file that is present
+/// and invalid counts as rejected.
+fn load_checked(path: &Path, fingerprint: &str) -> Option<CostModel> {
+    if !path.exists() {
+        return None;
+    }
+    let loaded = load_from(path, fingerprint);
+    if loaded.is_none() {
+        note_rejected(path, "corrupt, mismatched, or invalid");
+    }
+    loaded
 }
 
 /// Persists `m` for this host. Failures (read-only filesystem, missing
@@ -113,6 +164,15 @@ fn field_rate(src: &str, key: &str) -> Option<f64> {
         .filter(|r| r.is_finite() && *r > 0.0)
 }
 
+/// A block size is only accepted in the range the segment compiler can
+/// actually use (`2^1 ..= 2^30` amplitudes).
+fn field_bits(src: &str, key: &str) -> Option<usize> {
+    field(src, key)?
+        .parse::<usize>()
+        .ok()
+        .filter(|b| (1..=30).contains(b))
+}
+
 fn to_json(fingerprint: &str, m: &CostModel) -> String {
     // `{:?}` on f64 is Rust's shortest round-trip representation.
     format!(
@@ -122,6 +182,8 @@ fn to_json(fingerprint: &str, m: &CostModel) -> String {
          \"cache_rate\": {:?},\n  \
          \"table_rate\": {:?},\n  \
          \"fuse_per_gate\": {:?},\n  \
+         \"mps_rate\": {:?},\n  \
+         \"block_bits\": {},\n  \
          \"gate_rate\": {:?},\n  \
          \"build_rate\": {:?},\n  \
          \"gemm_flops\": {:?},\n  \
@@ -131,6 +193,8 @@ fn to_json(fingerprint: &str, m: &CostModel) -> String {
         m.cache_rate,
         m.table_rate,
         m.fuse_per_gate,
+        m.mps_rate,
+        m.block_bits,
         m.qpe.gate_rate,
         m.qpe.build_rate,
         m.qpe.gemm_flops,
@@ -149,6 +213,8 @@ fn load_from(path: &Path, fingerprint: &str) -> Option<CostModel> {
         cache_rate: field_rate(&src, "cache_rate")?,
         table_rate: field_rate(&src, "table_rate")?,
         fuse_per_gate: field_rate(&src, "fuse_per_gate")?,
+        mps_rate: field_rate(&src, "mps_rate")?,
+        block_bits: field_bits(&src, "block_bits")?,
         qpe: QpeCostModel {
             gate_rate: field_rate(&src, "gate_rate")?,
             build_rate: field_rate(&src, "build_rate")?,
@@ -188,6 +254,8 @@ mod tests {
             cache_rate: 2.125e9,
             table_rate: 4.75e7,
             fuse_per_gate: 1.5e-6,
+            mps_rate: 1.75e8,
+            block_bits: 13,
             qpe: QpeCostModel {
                 gate_rate: 3.25e8,
                 build_rate: 4.0e8,
@@ -231,6 +299,35 @@ mod tests {
         let missing = to_json("fp", &model()).replace("\"table_rate\"", "\"renamed\"");
         fs::write(&path, missing).unwrap();
         assert_eq!(load_from(&path, "fp"), None);
+
+        // An implausible block size is refused like a bad rate.
+        let bad_bits = to_json("fp", &model()).replace("\"block_bits\": 13", "\"block_bits\": 99");
+        fs::write(&path, bad_bits).unwrap();
+        assert_eq!(load_from(&path, "fp"), None);
+        fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn corrupt_file_is_counted_as_rejected_but_missing_is_not() {
+        let path = test_path("rejection-counter");
+        let _ = fs::remove_file(&path);
+
+        // Clean miss: no file, no rejection.
+        let before = rejected_loads();
+        assert_eq!(load_checked(&path, "fp"), None);
+        assert_eq!(rejected_loads(), before, "missing file must not count");
+
+        // Present-but-corrupt: refused AND counted, so the silent
+        // re-measure fallback stays observable.
+        fs::write(&path, "{ definitely not a calibration file").unwrap();
+        assert_eq!(load_checked(&path, "fp"), None);
+        assert!(rejected_loads() > before, "corrupt file must be counted");
+
+        // A valid file loads without touching the counter further.
+        let mid = rejected_loads();
+        store_to(&path, "fp", &model()).unwrap();
+        assert_eq!(load_checked(&path, "fp"), Some(model()));
+        assert_eq!(rejected_loads(), mid);
         fs::remove_file(&path).unwrap();
     }
 

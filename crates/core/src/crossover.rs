@@ -187,6 +187,22 @@ pub struct CostModel {
     /// (matrix compose and structure detection, paid before the first
     /// fused sweep).
     pub fuse_per_gate: f64,
+    /// Contraction work units per second of the compressed MPS backend
+    /// (`qcemu_sim::mps`): the unit convention of
+    /// [`estimate_mps_cost`](qcemu_sim::estimate_mps_cost), dominated by
+    /// the χ³-scaling contract→SVD→truncate of each two-site apply. The
+    /// SVD is dense arithmetic on tiny matrices, so the rate sits well
+    /// below the streaming `entry_rate` per element — which is exactly
+    /// why MPS only wins when χ stays small while 2ⁿ does not.
+    pub mps_rate: f64,
+    /// log2 of the segment executor's block size in amplitudes — the
+    /// value both the segmented *pricing* (`t_gates_segmented`'s traffic
+    /// split) and segmented *execution* (via
+    /// `Backend::SimulateSegmented { block_bits }`) use. Defaults to
+    /// `qcemu_sim::DEFAULT_BLOCK_BITS`; [`CostModel::calibrated`]
+    /// replaces it with the block size the host's cache hierarchy
+    /// actually replays fastest.
+    pub block_bits: usize,
     /// Rates of the QPE dense-path primitives.
     pub qpe: QpeCostModel,
 }
@@ -199,6 +215,8 @@ impl Default for CostModel {
             cache_rate: 4e9,
             table_rate: 5e7,
             fuse_per_gate: 2e-6,
+            mps_rate: 2e8,
+            block_bits: qcemu_sim::DEFAULT_BLOCK_BITS,
             qpe: QpeCostModel {
                 gate_rate: 4e8,
                 build_rate: 4e8,
@@ -330,6 +348,20 @@ impl CostModel {
             + gate_count as f64 * self.fuse_per_gate
     }
 
+    /// Compressed (MPS) execution of a circuit whose predicted
+    /// contraction work is `units`
+    /// ([`estimate_mps_cost`](qcemu_sim::estimate_mps_cost), only
+    /// meaningful when the estimate is `exact`): the χ-law contraction
+    /// term plus the dense↔MPS boundary — the plan interpreter densifies
+    /// the incoming state into site tensors and back, two full-state
+    /// passes at the sweep rate. The boundary term is what keeps MPS
+    /// honest per-op: a shallow circuit never wins just because its χ is
+    /// small, only a *deep* low-entanglement circuit amortises the
+    /// conversion.
+    pub fn t_gates_mps(&self, units: f64, n_state: usize) -> f64 {
+        units / self.mps_rate + 2.0 * (2f64).powi(n_state as i32) / self.entry_rate
+    }
+
     /// QPE primitive timings for a `g`-gate unitary on an `m_bits` target
     /// register embedded in a `2^n_state` state. Unlike
     /// [`QpeCostModel::predict`] (which models the paper's stand-alone
@@ -392,7 +424,8 @@ mod calibrate {
     use super::{CostModel, QpeCostModel};
     use qcemu_linalg::{eig, gemm, random_matrix, random_unitary};
     use qcemu_sim::{
-        circuit_to_dense, qft_circuit, segment_circuit, Circuit, FusionPolicy, Gate, StateVector,
+        circuit_to_dense, estimate_mps_cost, qft_circuit, segment_circuit, Circuit, FusionPolicy,
+        Gate, MpsState, StateVector,
     };
     use rand::rngs::StdRng;
     use rand::SeedableRng;
@@ -484,6 +517,48 @@ mod calibrate {
             std::hint::black_box(qft.fuse(&FusionPolicy::greedy()).ops().len());
         });
 
+        // MPS contraction throughput: a brickwork chain circuit run at a
+        // representative bounded χ, normalised by the same work-unit
+        // estimate the planner prices with — so rate × estimate
+        // round-trips to wall time by construction.
+        let chain_n = 10;
+        let mut chain = Circuit::new(chain_n);
+        for layer in 0..4 {
+            for q in 0..chain_n {
+                chain.ry(q, 0.3 + 0.1 * layer as f64 + 0.01 * q as f64);
+            }
+            for q in 0..chain_n - 1 {
+                chain.cnot(q, q + 1);
+            }
+        }
+        let mps_units = estimate_mps_cost(&chain, 16).units.max(1.0);
+        let t_mps = time(3, || {
+            let mut mps = MpsState::zero_state(chain_n, 16);
+            mps.run(&chain);
+            std::hint::black_box(mps.truncation_error());
+        });
+
+        // Cache-hierarchy probe for the segment block size: replay a
+        // segmented QFT (larger than any candidate block) at each
+        // candidate and keep the fastest — the measured stand-in for
+        // "half a per-core L2" that DEFAULT_BLOCK_BITS hand-codes.
+        let probe_n = 16;
+        let probe = qft_circuit(probe_n);
+        let mut probe_state = StateVector::uniform_superposition(probe_n);
+        let block_bits = [10usize, 12, 14]
+            .into_iter()
+            .map(|bb| {
+                let seg = segment_circuit(&probe, bb, &FusionPolicy::Disabled);
+                let t = time(1, || {
+                    seg.apply_slice_with(probe_state.amplitudes_mut(), usize::MAX);
+                    std::hint::black_box(probe_state.amplitudes()[1]);
+                });
+                (t, bb)
+            })
+            .min_by(|a, b| a.0.total_cmp(&b.0))
+            .map(|(_, bb)| bb)
+            .unwrap_or(qcemu_sim::DEFAULT_BLOCK_BITS);
+
         // QPE dense-path primitives at small operator sizes.
         let build_circuit = qft_circuit(6);
         let build_dim = 1usize << 6;
@@ -509,6 +584,8 @@ mod calibrate {
             cache_rate: seg_entries as f64 / t_cache,
             table_rate: dim as f64 / t_table,
             fuse_per_gate: t_fuse / qft.gate_count().max(1) as f64,
+            mps_rate: mps_units / t_mps,
+            block_bits,
             qpe: QpeCostModel {
                 gate_rate: dim as f64 / t_butterfly,
                 build_rate: (build_circuit.gate_count() * build_dim * build_dim) as f64 / t_build,
@@ -720,6 +797,7 @@ mod tests {
             ("fused_entry_rate", m.fused_entry_rate),
             ("cache_rate", m.cache_rate),
             ("table_rate", m.table_rate),
+            ("mps_rate", m.mps_rate),
             ("gate_rate", m.qpe.gate_rate),
             ("build_rate", m.qpe.build_rate),
             ("gemm_flops", m.qpe.gemm_flops),
@@ -728,6 +806,11 @@ mod tests {
             assert!(rate.is_finite() && rate > 0.0, "{name} = {rate}");
         }
         assert!(m.fuse_per_gate.is_finite() && m.fuse_per_gate > 0.0);
+        assert!(
+            (1..=30).contains(&m.block_bits),
+            "implausible block size: {}",
+            m.block_bits
+        );
         // Memoised: the second call must return the very same numbers.
         assert_eq!(m, CostModel::calibrated());
         // Sanity on the ordering the planner relies on: a state-vector
@@ -740,6 +823,21 @@ mod tests {
             m.entry_rate
         );
         assert!(m.qpe.eig_flops > 1e6);
+    }
+
+    #[test]
+    fn mps_cost_crossover_favours_deep_low_chi_circuits_only() {
+        let m = CostModel::default();
+        let n = 22;
+        // Deep chain at bounded χ: contraction work is independent of n,
+        // so past the boundary cost MPS beats per-gate dense sweeps.
+        let depth = 400;
+        let units = depth as f64 * 1.0e4; // ~χ³-scale work per 2q gate, χ ≤ 16
+        let dense = m.t_gates(depth * (1usize << n));
+        assert!(m.t_gates_mps(units, n) < dense, "deep chain must pick MPS");
+        // A shallow circuit never amortises the densify boundary: two
+        // full-state passes already exceed one dense sweep.
+        assert!(m.t_gates_mps(1.0, n) > m.t_gates(1usize << n));
     }
 
     #[test]

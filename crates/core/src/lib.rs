@@ -40,7 +40,7 @@
 //! ```
 
 pub mod batch;
-mod calibration;
+pub mod calibration;
 pub mod classical;
 pub mod crossover;
 pub mod error;

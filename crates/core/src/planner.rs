@@ -31,8 +31,9 @@ use qcemu_fft::{inverse_qft_subspace, qft_subspace};
 use qcemu_linalg::C64;
 use qcemu_sim::circuits::qft::{inverse_qft_circuit, qft_circuit};
 use qcemu_sim::{
-    segment_circuit, Circuit, FusedCircuit, FusionPolicy, Gate, GateOp, SegmentPolicy, SimConfig,
-    StateVector, DEFAULT_BLOCK_BITS, DEFAULT_MAX_FUSED_QUBITS,
+    estimate_mps_cost, segment_circuit, Circuit, FusedCircuit, FusionPolicy, Gate, GateOp,
+    MpsPolicy, MpsState, SegmentPolicy, SimConfig, StateVector, DEFAULT_MAX_FUSED_QUBITS,
+    MPS_EXACT_TOL,
 };
 use std::fmt;
 use std::time::Instant;
@@ -62,7 +63,23 @@ pub enum Backend {
     /// (`qcemu_sim::segment`): the circuit is partitioned into blocked
     /// segments whose ops replay against L2-resident blocks, so deep
     /// compatible runs cross memory once instead of once per gate.
-    SimulateSegmented,
+    SimulateSegmented {
+        /// log2 of the block size in amplitudes — carried in the IR so
+        /// pricing and execution use the *same* (possibly calibrated)
+        /// block size (`CostModel::block_bits`).
+        block_bits: usize,
+    },
+    /// Compressed simulation through the bond-truncated MPS backend
+    /// (`qcemu_sim::mps`): O(χ³) per two-qubit gate instead of Θ(2ⁿ) per
+    /// sweep. Only chosen when the entanglement-growth estimate proves
+    /// the run stays exact under the cap, and execution still audits the
+    /// truncation-error accumulator, falling back to a dense run on any
+    /// forced truncation — a mispredicted χ costs time, never
+    /// correctness.
+    SimulateMps {
+        /// Bond-dimension cap χ the step runs (and was priced) under.
+        max_bond: usize,
+    },
     /// Plain gate-by-gate simulation through the structural kernels.
     SimulateGateLevel,
 }
@@ -72,7 +89,10 @@ impl Backend {
     pub fn is_simulate(&self) -> bool {
         matches!(
             self,
-            Backend::SimulateFused | Backend::SimulateSegmented | Backend::SimulateGateLevel
+            Backend::SimulateFused
+                | Backend::SimulateSegmented { .. }
+                | Backend::SimulateMps { .. }
+                | Backend::SimulateGateLevel
         )
     }
 }
@@ -88,7 +108,8 @@ impl fmt::Display for Backend {
                 QpeStrategy::Eigendecomposition => write!(f, "qpe:eigen"),
             },
             Backend::SimulateFused => write!(f, "simulate:fused"),
-            Backend::SimulateSegmented => write!(f, "simulate:segmented"),
+            Backend::SimulateSegmented { .. } => write!(f, "simulate:segmented"),
+            Backend::SimulateMps { max_bond } => write!(f, "simulate:mps(χ≤{max_bond})"),
             Backend::SimulateGateLevel => write!(f, "simulate:gates"),
         }
     }
@@ -323,6 +344,10 @@ struct SimCosts {
     unfused: Option<f64>,
     fused: Option<f64>,
     segmented: Option<f64>,
+    /// `(max_bond, cost)` of the compressed candidate — present only when
+    /// the entanglement-growth estimate certifies the circuit runs
+    /// *exactly* under that cap ([`estimate_mps_cost`]).
+    mps: Option<(usize, f64)>,
     n_ancilla: usize,
     circuit: Option<Circuit>,
     fused_circuit: Option<FusedCircuit>,
@@ -334,6 +359,7 @@ impl SimCosts {
             unfused,
             fused,
             segmented,
+            mps: None,
             n_ancilla: 0,
             circuit: None,
             fused_circuit: None,
@@ -344,7 +370,11 @@ impl SimCosts {
     fn for_backend(&self, backend: Backend) -> Option<f64> {
         match backend {
             Backend::SimulateFused => self.fused,
-            Backend::SimulateSegmented => self.segmented,
+            Backend::SimulateSegmented { .. } => self.segmented,
+            Backend::SimulateMps { max_bond } => self
+                .mps
+                .filter(|(cap, _)| *cap == max_bond)
+                .map(|(_, cost)| cost),
             _ => self.unfused,
         }
     }
@@ -379,7 +409,8 @@ fn plan_window(config: &SimConfig) -> usize {
 /// Each flavour is computed only when requested: the unfused estimate is
 /// an O(G) count, but the fused one actually runs the fusion engine
 /// (matrix compose + classify per block) — a plan that can never pick a
-/// fused candidate must not pay for it.
+/// fused candidate must not pay for it. `want_mps` carries the bond cap
+/// to price the compressed candidate under, or `None` to skip it.
 fn circuit_costs(
     model: &CostModel,
     c: &Circuit,
@@ -388,6 +419,7 @@ fn circuit_costs(
     want_unfused: bool,
     want_fused: bool,
     want_segmented: bool,
+    want_mps: Option<usize>,
 ) -> SimCosts {
     let unfused = want_unfused.then(|| model.t_gates(c.touched_entries(n_state)));
     let (fused, fused_circuit) = if want_fused {
@@ -404,17 +436,28 @@ fn circuit_costs(
     // terms. The compiled `SegmentedCircuit` is not carried: execution
     // re-segments, paying the per-gate compile cost the model includes.
     let segmented = want_segmented.then(|| {
-        let seg = segment_circuit(c, DEFAULT_BLOCK_BITS, &FusionPolicy::greedy());
+        let seg = segment_circuit(c, model.block_bits, &FusionPolicy::greedy());
         model.t_gates_segmented(
             seg.streamed_entries(n_state),
             seg.incache_entries(n_state),
             c.gate_count(),
         )
     });
+    // The compressed candidate only exists when the χ-growth estimate
+    // certifies the whole run fits under the cap: an inexact estimate
+    // means execution *would* truncate, and the interpreter would fall
+    // back to a dense re-run anyway — pricing that as "cheap" would bias
+    // the planner toward a path it can never take.
+    let mps = want_mps.and_then(|max_bond| {
+        let est = estimate_mps_cost(c, max_bond);
+        est.exact
+            .then(|| (max_bond, model.t_gates_mps(est.units, n_state)))
+    });
     SimCosts {
         unfused,
         fused,
         segmented,
+        mps,
         n_ancilla: 0,
         circuit: None,
         fused_circuit,
@@ -434,6 +477,7 @@ fn gate_impl_sim_costs(
     want_unfused: bool,
     want_fused: bool,
     want_segmented: bool,
+    want_mps: Option<usize>,
 ) -> SimCosts {
     let c = (gi.build)(program);
     let n_sim = program.n_qubits() + n_anc_plan.max(gi.n_ancilla);
@@ -445,6 +489,7 @@ fn gate_impl_sim_costs(
         want_unfused,
         want_fused,
         want_segmented,
+        want_mps,
     );
     SimCosts {
         n_ancilla: gi.n_ancilla,
@@ -516,6 +561,7 @@ fn sim_costs(
     want_unfused: bool,
     want_fused: bool,
     want_segmented: bool,
+    want_mps: Option<usize>,
 ) -> Option<SimCosts> {
     let n = program.n_qubits();
     let n_state = n + n_anc_plan;
@@ -528,6 +574,7 @@ fn sim_costs(
             want_unfused,
             want_fused,
             want_segmented,
+            want_mps,
         )),
         HighLevelOp::Classical(cm) => cm.gate_impl.as_ref().map(|gi| {
             gate_impl_sim_costs(
@@ -539,6 +586,7 @@ fn sim_costs(
                 want_unfused,
                 want_fused,
                 want_segmented,
+                want_mps,
             )
         }),
         HighLevelOp::Phase(po) => po.gate_impl.as_ref().map(|gi| {
@@ -551,6 +599,7 @@ fn sim_costs(
                 want_unfused,
                 want_fused,
                 want_segmented,
+                want_mps,
             )
         }),
         HighLevelOp::Rotation(ro) => Some(match &ro.gate_impl {
@@ -563,6 +612,7 @@ fn sim_costs(
                 want_unfused,
                 want_fused,
                 want_segmented,
+                want_mps,
             ),
             None => {
                 // The generic per-value expansion is exponential in the
@@ -583,6 +633,10 @@ fn sim_costs(
                 want_unfused,
                 want_fused,
                 want_segmented,
+                // QFT entanglement saturates any realistic bond cap and
+                // the costed circuit is unremapped anyway — no
+                // compressed candidate for register QFTs.
+                None,
             );
             // The costed circuit addresses the register's *relative*
             // qubits; execution remaps it onto the program — don't carry
@@ -610,16 +664,31 @@ fn sim_costs(
 // ---------------------------------------------------------------------------
 
 /// Backend a `config`-driven simulation step uses for raw circuits.
-/// Segmentation is checked first: a blocked segment policy subsumes the
-/// fusion policy (the sweeps between blocked segments still fuse under
-/// the config's own `FusionPolicy`).
+/// A forced MPS policy wins outright (the caller explicitly asked for
+/// compressed execution); segmentation is checked next: a blocked
+/// segment policy subsumes the fusion policy (the sweeps between blocked
+/// segments still fuse under the config's own `FusionPolicy`).
 fn sim_backend(config: &SimConfig) -> Backend {
-    if matches!(config.segments, SegmentPolicy::Blocked { .. }) {
-        return Backend::SimulateSegmented;
+    if let MpsPolicy::Forced { max_bond } = config.mps {
+        return Backend::SimulateMps { max_bond };
+    }
+    if let SegmentPolicy::Blocked { block_bits } = config.segments {
+        return Backend::SimulateSegmented { block_bits };
     }
     match config.fusion {
         FusionPolicy::Disabled => Backend::SimulateGateLevel,
         FusionPolicy::Greedy { .. } => Backend::SimulateFused,
+    }
+}
+
+///// Which gate-path cost flavours a fixed-backend plan must price:
+/// `(fused, segmented, mps bond cap)`.
+fn backend_wants(backend: Backend) -> (bool, bool, Option<usize>) {
+    match backend {
+        Backend::SimulateFused => (true, false, None),
+        Backend::SimulateSegmented { .. } => (false, true, None),
+        Backend::SimulateMps { max_bond } => (false, false, Some(max_bond)),
+        _ => (false, false, None),
     }
 }
 
@@ -643,11 +712,19 @@ pub fn plan_emulated(
             let (backend, predicted_s, fused_circuit) = match op {
                 HighLevelOp::Gates(_) => {
                     let backend = sim_backend(config);
-                    let fused = backend == Backend::SimulateFused;
-                    let seg = backend == Backend::SimulateSegmented;
-                    let costs =
-                        sim_costs(model, program, op, window, 0, !fused && !seg, fused, seg)
-                            .expect("raw gates always have a gate path");
+                    let (fused, seg, mps) = backend_wants(backend);
+                    let costs = sim_costs(
+                        model,
+                        program,
+                        op,
+                        window,
+                        0,
+                        !fused && !seg && mps.is_none(),
+                        fused,
+                        seg,
+                        mps,
+                    )
+                    .expect("raw gates always have a gate path");
                     let cost = costs.for_backend(backend);
                     (backend, cost.unwrap_or(f64::INFINITY), costs.fused_circuit)
                 }
@@ -694,8 +771,7 @@ pub fn plan_simulated(
 ) -> ExecutionPlan {
     let n_anc_all = program.max_gate_ancillas();
     let backend = sim_backend(config);
-    let fused = backend == Backend::SimulateFused;
-    let seg = backend == Backend::SimulateSegmented;
+    let (fused, seg, mps) = backend_wants(backend);
     let window = plan_window(config);
     let steps = program
         .ops()
@@ -708,9 +784,10 @@ pub fn plan_simulated(
                 op,
                 window,
                 n_anc_all,
-                !fused && !seg,
+                !fused && !seg && mps.is_none(),
                 fused,
                 seg,
+                mps,
             );
             let (cost, n_ancilla, circuit, fused_circuit) = match costs {
                 Some(c) => (
@@ -812,21 +889,34 @@ fn recost_step(
             ),
             _ => f64::INFINITY,
         },
-        Backend::SimulateFused => {
-            sim_costs(model, program, op, window, n_anc_exec, false, true, false)
-                .and_then(|c| c.fused)
-                .unwrap_or(f64::INFINITY)
-        }
-        Backend::SimulateSegmented => {
-            sim_costs(model, program, op, window, n_anc_exec, false, false, true)
-                .and_then(|c| c.segmented)
-                .unwrap_or(f64::INFINITY)
-        }
-        Backend::SimulateGateLevel => {
-            sim_costs(model, program, op, window, n_anc_exec, true, false, false)
-                .and_then(|c| c.unfused)
-                .unwrap_or(f64::INFINITY)
-        }
+        Backend::SimulateFused => sim_costs(
+            model, program, op, window, n_anc_exec, false, true, false, None,
+        )
+        .and_then(|c| c.fused)
+        .unwrap_or(f64::INFINITY),
+        Backend::SimulateSegmented { .. } => sim_costs(
+            model, program, op, window, n_anc_exec, false, false, true, None,
+        )
+        .and_then(|c| c.segmented)
+        .unwrap_or(f64::INFINITY),
+        Backend::SimulateMps { max_bond } => sim_costs(
+            model,
+            program,
+            op,
+            window,
+            n_anc_exec,
+            false,
+            false,
+            false,
+            Some(max_bond),
+        )
+        .and_then(|c| c.for_backend(backend))
+        .unwrap_or(f64::INFINITY),
+        Backend::SimulateGateLevel => sim_costs(
+            model, program, op, window, n_anc_exec, true, false, false, None,
+        )
+        .and_then(|c| c.unfused)
+        .unwrap_or(f64::INFINITY),
     }
 }
 
@@ -843,11 +933,24 @@ fn plan_hybrid_once(
         .map(|(i, op)| {
             let n_state = program.n_qubits() + n_anc_plan;
             let window = plan_window(config);
-            let mut candidates: Vec<(Backend, f64, usize)> = Vec::with_capacity(4);
+            let mut candidates: Vec<(Backend, f64, usize)> = Vec::with_capacity(5);
             if let Some((backend, cost)) = emulate_candidate(model, program, op, n_state) {
                 candidates.push((backend, cost, 0));
             }
-            let sim = sim_costs(model, program, op, window, n_anc_plan, true, true, true);
+            // A compressed candidate is priced under the config's policy
+            // cap (`Auto` by default) — `circuit_costs` only surfaces it
+            // when the χ-growth estimate certifies an exact run.
+            let sim = sim_costs(
+                model,
+                program,
+                op,
+                window,
+                n_anc_plan,
+                true,
+                true,
+                true,
+                config.mps.max_bond(),
+            );
             if let Some(costs) = &sim {
                 if let Some(cost) = costs.fused {
                     candidates.push((Backend::SimulateFused, cost, costs.n_ancilla));
@@ -856,7 +959,16 @@ fn plan_hybrid_once(
                     candidates.push((Backend::SimulateGateLevel, cost, costs.n_ancilla));
                 }
                 if let Some(cost) = costs.segmented {
-                    candidates.push((Backend::SimulateSegmented, cost, costs.n_ancilla));
+                    candidates.push((
+                        Backend::SimulateSegmented {
+                            block_bits: model.block_bits,
+                        },
+                        cost,
+                        costs.n_ancilla,
+                    ));
+                }
+                if let Some((max_bond, cost)) = costs.mps {
+                    candidates.push((Backend::SimulateMps { max_bond }, cost, costs.n_ancilla));
                 }
             }
             let (backend, predicted_s, n_ancilla) = candidates
@@ -965,16 +1077,23 @@ impl PlanInterpreter {
 
     /// `SimConfig` a simulation step runs under: `SimulateFused` uses the
     /// interpreter's own fused config (or the default window if the
-    /// interpreter is unfused); `SimulateSegmented` always runs
-    /// [`SimConfig::segmented`] — the configuration its cost was priced
-    /// with; `SimulateGateLevel` is always unfused.
+    /// interpreter is unfused); `SimulateSegmented` runs
+    /// [`SimConfig::segmented`] at the block size the step was priced
+    /// with; `SimulateGateLevel` is always unfused. `SimulateMps` maps to
+    /// the default fused config — the *dense* configuration of its
+    /// fallback path, and what backend-agnostic drivers (the batch
+    /// executor) run such a step with when they cannot go compressed.
     pub(crate) fn step_config(&self, backend: Backend) -> SimConfig {
         match backend {
             Backend::SimulateFused => match self.config.fusion {
                 FusionPolicy::Greedy { .. } => self.config,
                 FusionPolicy::Disabled => SimConfig::fused(DEFAULT_MAX_FUSED_QUBITS),
             },
-            Backend::SimulateSegmented => SimConfig::segmented(),
+            Backend::SimulateSegmented { block_bits } => SimConfig {
+                segments: SegmentPolicy::Blocked { block_bits },
+                ..SimConfig::segmented()
+            },
+            Backend::SimulateMps { .. } => SimConfig::fused(DEFAULT_MAX_FUSED_QUBITS),
             Backend::SimulateGateLevel => SimConfig::unfused(),
             // Raw-gate steps on an emulated plan inherit the config.
             _ => self.config,
@@ -991,6 +1110,26 @@ impl PlanInterpreter {
 
     fn run_circuit(&self, state: &mut StateVector, c: &Circuit, backend: Backend) {
         state.run(&self.lower(c), &self.step_config(backend));
+    }
+
+    /// Attempts compressed execution of a [`Backend::SimulateMps`] step.
+    /// Returns `false` (leaving `state` untouched) when the step is not
+    /// an MPS step *or* when the run truncated: the planner only routes
+    /// here when the χ-growth estimate certified an exact run, so a
+    /// non-zero truncation error means the estimate was wrong for this
+    /// incoming state — the caller then re-runs dense. A misprediction
+    /// costs the wasted compressed attempt, never correctness.
+    fn try_mps(&self, state: &mut StateVector, c: &Circuit, backend: Backend) -> bool {
+        let Backend::SimulateMps { max_bond } = backend else {
+            return false;
+        };
+        let mut mps = MpsState::from_statevector(state, max_bond);
+        mps.run(&self.lower(c));
+        if mps.truncation_error() > MPS_EXACT_TOL {
+            return false;
+        }
+        *state = mps.to_statevector();
+        true
     }
 
     /// Applies the fused block stream the planner priced, if the step
@@ -1021,9 +1160,16 @@ impl PlanInterpreter {
         if self.try_cached_fused(state, step) {
             return;
         }
-        match &step.circuit {
-            Some(c) => self.run_circuit(state, c, step.backend),
-            None => self.run_circuit(state, &build(), step.backend),
+        let built;
+        let c = match &step.circuit {
+            Some(c) => c,
+            None => {
+                built = build();
+                &built
+            }
+        };
+        if !self.try_mps(state, c, step.backend) {
+            self.run_circuit(state, c, step.backend);
         }
     }
 
@@ -1037,7 +1183,7 @@ impl PlanInterpreter {
         let simulate = step.backend.is_simulate();
         match op {
             HighLevelOp::Gates(c) => {
-                if !self.try_cached_fused(state, step) {
+                if !self.try_cached_fused(state, step) && !self.try_mps(state, c, step.backend) {
                     self.run_circuit(state, c, step.backend);
                 }
             }
@@ -1257,10 +1403,10 @@ mod tests {
         let prog = pb.build().unwrap();
         let m = model();
         let plan = plan_hybrid(&prog, &m, &SimConfig::fused(4));
-        assert_eq!(
-            plan.steps()[0].backend,
-            Backend::SimulateSegmented,
-            "cache-resident QFT must pick the segment tier"
+        assert!(
+            matches!(plan.steps()[0].backend, Backend::SimulateSegmented { .. }),
+            "cache-resident QFT must pick the segment tier, got {}",
+            plan.steps()[0].backend
         );
         let unfused = m.t_gates(qft_circuit(n).touched_entries(n));
         assert!(
@@ -1279,7 +1425,10 @@ mod tests {
         let mut reference = initial;
         reference.run(&qft_circuit(n), &SimConfig::unfused());
         assert!(seg_state.max_diff_up_to_phase(&reference) < 1e-10);
-        assert_eq!(report.steps[0].backend, Backend::SimulateSegmented);
+        assert!(matches!(
+            report.steps[0].backend,
+            Backend::SimulateSegmented { .. }
+        ));
     }
 
     #[test]
@@ -1288,12 +1437,136 @@ mod tests {
         // of the fixed plans onto the segment backend.
         let prog = mixed_program(3);
         let plan = plan_simulated(&prog, &model(), &SimConfig::segmented());
-        assert_eq!(plan.steps()[0].backend, Backend::SimulateSegmented);
+        assert!(matches!(
+            plan.steps()[0].backend,
+            Backend::SimulateSegmented { .. }
+        ));
         assert!(plan.steps()[0].predicted_s.is_finite());
         let emu = plan_emulated(&prog, &model(), &SimConfig::segmented(), |_, _| {
             QpeStrategy::RepeatedSquaring
         });
-        assert_eq!(emu.steps()[0].backend, Backend::SimulateSegmented);
+        assert!(matches!(
+            emu.steps()[0].backend,
+            Backend::SimulateSegmented { .. }
+        ));
+    }
+
+    /// Deep, low-entanglement raw gate run: one CNOT chain (χ = 2) under
+    /// many single-qubit layers. Dense backends pay Θ(depth·2ⁿ); the
+    /// compressed backend pays O(depth·χ³) plus one 2ⁿ boundary
+    /// densification, so at this depth it must win the hybrid auction.
+    fn low_entanglement_program(n: usize, layers: usize) -> QuantumProgram {
+        let mut pb = ProgramBuilder::new();
+        let _r = pb.register("r", n);
+        pb.gates(move |c| {
+            c.h(0);
+            for q in 0..n - 1 {
+                c.cnot(q, q + 1);
+            }
+            for layer in 0..layers {
+                for q in 0..n {
+                    if layer % 2 == 0 {
+                        c.rz(q, 0.11 + 0.01 * (layer + q) as f64);
+                    } else {
+                        c.rx(q, 0.07 + 0.01 * (layer + q) as f64);
+                    }
+                }
+            }
+        });
+        pb.build().unwrap()
+    }
+
+    #[test]
+    fn hybrid_routes_deep_low_entanglement_gates_to_mps_and_executes_exactly() {
+        let n = 14;
+        let prog = low_entanglement_program(n, 80);
+        let m = model();
+        let plan = plan_hybrid(&prog, &m, &SimConfig::fused(4));
+        assert!(
+            matches!(plan.steps()[0].backend, Backend::SimulateMps { .. }),
+            "deep χ=2 chain must pick the compressed tier, got {}",
+            plan.steps()[0].backend
+        );
+        // The hybrid choice must not be slower than either fixed dense plan.
+        for fixed in [
+            plan_simulated(&prog, &m, &SimConfig::fused(4)),
+            plan_simulated(&prog, &m, &SimConfig::segmented()),
+            plan_simulated(&prog, &m, &SimConfig::unfused()),
+        ] {
+            assert!(
+                plan.steps()[0].predicted_s <= fixed.steps()[0].predicted_s,
+                "hybrid {} slower than fixed {} ({})",
+                plan.steps()[0].predicted_s,
+                fixed.steps()[0].backend,
+                fixed.steps()[0].predicted_s
+            );
+        }
+
+        // And the compressed execution reproduces the dense state exactly.
+        let initial = StateVector::zero_state(n);
+        let (mps_state, report) = PlanInterpreter::default()
+            .execute(&prog, &plan, initial.clone())
+            .unwrap();
+        assert!(matches!(
+            report.steps[0].backend,
+            Backend::SimulateMps { .. }
+        ));
+        let reference_plan = plan_simulated(&prog, &m, &SimConfig::unfused());
+        let (dense_state, _) = PlanInterpreter::default()
+            .execute(&prog, &reference_plan, initial)
+            .unwrap();
+        assert!(mps_state.max_diff_up_to_phase(&dense_state) < 1e-10);
+    }
+
+    #[test]
+    fn forced_mps_config_drives_fixed_plans() {
+        // A forced MPS policy flips every raw-gate step of the fixed
+        // plans onto the compressed backend, carrying the configured cap.
+        let prog = low_entanglement_program(8, 4);
+        let plan = plan_simulated(&prog, &model(), &SimConfig::mps(32));
+        assert!(matches!(
+            plan.steps()[0].backend,
+            Backend::SimulateMps { max_bond: 32 }
+        ));
+        assert!(plan.steps()[0].predicted_s.is_finite());
+        let initial = StateVector::zero_state(8);
+        let (state, _) = PlanInterpreter::default()
+            .execute(&prog, &plan, initial.clone())
+            .unwrap();
+        let reference_plan = plan_simulated(&prog, &model(), &SimConfig::unfused());
+        let (dense_state, _) = PlanInterpreter::default()
+            .execute(&prog, &reference_plan, initial)
+            .unwrap();
+        assert!(state.max_diff_up_to_phase(&dense_state) < 1e-10);
+    }
+
+    #[test]
+    fn forced_mps_on_entangling_circuit_falls_back_dense_correct() {
+        // χ = 2 cannot hold a QFT: the χ-growth estimate is inexact, so
+        // the step prices to ∞, and at execution time the truncation
+        // audit rejects the compressed attempt — the interpreter must
+        // re-run dense from the untouched input state, bit-exact.
+        let n = 6;
+        let mut pb = ProgramBuilder::new();
+        let _r = pb.register("r", n);
+        pb.gates(move |c| c.extend(&qft_circuit(n)));
+        let prog = pb.build().unwrap();
+        let plan = plan_simulated(&prog, &model(), &SimConfig::mps(2));
+        assert!(matches!(
+            plan.steps()[0].backend,
+            Backend::SimulateMps { max_bond: 2 }
+        ));
+        assert!(
+            plan.steps()[0].predicted_s.is_infinite(),
+            "an uncertified compressed path must never price as viable"
+        );
+        let initial = StateVector::uniform_superposition(n);
+        let (state, _) = PlanInterpreter::default()
+            .execute(&prog, &plan, initial.clone())
+            .unwrap();
+        let mut reference = initial;
+        reference.run(&qft_circuit(n), &SimConfig::unfused());
+        assert!(state.max_diff_up_to_phase(&reference) < 1e-10);
     }
 
     #[test]

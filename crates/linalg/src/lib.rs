@@ -12,6 +12,8 @@
 //! * [`hessenberg`](mod@hessenberg) + [`eig`](mod@eig) — Householder reduction and shifted-QR complex
 //!   Schur decomposition with eigenvector back-substitution (≈ `zgeev`);
 //! * [`power`] — `U^{2^i}` sequences by repeated squaring (paper Eq. 7);
+//! * [`svd`](mod@svd) — one-sided Jacobi SVD (≈ `zgesvd` at small sizes), the
+//!   truncation engine of the MPS compressed backend;
 //! * [`simd`] — split-lane complex vector primitives (AVX2+FMA behind
 //!   the `simd` cargo feature, with runtime detection and a scalar
 //!   fallback) that the state-vector/FFT/dense kernels build on;
@@ -30,6 +32,7 @@ pub mod power;
 pub mod random;
 pub mod simd;
 pub mod strassen;
+pub mod svd;
 pub mod vector;
 
 pub use complex::{c64, C64};
@@ -40,4 +43,5 @@ pub use matrix::CMatrix;
 pub use power::{matrix_power, matrix_power_naive, power_from_eig, powers_of_two};
 pub use random::{random_matrix, random_state, random_unitary};
 pub use strassen::{multiply, strassen, strassen_with_cutoff, MulAlgorithm};
+pub use svd::{svd, svd_reconstruct, Svd};
 pub use vector::{axpy, fidelity, inner, max_abs_diff, max_abs_diff_up_to_phase, norm2, normalize};

@@ -44,6 +44,7 @@ use crate::kernels::{
     apply_gate_slice_with, fused_touched_entries, touched_entries, LocalOp, MAX_FUSED_QUBITS,
     PAR_THRESHOLD,
 };
+use crate::mps::MpsPolicy;
 use crate::segment::SegmentPolicy;
 use qcemu_linalg::{simd, CMatrix, C64};
 
@@ -109,6 +110,10 @@ pub struct SimConfig {
     /// trusting the hard-coded constant; respected by the per-gate *and*
     /// fused drivers.
     pub par_threshold: usize,
+    /// Compressed (MPS) execution policy: whether the planner may (or
+    /// must) run gate-level ops in bond-truncated matrix-product form,
+    /// and at which χ cap (see [`crate::mps`]).
+    pub mps: MpsPolicy,
 }
 
 impl Default for SimConfig {
@@ -117,6 +122,7 @@ impl Default for SimConfig {
             fusion: FusionPolicy::default(),
             segments: SegmentPolicy::default(),
             par_threshold: PAR_THRESHOLD,
+            mps: MpsPolicy::default(),
         }
     }
 }
@@ -147,9 +153,27 @@ impl SimConfig {
         }
     }
 
+    /// Compressed MPS execution at bond cap `max_bond` for every
+    /// gate-level op — the configuration `qcemu-core`'s `SimulateMps`
+    /// planner steps price and a fixed-backend MPS simulator uses.
+    pub fn mps(max_bond: usize) -> SimConfig {
+        SimConfig {
+            mps: MpsPolicy::Forced {
+                max_bond: max_bond.max(1),
+            },
+            ..SimConfig::default()
+        }
+    }
+
     /// This configuration with a different parallelism threshold.
     pub fn with_par_threshold(mut self, par_threshold: usize) -> SimConfig {
         self.par_threshold = par_threshold.max(1);
+        self
+    }
+
+    /// This configuration with a different MPS policy.
+    pub fn with_mps(mut self, mps: MpsPolicy) -> SimConfig {
+        self.mps = mps;
         self
     }
 }

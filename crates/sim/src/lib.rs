@@ -20,6 +20,9 @@
 //! * [`segment`] — cache-blocked segment sweeps: runs of block-compatible
 //!   gates replayed against one L2-resident block of amplitudes at a
 //!   time, turning d full-state traversals into ~1 ([`SegmentPolicy`]);
+//! * [`mps`] — bond-truncated matrix-product-state simulation: O(χ³)
+//!   per two-qubit gate instead of Θ(2ⁿ) per sweep, with an auditable
+//!   truncation-error accumulator ([`MpsState`], [`MpsPolicy`]);
 //! * [`statevector`] — the 2ⁿ-amplitude wave function (paper Eq. 1);
 //! * [`circuit`] — gate sequences with inverse / controlled / remap
 //!   transforms (uncomputation and QPE building blocks);
@@ -44,6 +47,7 @@ pub mod fusion;
 pub mod gate;
 pub mod kernels;
 pub mod measure;
+pub mod mps;
 pub mod segment;
 pub mod statevector;
 
@@ -64,6 +68,10 @@ pub use kernels::{
     apply_fused, apply_fused_diagonal, apply_fused_permutation, apply_gate_slice,
     fused_touched_entries, scatter_index, touched_entries, MAX_FUSED_QUBITS, PAR_THRESHOLD,
 };
+pub use mps::{
+    estimate_mps_cost, MpsCostEstimate, MpsPolicy, MpsState, DEFAULT_MAX_BOND, MPS_EXACT_TOL,
+};
+
 pub use measure::{
     expectation_z, expectation_z_sampled, expectation_z_string, measure_all, measure_qubit,
     prob_qubit_one, sample_histogram, sample_histogram_batch, sample_once, sample_shots,

@@ -5,6 +5,7 @@ use crate::circuit::Circuit;
 use crate::fusion::{fuse_circuit, FusedCircuit, FusionPolicy, SimConfig};
 use crate::gate::Gate;
 use crate::kernels::apply_gate_slice;
+use crate::mps::{MpsPolicy, MpsState, MPS_EXACT_TOL};
 use crate::segment::{segment_circuit, SegmentPolicy};
 use qcemu_linalg::{inner, norm2, C64};
 
@@ -163,6 +164,18 @@ impl StateVector {
     /// assert!((sv.probability(0b1111) - 0.5).abs() < 1e-12);
     /// ```
     pub fn run(&mut self, circuit: &Circuit, config: &SimConfig) {
+        // A forced compressed run is attempted first and audited: if the
+        // bond cap forced any truncation, the attempt is discarded and
+        // the circuit re-runs through the exact dense paths below — a
+        // mispredicted cap costs time, never correctness.
+        if let MpsPolicy::Forced { max_bond } = config.mps {
+            let mut mps = MpsState::from_statevector(self, max_bond);
+            mps.run(circuit);
+            if mps.truncation_error() <= MPS_EXACT_TOL {
+                *self = mps.to_statevector();
+                return;
+            }
+        }
         if let SegmentPolicy::Blocked { block_bits } = config.segments {
             assert!(
                 circuit.n_qubits() <= self.n_qubits,

@@ -70,8 +70,9 @@ pub mod prelude {
         WireProgram, WireRegister,
     };
     pub use qcemu_sim::{
-        measure, segment_circuit, BatchStateVector, Circuit, FusionPolicy, Gate, GateOp,
-        SegmentPolicy, SegmentedCircuit, SimConfig, StateVector, DEFAULT_BLOCK_BITS,
+        estimate_mps_cost, measure, segment_circuit, BatchStateVector, Circuit, FusionPolicy, Gate,
+        GateOp, MpsCostEstimate, MpsPolicy, MpsState, SegmentPolicy, SegmentedCircuit, SimConfig,
+        StateVector, DEFAULT_BLOCK_BITS, DEFAULT_MAX_BOND,
     };
 }
 
