@@ -37,7 +37,11 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 /// the fingerprint so older cache files are ignored rather than parsed.
 /// v2: added `mps_rate` (compressed-backend contraction rate) and
 /// `block_bits` (measured segment block size).
-const SCHEMA_VERSION: u32 = 2;
+/// v3: added `dispatch_overhead` (persistent-pool per-dispatch cost) and
+/// `thread_scale` (measured sweep parallel speedup); the sweep rates are
+/// also re-defined — they are now measured with the worker pool warm, so
+/// v2 rates silently absorbed spawn cost this schema prices separately.
+const SCHEMA_VERSION: u32 = 3;
 
 /// Count of cache files that existed but were rejected (corrupt JSON,
 /// fingerprint/schema mismatch, invalid rate). Missing files are clean
@@ -164,6 +168,16 @@ fn field_rate(src: &str, key: &str) -> Option<f64> {
         .filter(|r| r.is_finite() && *r > 0.0)
 }
 
+/// A thread-scaling factor must be a finite speedup ≥ 1 (a serial run
+/// cannot beat the pool-engaged rate it is defined against) and ≤ 4096
+/// (an absurd core count flags a corrupt file).
+fn field_scale(src: &str, key: &str) -> Option<f64> {
+    field(src, key)?
+        .parse::<f64>()
+        .ok()
+        .filter(|s| s.is_finite() && (1.0..=4096.0).contains(s))
+}
+
 /// A block size is only accepted in the range the segment compiler can
 /// actually use (`2^1 ..= 2^30` amplitudes).
 fn field_bits(src: &str, key: &str) -> Option<usize> {
@@ -183,6 +197,8 @@ fn to_json(fingerprint: &str, m: &CostModel) -> String {
          \"table_rate\": {:?},\n  \
          \"fuse_per_gate\": {:?},\n  \
          \"mps_rate\": {:?},\n  \
+         \"dispatch_overhead\": {:?},\n  \
+         \"thread_scale\": {:?},\n  \
          \"block_bits\": {},\n  \
          \"gate_rate\": {:?},\n  \
          \"build_rate\": {:?},\n  \
@@ -194,6 +210,8 @@ fn to_json(fingerprint: &str, m: &CostModel) -> String {
         m.table_rate,
         m.fuse_per_gate,
         m.mps_rate,
+        m.dispatch_overhead,
+        m.thread_scale,
         m.block_bits,
         m.qpe.gate_rate,
         m.qpe.build_rate,
@@ -214,6 +232,8 @@ fn load_from(path: &Path, fingerprint: &str) -> Option<CostModel> {
         table_rate: field_rate(&src, "table_rate")?,
         fuse_per_gate: field_rate(&src, "fuse_per_gate")?,
         mps_rate: field_rate(&src, "mps_rate")?,
+        dispatch_overhead: field_rate(&src, "dispatch_overhead")?,
+        thread_scale: field_scale(&src, "thread_scale")?,
         block_bits: field_bits(&src, "block_bits")?,
         qpe: QpeCostModel {
             gate_rate: field_rate(&src, "gate_rate")?,
@@ -255,6 +275,8 @@ mod tests {
             table_rate: 4.75e7,
             fuse_per_gate: 1.5e-6,
             mps_rate: 1.75e8,
+            dispatch_overhead: 3.5e-6,
+            thread_scale: 2.5,
             block_bits: 13,
             qpe: QpeCostModel {
                 gate_rate: 3.25e8,
@@ -303,6 +325,13 @@ mod tests {
         // An implausible block size is refused like a bad rate.
         let bad_bits = to_json("fp", &model()).replace("\"block_bits\": 13", "\"block_bits\": 99");
         fs::write(&path, bad_bits).unwrap();
+        assert_eq!(load_from(&path, "fp"), None);
+
+        // A thread-scaling factor below 1 contradicts its definition
+        // (speedup over a forced single-thread run) and is refused.
+        let bad_scale =
+            to_json("fp", &model()).replace("\"thread_scale\": 2.5", "\"thread_scale\": 0.5");
+        fs::write(&path, bad_scale).unwrap();
         assert_eq!(load_from(&path, "fp"), None);
         fs::remove_file(&path).unwrap();
     }

@@ -195,6 +195,22 @@ pub struct CostModel {
     /// below the streaming `entry_rate` per element — which is exactly
     /// why MPS only wins when χ stays small while 2ⁿ does not.
     pub mps_rate: f64,
+    /// Seconds of fixed cost per parallel *dispatch* — one launch of the
+    /// rayon shim's persistent worker pool (job publication, worker
+    /// wake-up, completion wait). Every above-threshold sweep pays it
+    /// once, so a depth-d circuit pays it d times while an emulation
+    /// shortcut pays it once per pass — which is why it belongs in the
+    /// planner's comparison. Measured by [`CostModel::calibrated`] as
+    /// the wall time of an empty parallel region.
+    pub dispatch_overhead: f64,
+    /// Measured parallel speedup of the memory-bound sweep over a forced
+    /// single-thread run (≥ 1). The calibrated `*_rate`s are measured
+    /// with the pool warm and engaged, so *below*-threshold circuits —
+    /// which the kernels run serially — are slower than `entries / rate`
+    /// by exactly this factor; [`CostModel::t_sweeps`] applies it to the
+    /// serial regime so small-state pricing stays honest on multi-core
+    /// hosts. 1.0 on a single-thread host.
+    pub thread_scale: f64,
     /// log2 of the segment executor's block size in amplitudes — the
     /// value both the segmented *pricing* (`t_gates_segmented`'s traffic
     /// split) and segmented *execution* (via
@@ -216,6 +232,8 @@ impl Default for CostModel {
             table_rate: 5e7,
             fuse_per_gate: 2e-6,
             mps_rate: 2e8,
+            dispatch_overhead: 2e-6,
+            thread_scale: 1.0,
             block_bits: qcemu_sim::DEFAULT_BLOCK_BITS,
             qpe: QpeCostModel {
                 gate_rate: 4e8,
@@ -270,10 +288,26 @@ impl CostModel {
         calibrate::measure()
     }
 
-    /// Cost of writing `entries` state-vector entries (one or more
-    /// memory-bound sweeps).
+    /// Cost of `sweeps` passes writing `entries` state-vector entries in
+    /// total at `rate` (entries/s), accounting for how the kernels
+    /// actually run: a pass over ≥ [`qcemu_sim::PAR_THRESHOLD`] entries
+    /// goes through the persistent pool and pays
+    /// [`CostModel::dispatch_overhead`] once per sweep; a smaller pass
+    /// runs serially and forfeits the [`CostModel::thread_scale`] factor
+    /// folded into the calibrated rates.
+    pub fn t_sweeps(&self, entries: usize, sweeps: usize, rate: f64) -> f64 {
+        let per_sweep = entries / sweeps.max(1);
+        if per_sweep >= qcemu_sim::PAR_THRESHOLD {
+            entries as f64 / rate + sweeps as f64 * self.dispatch_overhead
+        } else {
+            entries as f64 * self.thread_scale / rate
+        }
+    }
+
+    /// Cost of writing `entries` state-vector entries in one memory-bound
+    /// sweep (dispatch-aware; see [`CostModel::t_sweeps`]).
     pub fn t_entries(&self, entries: usize) -> f64 {
-        entries as f64 / self.entry_rate
+        self.t_sweeps(entries, 1, self.entry_rate)
     }
 
     /// Emulated classical map over a `k_bits`-wide register tuple on a
@@ -318,34 +352,45 @@ impl CostModel {
     }
 
     /// Emulated QFT on an `r_bits` register: an FFT pass per register bit
-    /// over the full state.
+    /// over the full state, each pass one pool dispatch.
     pub fn t_qft_emulated(&self, n_state: usize, r_bits: usize) -> f64 {
-        r_bits as f64 * self.t_entries(1usize << n_state)
+        self.t_sweeps(r_bits * (1usize << n_state), r_bits, self.entry_rate)
     }
 
-    /// Unfused gate-level execution writing `unfused_entries`.
-    pub fn t_gates(&self, unfused_entries: usize) -> f64 {
-        self.t_entries(unfused_entries)
+    /// Unfused gate-level execution writing `unfused_entries` across
+    /// `sweeps` per-gate kernel launches (the circuit's gate count).
+    pub fn t_gates(&self, unfused_entries: usize, sweeps: usize) -> f64 {
+        self.t_sweeps(unfused_entries, sweeps, self.entry_rate)
     }
 
-    /// Fused gate-level execution: the blocked sweeps (at the fused
-    /// kernels' own measured rate) plus the one-off fuse/classify cost of
-    /// the circuit's `gate_count` gates.
-    pub fn t_gates_fused(&self, fused_entries: usize, gate_count: usize) -> f64 {
-        fused_entries as f64 / self.fused_entry_rate + gate_count as f64 * self.fuse_per_gate
+    /// Fused gate-level execution: `sweeps` blocked sweeps (the fused
+    /// circuit's op count, each one pool dispatch at the fused kernels'
+    /// own measured rate) writing `fused_entries`, plus the one-off
+    /// fuse/classify cost of the circuit's `gate_count` gates.
+    pub fn t_gates_fused(&self, fused_entries: usize, gate_count: usize, sweeps: usize) -> f64 {
+        self.t_sweeps(fused_entries, sweeps, self.fused_entry_rate)
+            + gate_count as f64 * self.fuse_per_gate
     }
 
     /// Cache-blocked segment execution
     /// (`qcemu_sim::SegmentedCircuit`): the `streamed` entries cross
     /// memory once per segment at the sweep rate, the `incache` entries
-    /// are replayed against resident blocks at the cache rate, and the
-    /// circuit pays the same one-off per-gate compile cost as fusion.
-    /// The estimators behind the two traffic terms are
-    /// `SegmentedCircuit::streamed_entries` / `incache_entries`.
-    pub fn t_gates_segmented(&self, streamed: usize, incache: usize, gate_count: usize) -> f64 {
+    /// are replayed against resident blocks at the cache rate, the
+    /// circuit pays the same one-off per-gate compile cost as fusion,
+    /// and each of the `dispatches` parallel-region launches (one per
+    /// blocked segment plus one per full-state sweep op) pays the pool's
+    /// dispatch overhead.
+    pub fn t_gates_segmented(
+        &self,
+        streamed: usize,
+        incache: usize,
+        gate_count: usize,
+        dispatches: usize,
+    ) -> f64 {
         streamed as f64 / self.entry_rate
             + incache as f64 / self.cache_rate
             + gate_count as f64 * self.fuse_per_gate
+            + dispatches as f64 * self.dispatch_overhead
     }
 
     /// Compressed (MPS) execution of a circuit whose predicted
@@ -429,6 +474,7 @@ mod calibrate {
     };
     use rand::rngs::StdRng;
     use rand::SeedableRng;
+    use rayon::prelude::IntoParallelIterator;
     use std::time::Instant;
 
     /// Best-of-`reps` wall time of `f`, after one untimed warm-up run.
@@ -449,6 +495,11 @@ mod calibrate {
     const N: usize = 16;
 
     pub(super) fn measure() -> CostModel {
+        // Start the persistent pool's workers before timing anything, so
+        // the measured rates reflect steady-state dispatch — not the
+        // one-off thread spawns of a cold pool.
+        rayon::pool::warm_up();
+
         let dim = 1usize << N;
         let sv = StateVector::uniform_superposition(N);
 
@@ -459,6 +510,33 @@ mod calibrate {
             state.apply(&gate);
             std::hint::black_box(state.amplitudes()[1]);
         });
+
+        // Per-dispatch overhead: wall time of a near-empty parallel
+        // region is pure job publication + wake-up + completion wait.
+        let reps = 64;
+        let t_dispatch = time(3, || {
+            for _ in 0..reps {
+                (0..2).into_par_iter().for_each(|i| {
+                    std::hint::black_box(i);
+                });
+            }
+        }) / reps as f64;
+
+        // Thread scaling of the memory-bound sweep: the same butterfly
+        // under a forced single-thread install. The ratio is what the
+        // serial (below-threshold) regime forfeits relative to the
+        // pool-engaged rates measured above.
+        let serial_pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(1)
+            .build()
+            .expect("shim pool build is infallible");
+        let mut serial_state = sv.clone();
+        let t_butterfly_serial = time(3, || {
+            serial_pool.install(|| serial_state.apply(&gate));
+            std::hint::black_box(serial_state.amplitudes()[1]);
+        });
+        let thread_scale = (t_butterfly_serial / t_butterfly)
+            .clamp(1.0, rayon::current_num_threads().max(1) as f64);
 
         // Fused blocked sweep: a dense 2^4-wide block (the classify
         // threshold guarantees the Dense mat-vec path) also writes every
@@ -585,6 +663,8 @@ mod calibrate {
             table_rate: dim as f64 / t_table,
             fuse_per_gate: t_fuse / qft.gate_count().max(1) as f64,
             mps_rate: mps_units / t_mps,
+            dispatch_overhead: t_dispatch.max(1e-9),
+            thread_scale,
             block_bits,
             qpe: QpeCostModel {
                 gate_rate: dim as f64 / t_butterfly,
@@ -728,7 +808,7 @@ mod tests {
         let m = CostModel::default();
         for n in 10..=20 {
             let emulated = m.t_classical_emulated(n, 3 * (n / 3));
-            let network = m.t_gates(50 * (1usize << n)); // ~50-gate adder net
+            let network = m.t_gates(50 * (1usize << n), 50); // ~50-gate adder net
             assert!(emulated < network, "n = {n}");
         }
     }
@@ -742,18 +822,14 @@ mod tests {
         // Wide register: FFT's r sweeps beat the circuit's ~r²/8.
         let r = 16;
         let circuit = qcemu_sim::qft_circuit(r);
-        let gates = m.t_gates(circuit.touched_entries(n));
+        let gates = m.t_gates(circuit.touched_entries(n), circuit.gate_count());
         assert!(m.t_qft_emulated(n, r) < gates, "wide QFT must prefer FFT");
         // Narrow register: the 4 gates fuse into one 2-qubit block — one
         // blocked sweep beats 2 full FFT passes.
         let r = 2;
         let circuit = qcemu_sim::qft_circuit(r);
-        let fused = m.t_gates_fused(
-            circuit
-                .fuse(&qcemu_sim::FusionPolicy::greedy())
-                .touched_entries(n),
-            circuit.gate_count(),
-        );
+        let fc = circuit.fuse(&qcemu_sim::FusionPolicy::greedy());
+        let fused = m.t_gates_fused(fc.touched_entries(n), circuit.gate_count(), fc.ops().len());
         assert!(
             fused < m.t_qft_emulated(n, r),
             "narrow QFT must prefer fused gates"
@@ -807,6 +883,16 @@ mod tests {
         }
         assert!(m.fuse_per_gate.is_finite() && m.fuse_per_gate > 0.0);
         assert!(
+            m.dispatch_overhead.is_finite() && m.dispatch_overhead > 0.0,
+            "dispatch_overhead = {}",
+            m.dispatch_overhead
+        );
+        assert!(
+            m.thread_scale.is_finite() && m.thread_scale >= 1.0,
+            "thread_scale = {}",
+            m.thread_scale
+        );
+        assert!(
             (1..=30).contains(&m.block_bits),
             "implausible block size: {}",
             m.block_bits
@@ -826,6 +912,34 @@ mod tests {
     }
 
     #[test]
+    fn sweep_pricing_charges_dispatch_above_threshold_only() {
+        let m = CostModel {
+            dispatch_overhead: 1e-5,
+            thread_scale: 3.0,
+            ..CostModel::default()
+        };
+        // Above the parallel threshold: streamed traffic plus one
+        // dispatch per sweep, and no serial penalty.
+        let big = qcemu_sim::PAR_THRESHOLD * 4;
+        let t = m.t_sweeps(10 * big, 10, m.entry_rate);
+        let expected = 10.0 * big as f64 / m.entry_rate + 10.0 * m.dispatch_overhead;
+        assert!((t - expected).abs() < 1e-12, "{t} vs {expected}");
+        // Below it: serial execution forfeits the measured scaling and
+        // pays no dispatch.
+        let small = qcemu_sim::PAR_THRESHOLD / 2;
+        let t = m.t_sweeps(small, 1, m.entry_rate);
+        assert!((t - small as f64 * 3.0 / m.entry_rate).abs() < 1e-12);
+        // The dispatch term makes many tiny above-threshold sweeps more
+        // expensive than one sweep of the same total traffic — the
+        // depth-d tax the pool rewrite shrinks but does not erase.
+        let sweeps = 1000;
+        assert!(
+            m.t_sweeps(sweeps * big, sweeps, m.entry_rate)
+                > m.t_sweeps(sweeps * big, 1, m.entry_rate)
+        );
+    }
+
+    #[test]
     fn mps_cost_crossover_favours_deep_low_chi_circuits_only() {
         let m = CostModel::default();
         let n = 22;
@@ -833,11 +947,11 @@ mod tests {
         // so past the boundary cost MPS beats per-gate dense sweeps.
         let depth = 400;
         let units = depth as f64 * 1.0e4; // ~χ³-scale work per 2q gate, χ ≤ 16
-        let dense = m.t_gates(depth * (1usize << n));
+        let dense = m.t_gates(depth * (1usize << n), depth);
         assert!(m.t_gates_mps(units, n) < dense, "deep chain must pick MPS");
         // A shallow circuit never amortises the densify boundary: two
         // full-state passes already exceed one dense sweep.
-        assert!(m.t_gates_mps(1.0, n) > m.t_gates(1usize << n));
+        assert!(m.t_gates_mps(1.0, n) > m.t_gates(1usize << n, 1));
     }
 
     #[test]

@@ -421,12 +421,12 @@ fn circuit_costs(
     want_segmented: bool,
     want_mps: Option<usize>,
 ) -> SimCosts {
-    let unfused = want_unfused.then(|| model.t_gates(c.touched_entries(n_state)));
+    let unfused = want_unfused.then(|| model.t_gates(c.touched_entries(n_state), c.gate_count()));
     let (fused, fused_circuit) = if want_fused {
         let fc = c.fuse(&FusionPolicy::Greedy {
             max_fused_qubits: window,
         });
-        let t = model.t_gates_fused(fc.touched_entries(n_state), c.gate_count());
+        let t = model.t_gates_fused(fc.touched_entries(n_state), c.gate_count(), fc.ops().len());
         (Some(t), Some(fc))
     } else {
         (None, None)
@@ -435,12 +435,15 @@ fn circuit_costs(
     // executes with, splitting traffic into its streamed and in-cache
     // terms. The compiled `SegmentedCircuit` is not carried: execution
     // re-segments, paying the per-gate compile cost the model includes.
+    // Each blocked segment and each full-state sweep op launches one
+    // parallel region, so that is the dispatch count.
     let segmented = want_segmented.then(|| {
         let seg = segment_circuit(c, model.block_bits, &FusionPolicy::greedy());
         model.t_gates_segmented(
             seg.streamed_entries(n_state),
             seg.incache_entries(n_state),
             c.gate_count(),
+            seg.blocked_segments() + seg.sweep_segments(),
         )
     });
     // The compressed candidate only exists when the χ-growth estimate
@@ -1408,7 +1411,10 @@ mod tests {
             "cache-resident QFT must pick the segment tier, got {}",
             plan.steps()[0].backend
         );
-        let unfused = m.t_gates(qft_circuit(n).touched_entries(n));
+        let unfused = m.t_gates(
+            qft_circuit(n).touched_entries(n),
+            qft_circuit(n).gate_count(),
+        );
         assert!(
             plan.steps()[0].predicted_s <= unfused,
             "segmented {} must not regress vs unfused {}",

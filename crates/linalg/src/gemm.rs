@@ -10,8 +10,17 @@ use crate::complex::C64;
 use crate::matrix::CMatrix;
 use rayon::prelude::*;
 
-/// Below this dimension the serial kernel runs without spawning tasks.
-const PAR_THRESHOLD: usize = 64;
+/// Default parallelisation threshold of [`gemm_into`], in matrix **rows
+/// / columns** (dimension): below a 64×64 output the serial kernel runs
+/// without dispatching to the worker pool.
+///
+/// Note the units. `qcemu_sim::PAR_THRESHOLD` — the state-vector
+/// kernels' configurable analogue — counts **amplitude entries** (2¹⁵),
+/// not rows: a 64×64 GEMM does O(64³) flops, comparable work to a
+/// ~2¹⁵-entry sweep, so the two defaults agree on *work* while differing
+/// in unit. To tune per call, use [`gemm_into_with`], mirroring the
+/// `_with` kernel variants in `qcemu_sim`.
+pub const GEMM_PAR_THRESHOLD: usize = 64;
 /// Cache block for the reduction dimension (k). 16 bytes/entry × 256 ≈ 4 KiB
 /// per row panel, comfortably inside L1 together with the C row.
 const KC: usize = 256;
@@ -25,10 +34,19 @@ pub fn gemm(a: &CMatrix, b: &CMatrix) -> CMatrix {
     c
 }
 
-/// `C = A · B` into a pre-allocated output (overwrites `c`).
+/// `C = A · B` into a pre-allocated output (overwrites `c`), at the
+/// default [`GEMM_PAR_THRESHOLD`].
 ///
 /// Panics if shapes are inconsistent.
 pub fn gemm_into(a: &CMatrix, b: &CMatrix, c: &mut CMatrix) {
+    gemm_into_with(a, b, c, GEMM_PAR_THRESHOLD);
+}
+
+/// [`gemm_into`] with an explicit parallelisation threshold in matrix
+/// **rows / columns**: outputs smaller than `par_threshold` in both
+/// dimensions run the serial kernel without a pool dispatch. Pass
+/// `usize::MAX` to force serial execution, `0` to always parallelise.
+pub fn gemm_into_with(a: &CMatrix, b: &CMatrix, c: &mut CMatrix, par_threshold: usize) {
     let (m, ka) = a.shape();
     let (kb, n) = b.shape();
     assert_eq!(ka, kb, "gemm: inner dimensions differ ({ka} vs {kb})");
@@ -49,7 +67,7 @@ pub fn gemm_into(a: &CMatrix, b: &CMatrix, c: &mut CMatrix) {
     let a_data = a.as_slice();
     let b_data = b.as_slice();
 
-    if m < PAR_THRESHOLD && n < PAR_THRESHOLD {
+    if m < par_threshold && n < par_threshold {
         serial_block(a_data, b_data, c.as_mut_slice(), 0, m, k, n);
         return;
     }
@@ -226,5 +244,21 @@ mod tests {
     #[test]
     fn flops_model() {
         assert_eq!(gemm_flops(2) as u64, 64);
+    }
+
+    #[test]
+    fn explicit_threshold_matches_default_either_side() {
+        // Forced-serial and forced-parallel runs must agree bit-for-bit
+        // with the default-threshold result.
+        let mut rng = StdRng::seed_from_u64(6);
+        let a = random_matrix(70, 40, &mut rng);
+        let b = random_matrix(40, 90, &mut rng);
+        let mut dflt = CMatrix::zeros(70, 90);
+        gemm_into(&a, &b, &mut dflt);
+        for thr in [0, usize::MAX] {
+            let mut c = CMatrix::zeros(70, 90);
+            gemm_into_with(&a, &b, &mut c, thr);
+            assert!(c.max_abs_diff(&dflt) == 0.0, "threshold {thr}");
+        }
     }
 }

@@ -37,7 +37,7 @@ pub mod vector;
 
 pub use complex::{c64, C64};
 pub use eig::{eig, eig_residual, eigenvalues, schur, Eig, EigError, Schur};
-pub use gemm::{gemm, gemm_into, gemm_naive};
+pub use gemm::{gemm, gemm_into, gemm_into_with, gemm_naive, GEMM_PAR_THRESHOLD};
 pub use hessenberg::{hessenberg, is_upper_hessenberg, Hessenberg};
 pub use matrix::CMatrix;
 pub use power::{matrix_power, matrix_power_naive, power_from_eig, powers_of_two};

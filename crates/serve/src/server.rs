@@ -203,6 +203,10 @@ struct Shared {
 impl Shared {
     fn snapshot(&self) -> StatsSnapshot {
         let c = &self.counters;
+        // The execution pool is process-wide (every request's kernels
+        // dispatch through it), so its counters are global, not
+        // per-daemon — exactly the view a capacity dashboard wants.
+        let pool = rayon::pool::stats();
         StatsSnapshot {
             requests: c.requests.load(Ordering::Relaxed),
             served: c.served.load(Ordering::Relaxed),
@@ -220,6 +224,11 @@ impl Shared {
             plan_misses: self.cache.misses() as u64,
             plan_evictions: self.cache.evictions() as u64,
             plan_entries: self.cache.len() as u64,
+            pool_tasks_dispatched: pool.tasks_dispatched,
+            pool_blocks_stolen: pool.blocks_stolen,
+            pool_parks: pool.parks,
+            pool_wakeups: pool.wakeups,
+            pool_peak_workers: pool.peak_workers,
         }
     }
 }
@@ -254,6 +263,11 @@ impl EmuServer {
 
     /// Spawns the accept loop and the worker pool.
     pub fn start(self) -> io::Result<ServerHandle> {
+        // Start the process-wide execution pool before the first request
+        // arrives: every worker thread's kernels dispatch into this one
+        // shared pool, so no request — not even the first — pays worker
+        // spawn latency.
+        rayon::pool::warm_up();
         let addr = self.listener.local_addr()?;
         let cache = SharedPlanCache::new(self.config.plan_cache_capacity.max(1));
         let executor = HybridExecutor::new()
@@ -356,6 +370,9 @@ impl ServerHandle {
                 "daemon is shutting down".into(),
             )));
         }
+        // Under QCEMU_POOL_DEBUG, leave a dispatch-counter trace behind
+        // (mirrors the QCEMU_CALIB_DEBUG reporting pattern).
+        rayon::pool::dump_stats_if_debug();
     }
 }
 

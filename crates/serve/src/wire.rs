@@ -1136,6 +1136,17 @@ pub struct StatsSnapshot {
     pub plan_evictions: u64,
     /// Structures currently cached.
     pub plan_entries: u64,
+    /// Worker-pool jobs dispatched (process-wide; `rayon::pool::stats`).
+    pub pool_tasks_dispatched: u64,
+    /// Worker-pool index blocks claimed beyond a participant's first —
+    /// the dynamic-handoff rebalancing counter.
+    pub pool_blocks_stolen: u64,
+    /// Worker-pool condvar parks (a worker exhausted its spin budget).
+    pub pool_parks: u64,
+    /// Worker-pool condvar wake-ups.
+    pub pool_wakeups: u64,
+    /// Peak simultaneous participants (workers + callers) in any job.
+    pub pool_peak_workers: u64,
 }
 
 impl StatsSnapshot {
@@ -1159,7 +1170,7 @@ impl StatsSnapshot {
         Ok(s)
     }
 
-    fn fields(&self) -> [u64; 16] {
+    fn fields(&self) -> [u64; 21] {
         [
             self.requests,
             self.served,
@@ -1177,10 +1188,15 @@ impl StatsSnapshot {
             self.plan_misses,
             self.plan_evictions,
             self.plan_entries,
+            self.pool_tasks_dispatched,
+            self.pool_blocks_stolen,
+            self.pool_parks,
+            self.pool_wakeups,
+            self.pool_peak_workers,
         ]
     }
 
-    fn fields_mut(&mut self) -> [&mut u64; 16] {
+    fn fields_mut(&mut self) -> [&mut u64; 21] {
         [
             &mut self.requests,
             &mut self.served,
@@ -1198,6 +1214,11 @@ impl StatsSnapshot {
             &mut self.plan_misses,
             &mut self.plan_evictions,
             &mut self.plan_entries,
+            &mut self.pool_tasks_dispatched,
+            &mut self.pool_blocks_stolen,
+            &mut self.pool_parks,
+            &mut self.pool_wakeups,
+            &mut self.pool_peak_workers,
         ]
     }
 }
@@ -1355,9 +1376,18 @@ mod tests {
             served: 8,
             plan_misses: 1,
             plan_hits: 7,
+            pool_tasks_dispatched: 420,
+            pool_blocks_stolen: 37,
+            pool_parks: 5,
+            pool_wakeups: 6,
+            pool_peak_workers: 4,
             ..StatsSnapshot::default()
         };
         assert_eq!(StatsSnapshot::decode(&stats.encode()).unwrap(), stats);
+        // A truncated (pre-pool, 16-field) frame must be rejected, not
+        // zero-filled: the strict length check is the wire contract.
+        let short = &stats.encode()[..16 * 8];
+        assert!(StatsSnapshot::decode(short).is_err());
         let (code, msg) = decode_error(&encode_error(ErrorCode::QueueFull, "q")).unwrap();
         assert_eq!(code, ErrorCode::QueueFull);
         assert_eq!(msg, "q");

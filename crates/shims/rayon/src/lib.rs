@@ -8,20 +8,27 @@
 //! [`ThreadPoolBuilder`] whose [`ThreadPool::install`] scopes the visible
 //! thread count.
 //!
-//! Unlike real rayon there is no work-stealing pool: each parallel call
-//! splits its index space into `current_num_threads()` contiguous blocks
-//! and runs them on `std::thread::scope` threads. That keeps the same
-//! *disjointness* contract the kernels rely on (each worker owns a
-//! contiguous block) at the cost of per-call spawn overhead — acceptable
-//! for the 2^20-amplitude workloads where parallelism matters. Worker
-//! threads inherit an even share of the caller's thread budget, so nested
-//! parallel calls (e.g. the four-step FFT parallelising rows whose
-//! per-row FFTs are themselves parallel) divide rather than multiply the
-//! number of live threads, and a `ThreadPool::install` bound applies at
-//! every nesting level.
+//! Since PR 10 the dispatch is a lazily-started **persistent worker
+//! pool** ([`pool`]): workers park on a condvar (brief spin first) and
+//! are handed contiguous index blocks through an atomic range splitter,
+//! so stragglers are rebalanced dynamically while each `body(range)`
+//! call still owns a contiguous block *disjoint* from every other — the
+//! contract the state-vector kernels rely on for unsynchronised writes.
+//! A depth-d circuit therefore pays the pool's dispatch latency (~µs)
+//! per gate instead of a `std::thread::scope` spawn + join. Worker
+//! threads inherit an even share of the caller's thread budget, so
+//! nested parallel calls (e.g. the four-step FFT parallelising rows
+//! whose per-row FFTs are themselves parallel) divide rather than
+//! multiply the number of live threads, and a [`ThreadPool::install`]
+//! bound applies at every nesting level. `QCEMU_THREADS` sets the pool
+//! size; panics in parallel bodies propagate to the caller without
+//! poisoning the pool. See [`pool`] for the design and its counters.
 
 use std::cell::Cell;
 use std::ops::Range;
+use std::sync::Mutex;
+
+pub mod pool;
 
 thread_local! {
     static NUM_THREADS_OVERRIDE: Cell<Option<usize>> = const { Cell::new(None) };
@@ -46,7 +53,7 @@ fn set_thread_count(n: usize) -> ThreadCountGuard {
     }
 }
 
-/// Thread budget each of `workers` spawned workers inherits, so nested
+/// Thread budget each of `workers` job participants inherits, so nested
 /// parallel calls divide the caller's budget instead of multiplying it.
 fn inner_threads(outer: usize, workers: usize) -> usize {
     (outer / workers.max(1)).max(1)
@@ -54,19 +61,20 @@ fn inner_threads(outer: usize, workers: usize) -> usize {
 
 /// Number of worker threads parallel calls on this thread will use.
 ///
-/// Defaults to [`std::thread::available_parallelism`]; inside
-/// [`ThreadPool::install`] it reports that pool's configured size.
+/// Defaults to the pool size ([`pool::default_threads`]: `QCEMU_THREADS`
+/// or [`std::thread::available_parallelism`]); inside
+/// [`ThreadPool::install`] it reports that pool's configured size, and
+/// inside a parallel body it reports the participant's divided budget.
 pub fn current_num_threads() -> usize {
-    NUM_THREADS_OVERRIDE.with(|o| {
-        o.get().unwrap_or_else(|| {
-            std::thread::available_parallelism()
-                .map(|n| n.get())
-                .unwrap_or(1)
-        })
-    })
+    NUM_THREADS_OVERRIDE.with(|o| o.get().unwrap_or_else(pool::default_threads))
 }
 
 /// Runs two closures, potentially in parallel, returning both results.
+///
+/// Routed through the persistent pool as a two-block job: the caller
+/// claims one arm, an idle worker (if any) claims the other, and a
+/// panic in either arm resumes on the calling thread. Each arm runs
+/// under half the caller's thread budget, as before.
 pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
 where
     A: FnOnce() -> RA + Send,
@@ -80,46 +88,58 @@ where
         let rb = b();
         return (ra, rb);
     }
-    let inner = inner_threads(outer, 2);
-    std::thread::scope(|s| {
-        let hb = s.spawn(move || {
-            let _threads = set_thread_count(inner);
-            b()
-        });
-        let ra = {
-            let _threads = set_thread_count(inner);
-            a()
-        };
-        let rb = hb.join().expect("rayon-shim: join worker panicked");
-        (ra, rb)
-    })
-}
-
-/// Splits `0..len` into at most `workers` contiguous blocks and invokes
-/// `body(block_range)` on scoped threads (serially when it isn't worth it).
-fn for_each_block(len: usize, body: impl Fn(Range<usize>) + Sync) {
-    let outer = current_num_threads();
-    let workers = outer.min(len.max(1));
-    if workers <= 1 || len < 2 {
-        body(0..len);
-        return;
-    }
-    let inner = inner_threads(outer, workers);
-    let per = len.div_ceil(workers);
-    std::thread::scope(|s| {
-        for w in 0..workers {
-            let lo = w * per;
-            let hi = ((w + 1) * per).min(len);
-            if lo >= hi {
-                break;
+    let fa = Mutex::new(Some(a));
+    let fb = Mutex::new(Some(b));
+    let ra: Mutex<Option<RA>> = Mutex::new(None);
+    let rb: Mutex<Option<RB>> = Mutex::new(None);
+    pool::run_indexed(2, |block| {
+        for i in block {
+            if i == 0 {
+                let f = fa
+                    .lock()
+                    .unwrap()
+                    .take()
+                    .expect("join: arm 0 claimed twice");
+                *ra.lock().unwrap() = Some(f());
+            } else {
+                let f = fb
+                    .lock()
+                    .unwrap()
+                    .take()
+                    .expect("join: arm 1 claimed twice");
+                *rb.lock().unwrap() = Some(f());
             }
-            let body = &body;
-            s.spawn(move || {
-                let _threads = set_thread_count(inner);
-                body(lo..hi)
-            });
         }
     });
+    (
+        ra.into_inner().unwrap().expect("join: arm 0 did not run"),
+        rb.into_inner().unwrap().expect("join: arm 1 did not run"),
+    )
+}
+
+/// Raw-pointer wrapper that lets disjoint-range parallel bodies
+/// reconstruct their `&mut` sub-slices. Sound because the pool hands
+/// every body call a contiguous block disjoint from all others.
+struct SendPtr<T>(*mut T);
+
+// Manual impls: the derives would add unwanted `T: Copy` bounds.
+impl<T> Clone for SendPtr<T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<T> Copy for SendPtr<T> {}
+
+unsafe impl<T: Send> Send for SendPtr<T> {}
+unsafe impl<T: Send> Sync for SendPtr<T> {}
+
+impl<T> SendPtr<T> {
+    /// # Safety
+    /// `range` must be in bounds and disjoint from every other range
+    /// reconstructed from this pointer while the slice is borrowed.
+    unsafe fn slice_mut<'a>(self, range: Range<usize>) -> &'a mut [T] {
+        std::slice::from_raw_parts_mut(self.0.add(range.start), range.len())
+    }
 }
 
 /// Range → parallel iterator conversion (`(0..n).into_par_iter()`).
@@ -143,11 +163,11 @@ pub struct ParRange {
 }
 
 impl ParRange {
-    /// Calls `f(i)` for every index, split across worker threads.
+    /// Calls `f(i)` for every index, split across pool workers.
     pub fn for_each<F: Fn(usize) + Sync + Send>(self, f: F) {
         let start = self.range.start;
         let len = self.range.end.saturating_sub(start);
-        for_each_block(len, |block| {
+        pool::run_indexed(len, |block| {
             for i in block {
                 f(start + i);
             }
@@ -176,37 +196,27 @@ impl<T: Send, F: Fn(usize) -> T + Sync + Send> ParRangeMap<T, F> {
     pub fn collect<C: FromIterator<T>>(self) -> C {
         let start = self.range.start;
         let len = self.range.end.saturating_sub(start);
-        let outer = current_num_threads();
-        let workers = outer.min(len.max(1));
-        if workers <= 1 || len < 2 {
-            return (start..start + len).map(self.f).collect();
-        }
-        let inner = inner_threads(outer, workers);
-        let per = len.div_ceil(workers);
         let f = &self.f;
-        let mut parts: Vec<Vec<T>> = std::thread::scope(|s| {
-            let handles: Vec<_> = (0..workers)
-                .filter_map(|w| {
-                    let lo = w * per;
-                    let hi = ((w + 1) * per).min(len);
-                    (lo < hi).then(|| {
-                        s.spawn(move || {
-                            let _threads = set_thread_count(inner);
-                            (start + lo..start + hi).map(f).collect::<Vec<T>>()
-                        })
-                    })
-                })
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("rayon-shim: map worker panicked"))
-                .collect()
+        let mut out: Vec<std::mem::MaybeUninit<T>> = Vec::with_capacity(len);
+        // SAFETY: `MaybeUninit` needs no initialisation; every slot is
+        // written exactly once below (blocks are disjoint and cover 0..len).
+        unsafe { out.set_len(len) };
+        let base = SendPtr(out.as_mut_ptr());
+        pool::run_indexed(len, |block| {
+            // Capture the wrapper, not its raw-pointer field (edition-2021
+            // closures would otherwise capture the non-Sync `*mut` directly).
+            let base = base;
+            for i in block {
+                // SAFETY: in-bounds, and index `i` belongs to exactly one block.
+                unsafe { (*base.0.add(i)).write(f(start + i)) };
+            }
         });
-        let mut all = Vec::with_capacity(len);
-        for part in parts.iter_mut() {
-            all.append(part);
-        }
-        all.into_iter().collect()
+        // SAFETY: fully initialised above; re-type the buffer in place.
+        let vec: Vec<T> = unsafe {
+            let mut out = std::mem::ManuallyDrop::new(out);
+            Vec::from_raw_parts(out.as_mut_ptr() as *mut T, len, out.capacity())
+        };
+        vec.into_iter().collect()
     }
 }
 
@@ -237,8 +247,8 @@ impl<'a, T: Sync> ParSlice<'a, T> {
     /// Calls `f(&item)` for every element.
     pub fn for_each<F: Fn(&'a T) + Sync + Send>(self, f: F) {
         let slice = self.slice;
-        for_each_block(slice.len(), |block| {
-            for item in &slice[block] {
+        pool::run_indexed(slice.len(), |block| {
+            for item in &slice[block.start..block.end] {
                 f(item);
             }
         });
@@ -259,7 +269,7 @@ impl<'a, T: Sync> ParSliceEnumerate<'a, T> {
     /// Calls `f((i, &item))` for every element.
     pub fn for_each<F: Fn((usize, &'a T)) + Sync + Send>(self, f: F) {
         let slice = self.slice;
-        for_each_block(slice.len(), |block| {
+        pool::run_indexed(slice.len(), |block| {
             for i in block {
                 f((i, &slice[i]));
             }
@@ -299,24 +309,6 @@ impl<T: Send> ParallelSliceMut<T> for Vec<T> {
     }
 }
 
-/// Splits `slice` at the block boundaries of a `workers`-way partition,
-/// returning `(start_index, sub_slice)` pairs.
-fn split_blocks<'a, T>(slice: &'a mut [T], workers: usize) -> Vec<(usize, &'a mut [T])> {
-    let len = slice.len();
-    let per = len.div_ceil(workers.max(1)).max(1);
-    let mut parts = Vec::with_capacity(workers);
-    let mut rest = slice;
-    let mut offset = 0;
-    while !rest.is_empty() {
-        let take = per.min(rest.len());
-        let (head, tail) = rest.split_at_mut(take);
-        parts.push((offset, head));
-        offset += take;
-        rest = tail;
-    }
-    parts
-}
-
 /// Parallel mutable iterator over `&mut [T]`.
 pub struct ParSliceMut<'a, T> {
     slice: &'a mut [T],
@@ -325,22 +317,12 @@ pub struct ParSliceMut<'a, T> {
 impl<'a, T: Send> ParSliceMut<'a, T> {
     /// Calls `f(&mut item)` for every element.
     pub fn for_each<F: Fn(&mut T) + Sync + Send>(self, f: F) {
-        let outer = current_num_threads();
-        let workers = outer.min(self.slice.len().max(1));
-        if workers <= 1 || self.slice.len() < 2 {
-            self.slice.iter_mut().for_each(f);
-            return;
-        }
-        let inner = inner_threads(outer, workers);
-        let parts = split_blocks(self.slice, workers);
-        std::thread::scope(|s| {
-            for (_, part) in parts {
-                let f = &f;
-                s.spawn(move || {
-                    let _threads = set_thread_count(inner);
-                    part.iter_mut().for_each(f)
-                });
-            }
+        let len = self.slice.len();
+        let base = SendPtr(self.slice.as_mut_ptr());
+        pool::run_indexed(len, |block| {
+            // SAFETY: blocks are disjoint, so each element is borrowed once.
+            let part = unsafe { base.slice_mut(block) };
+            part.iter_mut().for_each(&f);
         });
     }
 
@@ -366,25 +348,14 @@ pub struct ParSliceMutEnumerate<'a, T> {
 impl<'a, T: Send> ParSliceMutEnumerate<'a, T> {
     /// Calls `f((i, &mut item))` for every element.
     pub fn for_each<F: Fn((usize, &mut T)) + Sync + Send>(self, f: F) {
-        let outer = current_num_threads();
-        let workers = outer.min(self.slice.len().max(1));
-        if workers <= 1 || self.slice.len() < 2 {
-            for (i, item) in self.slice.iter_mut().enumerate() {
-                f((i, item));
-            }
-            return;
-        }
-        let inner = inner_threads(outer, workers);
-        let parts = split_blocks(self.slice, workers);
-        std::thread::scope(|s| {
-            for (offset, part) in parts {
-                let f = &f;
-                s.spawn(move || {
-                    let _threads = set_thread_count(inner);
-                    for (i, item) in part.iter_mut().enumerate() {
-                        f((offset + i, item));
-                    }
-                });
+        let len = self.slice.len();
+        let base = SendPtr(self.slice.as_mut_ptr());
+        pool::run_indexed(len, |block| {
+            let offset = block.start;
+            // SAFETY: blocks are disjoint, so each element is borrowed once.
+            let part = unsafe { base.slice_mut(block) };
+            for (i, item) in part.iter_mut().enumerate() {
+                f((offset + i, item));
             }
         });
     }
@@ -425,27 +396,15 @@ impl<'a, T: Send> ParZipMutEnumerate<'a, T> {
     /// Calls `f((i, (&mut a, &mut b)))` for every lockstep pair.
     pub fn for_each<F: Fn((usize, (&mut T, &mut T))) + Sync + Send>(self, f: F) {
         let len = self.a.len().min(self.b.len());
-        let (a, b) = (&mut self.a[..len], &mut self.b[..len]);
-        let outer = current_num_threads();
-        let workers = outer.min(len.max(1));
-        if workers <= 1 || len < 2 {
-            for (i, (x, y)) in a.iter_mut().zip(b.iter_mut()).enumerate() {
-                f((i, (x, y)));
-            }
-            return;
-        }
-        let inner = inner_threads(outer, workers);
-        let pa = split_blocks(a, workers);
-        let pb = split_blocks(b, workers);
-        std::thread::scope(|s| {
-            for ((offset, part_a), (_, part_b)) in pa.into_iter().zip(pb) {
-                let f = &f;
-                s.spawn(move || {
-                    let _threads = set_thread_count(inner);
-                    for (i, (x, y)) in part_a.iter_mut().zip(part_b.iter_mut()).enumerate() {
-                        f((offset + i, (x, y)));
-                    }
-                });
+        let base_a = SendPtr(self.a.as_mut_ptr());
+        let base_b = SendPtr(self.b.as_mut_ptr());
+        pool::run_indexed(len, |block| {
+            let offset = block.start;
+            // SAFETY: blocks are disjoint and within both slices' bounds.
+            let part_a = unsafe { base_a.slice_mut(block.clone()) };
+            let part_b = unsafe { base_b.slice_mut(block) };
+            for (i, (x, y)) in part_a.iter_mut().zip(part_b.iter_mut()).enumerate() {
+                f((offset + i, (x, y)));
             }
         });
     }
@@ -458,10 +417,6 @@ pub struct ParChunksMut<'a, T> {
 }
 
 impl<'a, T: Send> ParChunksMut<'a, T> {
-    fn chunks(self) -> Vec<&'a mut [T]> {
-        self.slice.chunks_mut(self.chunk_size).collect()
-    }
-
     /// Calls `f(chunk)` for every chunk.
     pub fn for_each<F: Fn(&mut [T]) + Sync + Send>(self, f: F) {
         ParChunksMutEnumerate { inner: self }.for_each(|(_, chunk)| f(chunk));
@@ -478,6 +433,13 @@ impl<'a, T: Send> ParChunksMut<'a, T> {
     pub fn zip(self, other: ParChunksMut<'a, T>) -> ParChunksMutZip<'a, T> {
         ParChunksMutZip { a: self, b: other }
     }
+}
+
+/// The chunk with index `ci` of a `len`-element slice cut into
+/// `chunk_size`-element chunks (the last chunk may be shorter).
+fn chunk_bounds(ci: usize, chunk_size: usize, len: usize) -> Range<usize> {
+    let lo = ci * chunk_size;
+    lo..(lo + chunk_size).min(len)
 }
 
 /// Lockstep pair of two parallel chunk iterators.
@@ -506,37 +468,18 @@ pub struct ParChunksMutZipEnumerate<'a, T> {
 impl<'a, T: Send> ParChunksMutZipEnumerate<'a, T> {
     /// Calls `f((i, (chunk_a, chunk_b)))` for every lockstep chunk pair.
     pub fn for_each<F: Fn((usize, (&mut [T], &mut [T]))) + Sync + Send>(self, f: F) {
-        let mut ca = self.inner.a.chunks();
-        let mut cb = self.inner.b.chunks();
-        let n_chunks = ca.len().min(cb.len());
-        ca.truncate(n_chunks);
-        cb.truncate(n_chunks);
-        let outer = current_num_threads();
-        let workers = outer.min(n_chunks.max(1));
-        if workers <= 1 || n_chunks < 2 {
-            for (i, (a, b)) in ca.into_iter().zip(cb).enumerate() {
-                f((i, (a, b)));
-            }
-            return;
-        }
-        let inner = inner_threads(outer, workers);
-        let per = n_chunks.div_ceil(workers);
-        std::thread::scope(|s| {
-            let mut start = 0;
-            while !ca.is_empty() {
-                let take = per.min(ca.len());
-                let rest_a = ca.split_off(take);
-                let rest_b = cb.split_off(take);
-                let group_a = std::mem::replace(&mut ca, rest_a);
-                let group_b = std::mem::replace(&mut cb, rest_b);
-                let f = &f;
-                s.spawn(move || {
-                    let _threads = set_thread_count(inner);
-                    for (i, (a, b)) in group_a.into_iter().zip(group_b).enumerate() {
-                        f((start + i, (a, b)));
-                    }
-                });
-                start += take;
+        let (len_a, cs_a) = (self.inner.a.slice.len(), self.inner.a.chunk_size);
+        let (len_b, cs_b) = (self.inner.b.slice.len(), self.inner.b.chunk_size);
+        let n_chunks = len_a.div_ceil(cs_a).min(len_b.div_ceil(cs_b));
+        let base_a = SendPtr(self.inner.a.slice.as_mut_ptr());
+        let base_b = SendPtr(self.inner.b.slice.as_mut_ptr());
+        pool::run_indexed(n_chunks, |block| {
+            for ci in block {
+                // SAFETY: chunk index `ci` belongs to exactly one block, so
+                // each chunk pair is reconstructed and borrowed once.
+                let chunk_a = unsafe { base_a.slice_mut(chunk_bounds(ci, cs_a, len_a)) };
+                let chunk_b = unsafe { base_b.slice_mut(chunk_bounds(ci, cs_b, len_b)) };
+                f((ci, (chunk_a, chunk_b)));
             }
         });
     }
@@ -550,32 +493,14 @@ pub struct ParChunksMutEnumerate<'a, T> {
 impl<'a, T: Send> ParChunksMutEnumerate<'a, T> {
     /// Calls `f((chunk_index, chunk))` for every chunk.
     pub fn for_each<F: Fn((usize, &mut [T])) + Sync + Send>(self, f: F) {
-        let mut chunks = self.inner.chunks();
-        let n_chunks = chunks.len();
-        let outer = current_num_threads();
-        let workers = outer.min(n_chunks.max(1));
-        if workers <= 1 || n_chunks < 2 {
-            for (i, chunk) in chunks.into_iter().enumerate() {
-                f((i, chunk));
-            }
-            return;
-        }
-        let inner = inner_threads(outer, workers);
-        let per = n_chunks.div_ceil(workers);
-        std::thread::scope(|s| {
-            let mut start = 0;
-            while !chunks.is_empty() {
-                let take = per.min(chunks.len());
-                let rest = chunks.split_off(take);
-                let group = std::mem::replace(&mut chunks, rest);
-                let f = &f;
-                s.spawn(move || {
-                    let _threads = set_thread_count(inner);
-                    for (i, chunk) in group.into_iter().enumerate() {
-                        f((start + i, chunk));
-                    }
-                });
-                start += take;
+        let (len, cs) = (self.inner.slice.len(), self.inner.chunk_size);
+        let n_chunks = len.div_ceil(cs);
+        let base = SendPtr(self.inner.slice.as_mut_ptr());
+        pool::run_indexed(n_chunks, |block| {
+            for ci in block {
+                // SAFETY: chunk index `ci` belongs to exactly one block.
+                let chunk = unsafe { base.slice_mut(chunk_bounds(ci, cs, len)) };
+                f((ci, chunk));
             }
         });
     }
@@ -619,10 +544,11 @@ impl ThreadPoolBuilder {
     }
 }
 
-/// A scoped thread-count context, standing in for a real rayon pool:
-/// [`ThreadPool::install`] makes [`current_num_threads`] report the pool's
-/// size inside the closure, so size-gated parallel/serial code paths behave
-/// as they would under real rayon.
+/// A scoped thread-count context over the shared persistent pool:
+/// [`ThreadPool::install`] makes [`current_num_threads`] report the
+/// pool's size inside the closure, which caps how many workers of the
+/// process-wide pool a parallel call may enlist — so size-gated
+/// parallel/serial code paths behave as they would under real rayon.
 pub struct ThreadPool {
     num_threads: usize,
 }
@@ -703,6 +629,30 @@ mod tests {
     }
 
     #[test]
+    fn chunks_zip_handles_ragged_lengths() {
+        // 10 chunks of a (len 1000, cs 100) vs 7 chunks of b (len 650,
+        // cs 100): truncated to 7 pairs, with b's last chunk short.
+        let mut a = vec![0usize; 1000];
+        let mut b = vec![0usize; 650];
+        a.par_chunks_mut(100)
+            .zip(b.par_chunks_mut(100))
+            .enumerate()
+            .for_each(|(i, (ca, cb))| {
+                assert_eq!(ca.len(), 100);
+                assert_eq!(cb.len(), if i == 6 { 50 } else { 100 });
+                for x in ca.iter_mut() {
+                    *x = i + 1;
+                }
+                for y in cb.iter_mut() {
+                    *y = i + 1;
+                }
+            });
+        assert_eq!(a[699], 7);
+        assert_eq!(a[700], 0, "a's chunks beyond the zip are untouched");
+        assert_eq!(b[649], 7);
+    }
+
+    #[test]
     fn install_overrides_thread_count() {
         let pool = ThreadPoolBuilder::new().num_threads(1).build().unwrap();
         assert_eq!(pool.install(current_num_threads), 1);
@@ -722,8 +672,8 @@ mod tests {
 
     #[test]
     fn nested_parallelism_divides_thread_budget() {
-        // Each worker of an outer parallel call sees outer/workers threads,
-        // so a nested parallel call cannot oversubscribe.
+        // Each participant of an outer parallel call sees outer/workers
+        // threads, so a nested parallel call cannot oversubscribe.
         let pool = ThreadPoolBuilder::new().num_threads(4).build().unwrap();
         let max_inner = std::sync::atomic::AtomicUsize::new(0);
         pool.install(|| {
@@ -739,5 +689,36 @@ mod tests {
         let (a, b) = join(|| 2 + 2, || "ok");
         assert_eq!(a, 4);
         assert_eq!(b, "ok");
+    }
+
+    #[test]
+    fn join_propagates_panics() {
+        let caught = std::panic::catch_unwind(|| {
+            join(|| 1, || -> i32 { panic!("arm b failed") });
+        });
+        let payload = caught.expect_err("panic must propagate");
+        let msg = payload.downcast_ref::<&str>().copied().unwrap_or("");
+        assert_eq!(msg, "arm b failed", "original payload must survive");
+        // The pool must remain usable after the propagated panic.
+        let (a, b) = join(|| 3, || 4);
+        assert_eq!((a, b), (3, 4));
+    }
+
+    #[test]
+    fn par_iter_panic_propagates_and_pool_survives() {
+        let caught = std::panic::catch_unwind(|| {
+            (0..1024).into_par_iter().for_each(|i| {
+                if i == 700 {
+                    panic!("body panicked at {i}");
+                }
+            });
+        });
+        assert!(caught.is_err());
+        // Reuse after the panic: full coverage, no poisoning.
+        let hits = std::sync::atomic::AtomicUsize::new(0);
+        (0..1024).into_par_iter().for_each(|_| {
+            hits.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        });
+        assert_eq!(hits.load(std::sync::atomic::Ordering::Relaxed), 1024);
     }
 }

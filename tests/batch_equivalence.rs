@@ -364,3 +364,31 @@ fn calibrated_cost_model_is_finite_positive_and_thread_consistent() {
         assert_eq!(rates(m), first, "OnceLock must hand out one model");
     }
 }
+
+/// Batched execution must be thread-count invariant: with the kernel
+/// parallel threshold forced to 1 (every member sweep dispatches to the
+/// worker pool) and the visible budget pinned to {1, 2, 4}, batched ≡
+/// sequential members must keep holding. CI also runs this harness
+/// under `QCEMU_THREADS=4` so the pool genuinely has workers.
+#[test]
+fn batch_equivalence_across_forced_thread_counts() {
+    let _shared = scalar_lock();
+    let circuit = qcemu_sim::qft_circuit(8);
+    for threads in [1usize, 2, 4] {
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .build()
+            .unwrap();
+        pool.install(|| {
+            for config in [
+                SimConfig::unfused().with_par_threshold(1),
+                SimConfig::fused(3).with_par_threshold(1),
+                SimConfig::segmented().with_par_threshold(1),
+            ] {
+                for &batch in &[1usize, 3, 8] {
+                    assert_batched_matches_sequential(&circuit, &config, batch);
+                }
+            }
+        });
+    }
+}

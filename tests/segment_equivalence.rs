@@ -195,3 +195,43 @@ fn degenerate_circuits_segment_equivalence() {
     tiny.push(Gate::phase(0, 0.7));
     assert_segment_equivalence(&tiny);
 }
+
+/// Segment execution must be thread-count invariant: with the kernel
+/// parallel threshold forced to 1 (so every sweep actually dispatches to
+/// the worker pool) and the visible thread budget pinned to {1, 2, 4},
+/// the segmented route must reproduce the serial per-gate reference
+/// bit-comparably. CI additionally runs this whole harness under
+/// `QCEMU_THREADS=4` so the pool genuinely has workers to hand blocks
+/// to.
+#[test]
+fn segment_equivalence_across_forced_thread_counts() {
+    let _shared = scalar_lock();
+    for circuit in [qft_circuit(9), qcemu_sim::entangle_circuit(9)] {
+        let n = circuit.n_qubits();
+        let start = StateVector::uniform_superposition(n);
+        let mut reference = start.clone();
+        reference.run(&circuit, &SimConfig::unfused());
+
+        for threads in [1usize, 2, 4] {
+            let pool = rayon::ThreadPoolBuilder::new()
+                .num_threads(threads)
+                .build()
+                .unwrap();
+            pool.install(|| {
+                for config in [
+                    SimConfig::unfused().with_par_threshold(1),
+                    SimConfig::fused(3).with_par_threshold(1),
+                    SimConfig::segmented().with_par_threshold(1),
+                ] {
+                    let mut sv = start.clone();
+                    sv.run(&circuit, &config);
+                    let diff = max_diff(&sv, &reference);
+                    assert!(
+                        diff <= 1e-12,
+                        "{threads}-thread run ({config:?}) deviates by {diff:.3e}"
+                    );
+                }
+            });
+        }
+    }
+}
